@@ -1,0 +1,249 @@
+//! Centralized Apriori — the ground truth `R[DB_t]`.
+//!
+//! The paper measures its distributed algorithm's recall/precision against
+//! "the correct rules in the given database" (§3, §6.1). This module
+//! computes them the classical way [Agrawal & Srikant, VLDB'94]:
+//! levelwise frequent-itemset mining with candidate join + prune, then rule
+//! derivation.
+//!
+//! The *correct rules* set mirrors what Majority-Rule converges to:
+//! * `∅ ⇒ X` for every frequent `X`;
+//! * `X ⇒ Y` (disjoint, non-empty) with `X ∪ Y` frequent and
+//!   `Support(X∪Y) ≥ MinConf · Support(X)`.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+use crate::database::Database;
+use crate::itemset::ItemSet;
+use crate::ratio::Ratio;
+use crate::rule::{Rule, RuleSet};
+
+/// Mining thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct AprioriConfig {
+    /// Minimum frequency for an itemset to be frequent.
+    pub min_freq: Ratio,
+    /// Minimum confidence for a rule to be confident.
+    pub min_conf: Ratio,
+    /// Upper bound on mined itemset size (0 = unlimited); guards against
+    /// pathological dense inputs in tests.
+    pub max_len: usize,
+}
+
+impl AprioriConfig {
+    /// Config with unlimited itemset length.
+    pub fn new(min_freq: Ratio, min_conf: Ratio) -> Self {
+        AprioriConfig { min_freq, min_conf, max_len: 0 }
+    }
+}
+
+/// All frequent itemsets with their supports.
+pub fn frequent_itemsets(db: &Database, cfg: &AprioriConfig) -> HashMap<ItemSet, u64> {
+    let mut frequent: HashMap<ItemSet, u64> = HashMap::new();
+    let n = db.len() as u64;
+    if n == 0 {
+        return frequent;
+    }
+
+    // Level 1: count singletons in one scan.
+    let mut singleton_counts: HashMap<crate::itemset::Item, u64> = HashMap::new();
+    for t in db.transactions() {
+        for &i in t.items() {
+            *singleton_counts.entry(i).or_insert(0) += 1;
+        }
+    }
+    let mut level: Vec<ItemSet> = singleton_counts
+        .iter()
+        .filter(|&(_, &c)| cfg.min_freq.le_frac(c, n))
+        .map(|(&i, _)| ItemSet::singleton(i))
+        .collect();
+    for s in &level {
+        frequent.insert(s.clone(), singleton_counts[&s.items()[0]]);
+    }
+    level.sort_by(|a, b| a.items().cmp(b.items()));
+
+    let mut k = 1usize;
+    while !level.is_empty() {
+        k += 1;
+        if cfg.max_len != 0 && k > cfg.max_len {
+            break;
+        }
+        let candidates = join_and_prune(&level);
+        if candidates.is_empty() {
+            break;
+        }
+        // Count all candidates of this level (parallel over candidates; each
+        // support() itself may parallelize over transactions, rayon nests
+        // fine).
+        let counted: Vec<(ItemSet, u64)> = candidates
+            .into_par_iter()
+            .map(|c| {
+                let s = db.support(&c);
+                (c, s)
+            })
+            .filter(|&(_, s)| cfg.min_freq.le_frac(s, n))
+            .collect();
+        level = counted.iter().map(|(c, _)| c.clone()).collect();
+        level.sort_by(|a, b| a.items().cmp(b.items()));
+        frequent.extend(counted);
+    }
+    frequent
+}
+
+/// F_{k-1} × F_{k-1} join with the Apriori subset prune.
+fn join_and_prune(level: &[ItemSet]) -> Vec<ItemSet> {
+    use std::collections::HashSet;
+    let level_set: HashSet<&ItemSet> = level.iter().collect();
+    let mut out = Vec::new();
+    for (i, a) in level.iter().enumerate() {
+        for b in &level[i + 1..] {
+            let (ai, bi) = (a.items(), b.items());
+            let k = ai.len();
+            // Join condition: identical prefixes, differing last item.
+            if ai[..k - 1] != bi[..k - 1] {
+                // level is sorted, so once prefixes diverge no later b joins a.
+                break;
+            }
+            let candidate = a.with(bi[k - 1]);
+            // Prune: every (k)-subset must be frequent.
+            if candidate.shrink_by_one().all(|s| level_set.contains(&s)) {
+                out.push(candidate);
+            }
+        }
+    }
+    out
+}
+
+/// The full correct-rule set `R[DB]`.
+pub fn correct_rules(db: &Database, cfg: &AprioriConfig) -> RuleSet {
+    let frequent = frequent_itemsets(db, cfg);
+    let mut rules = RuleSet::new();
+
+    for (z, &support_z) in &frequent {
+        rules.insert(Rule::frequency(z.clone()));
+        if z.len() < 2 {
+            continue;
+        }
+        // Every non-empty proper subset X of Z yields a candidate X ⇒ Z \ X.
+        for antecedent in proper_subsets(z) {
+            if antecedent.is_empty() {
+                continue;
+            }
+            let support_x = frequent
+                .get(&antecedent)
+                .copied()
+                .unwrap_or_else(|| db.support(&antecedent));
+            // Confidence: Support(Z) ≥ MinConf · Support(X).
+            if cfg.min_conf.le_frac(support_z, support_x) {
+                let consequent = z.difference(&antecedent);
+                rules.insert(Rule::new(antecedent, consequent));
+            }
+        }
+    }
+    rules
+}
+
+/// All proper subsets of `z` (excluding `z` itself, including ∅).
+fn proper_subsets(z: &ItemSet) -> Vec<ItemSet> {
+    let items = z.items();
+    let n = items.len();
+    debug_assert!(n < 24, "proper_subsets is exponential; callers keep itemsets small");
+    let mut out = Vec::with_capacity((1usize << n) - 1);
+    for mask in 0..(1u32 << n) - 1 {
+        let subset: Vec<_> = items
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| mask & (1 << k) != 0)
+            .map(|(_, &i)| i)
+            .collect();
+        out.push(ItemSet::from_items(subset));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Transaction;
+
+    /// The canonical small example: 4 transactions over {1,2,3,5}.
+    fn demo_db() -> Database {
+        Database::from_transactions(vec![
+            Transaction::of(0, &[1, 3, 4]),
+            Transaction::of(1, &[2, 3, 5]),
+            Transaction::of(2, &[1, 2, 3, 5]),
+            Transaction::of(3, &[2, 5]),
+        ])
+    }
+
+    #[test]
+    fn frequent_itemsets_match_hand_computation() {
+        // MinFreq = 1/2 → support ≥ 2.
+        let cfg = AprioriConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        let freq = frequent_itemsets(&demo_db(), &cfg);
+        let expect: Vec<(&[u32], u64)> = vec![
+            (&[1], 2),
+            (&[2], 3),
+            (&[3], 3),
+            (&[5], 3),
+            (&[1, 3], 2),
+            (&[2, 3], 2),
+            (&[2, 5], 3),
+            (&[3, 5], 2),
+            (&[2, 3, 5], 2),
+        ];
+        assert_eq!(freq.len(), expect.len(), "got {freq:?}");
+        for (items, support) in expect {
+            assert_eq!(freq.get(&ItemSet::of(items)), Some(&support), "itemset {items:?}");
+        }
+    }
+
+    #[test]
+    fn correct_rules_include_confident_only() {
+        let cfg = AprioriConfig::new(Ratio::new(1, 2), Ratio::new(9, 10));
+        let rules = correct_rules(&demo_db(), &cfg);
+        // {2,5} frequent with support 3; support({2}) = 3 → conf(2⇒5) = 1 ≥ 0.9.
+        assert!(rules.contains(&Rule::new(ItemSet::of(&[2]), ItemSet::of(&[5]))));
+        // conf(5⇒2) = 3/3 = 1 too.
+        assert!(rules.contains(&Rule::new(ItemSet::of(&[5]), ItemSet::of(&[2]))));
+        // conf(3⇒1) = 2/3 < 0.9.
+        assert!(!rules.contains(&Rule::new(ItemSet::of(&[3]), ItemSet::of(&[1]))));
+        // Frequency rules present for every frequent itemset.
+        assert!(rules.contains(&Rule::frequency(ItemSet::of(&[2, 3, 5]))));
+    }
+
+    #[test]
+    fn empty_db_yields_no_rules() {
+        let cfg = AprioriConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        assert!(correct_rules(&Database::new(), &cfg).is_empty());
+        assert!(frequent_itemsets(&Database::new(), &cfg).is_empty());
+    }
+
+    #[test]
+    fn min_freq_one_requires_universal_items() {
+        let cfg = AprioriConfig::new(Ratio::new(1, 1), Ratio::new(1, 2));
+        let freq = frequent_itemsets(&demo_db(), &cfg);
+        // No item appears in all 4 transactions.
+        assert!(freq.is_empty());
+    }
+
+    #[test]
+    fn max_len_caps_levels() {
+        let mut cfg = AprioriConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        cfg.max_len = 1;
+        let freq = frequent_itemsets(&demo_db(), &cfg);
+        assert!(freq.keys().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn proper_subsets_counts() {
+        let z = ItemSet::of(&[1, 2, 3]);
+        let subs = proper_subsets(&z);
+        assert_eq!(subs.len(), 7); // 2^3 - 1 (excludes z itself)
+        assert!(subs.contains(&ItemSet::empty()));
+        assert!(subs.contains(&ItemSet::of(&[1, 3])));
+        assert!(!subs.contains(&z));
+    }
+}

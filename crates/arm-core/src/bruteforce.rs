@@ -1,0 +1,118 @@
+//! Exponential reference miner — a property-test oracle for Apriori.
+//!
+//! Enumerates every subset of the observed item domain, counts supports
+//! directly, and derives rules from the definitions of §3 verbatim. Only
+//! usable on tiny domains (≤ 16 items), which is exactly what proptest
+//! generates.
+
+use std::collections::HashMap;
+
+use crate::apriori::AprioriConfig;
+use crate::database::Database;
+use crate::itemset::ItemSet;
+use crate::rule::{Rule, RuleSet};
+
+/// All frequent itemsets by brute force.
+///
+/// # Panics
+/// Panics if the item domain exceeds 16 items (2¹⁶ subsets is the sanity
+/// bound for an oracle).
+pub fn frequent_itemsets_bruteforce(db: &Database, cfg: &AprioriConfig) -> HashMap<ItemSet, u64> {
+    let domain = db.item_domain();
+    assert!(domain.len() <= 16, "brute force oracle limited to 16 items");
+    let n = db.len() as u64;
+    let mut out = HashMap::new();
+    if n == 0 {
+        return out;
+    }
+    for mask in 1u32..(1 << domain.len()) {
+        let set = ItemSet::from_items(
+            domain
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| mask & (1 << k) != 0)
+                .map(|(_, &i)| i),
+        );
+        if cfg.max_len != 0 && set.len() > cfg.max_len {
+            continue;
+        }
+        let s = db.support(&set);
+        if cfg.min_freq.le_frac(s, n) {
+            out.insert(set, s);
+        }
+    }
+    out
+}
+
+/// The correct-rule set by brute force (same definition as
+/// [`crate::apriori::correct_rules`]).
+pub fn correct_rules_bruteforce(db: &Database, cfg: &AprioriConfig) -> RuleSet {
+    let frequent = frequent_itemsets_bruteforce(db, cfg);
+    let mut rules = RuleSet::new();
+    for (z, &sz) in &frequent {
+        rules.insert(Rule::frequency(z.clone()));
+        if z.len() < 2 {
+            continue;
+        }
+        // Enumerate antecedents as submasks.
+        let items = z.items();
+        let m = items.len();
+        for mask in 1u32..(1 << m) - 1 {
+            let x = ItemSet::from_items(
+                items
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| mask & (1 << k) != 0)
+                    .map(|(_, &i)| i),
+            );
+            let sx = db.support(&x);
+            if cfg.min_conf.le_frac(sz, sx) {
+                rules.insert(Rule::new(x.clone(), z.difference(&x)));
+            }
+        }
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{correct_rules, frequent_itemsets};
+    use crate::ratio::Ratio;
+    use crate::transaction::Transaction;
+
+    fn db() -> Database {
+        Database::from_transactions(vec![
+            Transaction::of(0, &[1, 3, 4]),
+            Transaction::of(1, &[2, 3, 5]),
+            Transaction::of(2, &[1, 2, 3, 5]),
+            Transaction::of(3, &[2, 5]),
+        ])
+    }
+
+    #[test]
+    fn oracle_agrees_with_apriori_on_demo() {
+        for (fnum, fden, cnum, cden) in [(1, 2, 1, 2), (1, 4, 3, 4), (3, 4, 1, 1)] {
+            let cfg = AprioriConfig::new(Ratio::new(fnum, fden), Ratio::new(cnum, cden));
+            assert_eq!(
+                frequent_itemsets(&db(), &cfg),
+                frequent_itemsets_bruteforce(&db(), &cfg),
+                "freq mismatch at {fnum}/{fden}"
+            );
+            assert_eq!(
+                correct_rules(&db(), &cfg),
+                correct_rules_bruteforce(&db(), &cfg),
+                "rules mismatch at {fnum}/{fden}, {cnum}/{cden}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 16 items")]
+    fn oversized_domain_rejected() {
+        let t = Transaction::of(0, &(0u32..20).collect::<Vec<_>>());
+        let db = Database::from_transactions(vec![t]);
+        let cfg = AprioriConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        let _ = frequent_itemsets_bruteforce(&db, &cfg);
+    }
+}

@@ -1,0 +1,293 @@
+//! Items and itemsets.
+//!
+//! An [`ItemSet`] is an immutable, sorted, duplicate-free set of items
+//! backed by `Arc<[Item]>` so clones — which the miners do constantly when
+//! itemsets serve as hash keys — are refcount bumps, not allocations.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+impl Serialize for ItemSet {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let ids: Vec<u32> = self.0.iter().map(|i| i.0).collect();
+        ids.serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for ItemSet {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let ids = Vec::<u32>::deserialize(d)?;
+        Ok(ItemSet::from_items(ids.into_iter().map(Item)))
+    }
+}
+
+/// An item identifier from the domain `I = {i₁ … i_m}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Item(pub u32);
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl From<u32> for Item {
+    fn from(v: u32) -> Self {
+        Item(v)
+    }
+}
+
+/// An immutable sorted set of items.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ItemSet(Arc<[Item]>);
+
+impl ItemSet {
+    /// The empty itemset (the left-hand side of frequency rules `∅ ⇒ X`).
+    pub fn empty() -> Self {
+        ItemSet(Arc::from(Vec::new().into_boxed_slice()))
+    }
+
+    /// Builds an itemset from arbitrary items; sorts and deduplicates.
+    pub fn from_items<I: IntoIterator<Item = Item>>(items: I) -> Self {
+        let mut v: Vec<Item> = items.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        ItemSet(Arc::from(v.into_boxed_slice()))
+    }
+
+    /// Builds from raw `u32` ids (test convenience).
+    pub fn of(ids: &[u32]) -> Self {
+        Self::from_items(ids.iter().map(|&i| Item(i)))
+    }
+
+    /// A singleton `{i}`.
+    pub fn singleton(i: Item) -> Self {
+        ItemSet(Arc::from(vec![i].into_boxed_slice()))
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty itemset.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Sorted view of the items.
+    pub fn items(&self) -> &[Item] {
+        &self.0
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, item: Item) -> bool {
+        self.0.binary_search(&item).is_ok()
+    }
+
+    /// Subset test via a linear merge walk — `O(|self| + |other|)`.
+    pub fn is_subset_of(&self, other: &ItemSet) -> bool {
+        subset_of_sorted(&self.0, &other.0)
+    }
+
+    /// Subset test against any sorted slice (e.g. a transaction's items).
+    pub fn is_subset_of_sorted(&self, sorted: &[Item]) -> bool {
+        subset_of_sorted(&self.0, sorted)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ItemSet) -> ItemSet {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        let (mut a, mut b) = (self.0.iter().peekable(), other.0.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&x), Some(&&y)) => {
+                    use std::cmp::Ordering::*;
+                    match x.cmp(&y) {
+                        Less => {
+                            v.push(x);
+                            a.next();
+                        }
+                        Greater => {
+                            v.push(y);
+                            b.next();
+                        }
+                        Equal => {
+                            v.push(x);
+                            a.next();
+                            b.next();
+                        }
+                    }
+                }
+                (Some(&&x), None) => {
+                    v.push(x);
+                    a.next();
+                }
+                (None, Some(&&y)) => {
+                    v.push(y);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        ItemSet(Arc::from(v.into_boxed_slice()))
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &ItemSet) -> ItemSet {
+        ItemSet(Arc::from(
+            self.0
+                .iter()
+                .copied()
+                .filter(|i| !other.contains(*i))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        ))
+    }
+
+    /// `self` with one item removed.
+    pub fn without(&self, item: Item) -> ItemSet {
+        ItemSet(Arc::from(
+            self.0
+                .iter()
+                .copied()
+                .filter(|&i| i != item)
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        ))
+    }
+
+    /// `self ∪ {item}`.
+    pub fn with(&self, item: Item) -> ItemSet {
+        if self.contains(item) {
+            return self.clone();
+        }
+        let mut v: Vec<Item> = self.0.to_vec();
+        let pos = v.binary_search(&item).unwrap_err();
+        v.insert(pos, item);
+        ItemSet(Arc::from(v.into_boxed_slice()))
+    }
+
+    /// True if the two sets share no items.
+    pub fn is_disjoint(&self, other: &ItemSet) -> bool {
+        let (mut a, mut b) = (self.0.iter(), other.0.iter());
+        let (mut x, mut y) = (a.next(), b.next());
+        while let (Some(i), Some(j)) = (x, y) {
+            use std::cmp::Ordering::*;
+            match i.cmp(j) {
+                Less => x = a.next(),
+                Greater => y = b.next(),
+                Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// All subsets of size `len - 1` (Apriori prune support).
+    pub fn shrink_by_one(&self) -> impl Iterator<Item = ItemSet> + '_ {
+        self.0.iter().map(move |&i| self.without(i))
+    }
+}
+
+/// Merge-walk subset test over sorted slices.
+fn subset_of_sorted(needle: &[Item], hay: &[Item]) -> bool {
+    if needle.len() > hay.len() {
+        return false;
+    }
+    let mut h = 0usize;
+    'outer: for &n in needle {
+        while h < hay.len() {
+            use std::cmp::Ordering::*;
+            match hay[h].cmp(&n) {
+                Less => h += 1,
+                Equal => {
+                    h += 1;
+                    continue 'outer;
+                }
+                Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn fmt_itemset(set: &ItemSet, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if set.0.is_empty() {
+        return write!(f, "∅");
+    }
+    write!(f, "{{")?;
+    for (k, i) in set.0.iter().enumerate() {
+        if k > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{}", i.0)?;
+    }
+    write!(f, "}}")
+}
+
+impl fmt::Debug for ItemSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_itemset(self, f)
+    }
+}
+
+impl fmt::Display for ItemSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_itemset(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = ItemSet::of(&[3, 1, 2, 3, 1]);
+        assert_eq!(s.items(), &[Item(1), Item(2), Item(3)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = ItemSet::of(&[1, 3]);
+        let b = ItemSet::of(&[1, 2, 3, 4]);
+        let c = ItemSet::of(&[5, 6]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(ItemSet::empty().is_subset_of(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(a.is_disjoint(&ItemSet::empty()));
+    }
+
+    #[test]
+    fn union_difference_with_without() {
+        let a = ItemSet::of(&[1, 3]);
+        let b = ItemSet::of(&[2, 3]);
+        assert_eq!(a.union(&b), ItemSet::of(&[1, 2, 3]));
+        assert_eq!(a.difference(&b), ItemSet::of(&[1]));
+        assert_eq!(a.with(Item(2)), ItemSet::of(&[1, 2, 3]));
+        assert_eq!(a.with(Item(1)), a);
+        assert_eq!(a.without(Item(3)), ItemSet::of(&[1]));
+    }
+
+    #[test]
+    fn shrink_by_one_yields_all_maximal_proper_subsets() {
+        let s = ItemSet::of(&[1, 2, 3]);
+        let subs: Vec<ItemSet> = s.shrink_by_one().collect();
+        assert_eq!(subs.len(), 3);
+        assert!(subs.contains(&ItemSet::of(&[2, 3])));
+        assert!(subs.contains(&ItemSet::of(&[1, 3])));
+        assert!(subs.contains(&ItemSet::of(&[1, 2])));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ItemSet::empty().to_string(), "∅");
+        assert_eq!(ItemSet::of(&[2, 1]).to_string(), "{1,2}");
+    }
+}

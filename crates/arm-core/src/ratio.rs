@@ -1,0 +1,143 @@
+//! Exact rational thresholds.
+//!
+//! Algorithm 1 takes "a rational majority ratio λ = λ_n / λ_d" precisely so
+//! that all protocol arithmetic stays in integers inside the homomorphic
+//! counters (`Δ = λ_d·sum − λ_n·count`). [`Ratio`] is that rational, with
+//! the comparison helpers the miners need.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A non-negative rational `num / den` with `den > 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ratio {
+    num: u32,
+    den: u32,
+}
+
+impl Ratio {
+    /// Builds a ratio, reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: u32, den: u32) -> Self {
+        assert!(den > 0, "denominator must be positive");
+        let g = gcd(num.max(1), den);
+        Ratio { num: num / g, den: den / g }
+    }
+
+    /// Approximates a float threshold in [0, 1] with denominator 1,000,000 —
+    /// plenty for `MinFreq`/`MinConf` values like 0.02.
+    ///
+    /// # Panics
+    /// Panics if `f` is outside `[0, 1]` or not finite.
+    pub fn from_f64(f: f64) -> Self {
+        assert!(f.is_finite() && (0.0..=1.0).contains(&f), "threshold must be in [0,1], got {f}");
+        Ratio::new((f * 1_000_000.0).round() as u32, 1_000_000)
+    }
+
+    /// Numerator (`λ_n`).
+    pub fn num(&self) -> u32 {
+        self.num
+    }
+
+    /// Denominator (`λ_d`).
+    pub fn den(&self) -> u32 {
+        self.den
+    }
+
+    /// Float view for reporting.
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `sum / count ≥ self`, evaluated exactly. By the paper's majority
+    /// convention an empty population (`count == 0`) is *not* a majority.
+    pub fn le_frac(&self, sum: u64, count: u64) -> bool {
+        if count == 0 {
+            return false;
+        }
+        (sum as u128) * (self.den as u128) >= (self.num as u128) * (count as u128)
+    }
+
+    /// The protocol's Δ value for plain (unencrypted) majority math:
+    /// `λ_d·sum − λ_n·count`. Non-negative iff `sum/count ≥ λ`.
+    pub fn delta(&self, sum: i64, count: i64) -> i64 {
+        self.den as i64 * sum - self.num as i64 * count
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+fn gcd(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let r = Ratio::new(50, 100);
+        assert_eq!((r.num(), r.den()), (1, 2));
+        assert_eq!(Ratio::new(0, 7).num(), 0);
+    }
+
+    #[test]
+    fn from_f64_approximates() {
+        let r = Ratio::from_f64(0.02);
+        assert!((r.as_f64() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn le_frac_matches_float_comparison() {
+        let r = Ratio::new(1, 3);
+        assert!(r.le_frac(1, 3));
+        assert!(r.le_frac(2, 3));
+        assert!(!r.le_frac(1, 4));
+        assert!(!r.le_frac(0, 0), "empty population is never a majority");
+    }
+
+    #[test]
+    fn delta_sign_matches_le_frac() {
+        for (sum, count) in [(0u64, 10u64), (3, 10), (5, 10), (9, 10), (10, 10)] {
+            let r = Ratio::new(1, 2);
+            assert_eq!(r.delta(sum as i64, count as i64) >= 0, r.le_frac(sum, count));
+        }
+    }
+
+    #[test]
+    fn le_frac_has_no_overflow_at_scale() {
+        let r = Ratio::new(999_999, 1_000_000);
+        assert!(r.le_frac(u64::MAX / 2, u64::MAX / 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be positive")]
+    fn zero_denominator_rejected() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn out_of_range_float_rejected() {
+        let _ = Ratio::from_f64(1.5);
+    }
+}

@@ -1,0 +1,222 @@
+//! Association rules and candidate rules.
+//!
+//! Following Majority-Rule's convention, an itemset-frequency question is
+//! itself a rule `∅ ⇒ X` with threshold `MinFreq`, and a confidence
+//! question is `X ⇒ Y` (disjoint, non-empty `Y`) with threshold `MinConf`.
+//! A [`CandidateRule`] is a rule paired with its majority threshold λ — the
+//! unit over which every voting instance runs.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::itemset::ItemSet;
+use crate::ratio::Ratio;
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Rule {
+    /// Left-hand side (may be empty: frequency rules).
+    pub antecedent: ItemSet,
+    /// Right-hand side (never empty).
+    pub consequent: ItemSet,
+}
+
+impl Rule {
+    /// Builds a rule.
+    ///
+    /// # Panics
+    /// Panics if the consequent is empty or the sides intersect.
+    pub fn new(antecedent: ItemSet, consequent: ItemSet) -> Self {
+        assert!(!consequent.is_empty(), "rule consequent must be non-empty");
+        assert!(
+            antecedent.is_disjoint(&consequent),
+            "rule sides must be disjoint: {antecedent} vs {consequent}"
+        );
+        Rule { antecedent, consequent }
+    }
+
+    /// A frequency rule `∅ ⇒ X`.
+    pub fn frequency(x: ItemSet) -> Self {
+        Rule::new(ItemSet::empty(), x)
+    }
+
+    /// True for `∅ ⇒ X` rules.
+    pub fn is_frequency(&self) -> bool {
+        self.antecedent.is_empty()
+    }
+
+    /// `antecedent ∪ consequent` — the itemset whose transactions are
+    /// relevant to this rule.
+    pub fn union(&self) -> ItemSet {
+        self.antecedent.union(&self.consequent)
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ⇒ {}", self.antecedent, self.consequent)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ⇒ {}", self.antecedent, self.consequent)
+    }
+}
+
+/// A rule with its majority threshold: `⟨X ⇒ Y, λ⟩` in Algorithm 4.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct CandidateRule {
+    /// The rule being voted on.
+    pub rule: Rule,
+    /// Majority threshold (MinFreq for frequency rules, MinConf otherwise).
+    pub lambda: Ratio,
+}
+
+impl CandidateRule {
+    /// Pairs a rule with its threshold.
+    pub fn new(rule: Rule, lambda: Ratio) -> Self {
+        CandidateRule { rule, lambda }
+    }
+}
+
+impl fmt::Display for CandidateRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.rule, self.lambda)
+    }
+}
+
+/// A set of rules — interim solutions `R̃_u[DB_t]` and ground truths
+/// `R[DB_t]` alike.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    rules: HashSet<Rule>,
+}
+
+impl RuleSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from an iterator of rules.
+    pub fn from_rules<I: IntoIterator<Item = Rule>>(rules: I) -> Self {
+        RuleSet { rules: rules.into_iter().collect() }
+    }
+
+    /// Inserts a rule; returns true if new.
+    pub fn insert(&mut self, r: Rule) -> bool {
+        self.rules.insert(r)
+    }
+
+    /// Membership.
+    pub fn contains(&self, r: &Rule) -> bool {
+        self.rules.contains(r)
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates over the rules (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter()
+    }
+
+    /// `|self ∩ other|`.
+    pub fn intersection_size(&self, other: &RuleSet) -> usize {
+        if self.len() <= other.len() {
+            self.rules.iter().filter(|r| other.contains(r)).count()
+        } else {
+            other.rules.iter().filter(|r| self.contains(r)).count()
+        }
+    }
+
+    /// Rules sorted by (antecedent, consequent) for deterministic output.
+    pub fn sorted(&self) -> Vec<&Rule> {
+        let mut v: Vec<&Rule> = self.rules.iter().collect();
+        v.sort_by(|a, b| {
+            (a.antecedent.items(), a.consequent.items())
+                .cmp(&(b.antecedent.items(), b.consequent.items()))
+        });
+        v
+    }
+}
+
+impl FromIterator<Rule> for RuleSet {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
+        RuleSet::from_rules(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_rule_shape() {
+        let r = Rule::frequency(ItemSet::of(&[1, 2]));
+        assert!(r.is_frequency());
+        assert_eq!(r.union(), ItemSet::of(&[1, 2]));
+        assert_eq!(r.to_string(), "∅ ⇒ {1,2}");
+    }
+
+    #[test]
+    fn union_covers_both_sides() {
+        let r = Rule::new(ItemSet::of(&[1]), ItemSet::of(&[2, 3]));
+        assert_eq!(r.union(), ItemSet::of(&[1, 2, 3]));
+        assert!(!r.is_frequency());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be disjoint")]
+    fn overlapping_sides_rejected() {
+        let _ = Rule::new(ItemSet::of(&[1, 2]), ItemSet::of(&[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_consequent_rejected() {
+        let _ = Rule::new(ItemSet::of(&[1]), ItemSet::empty());
+    }
+
+    #[test]
+    fn ruleset_set_semantics() {
+        let mut s = RuleSet::new();
+        assert!(s.insert(Rule::frequency(ItemSet::of(&[1]))));
+        assert!(!s.insert(Rule::frequency(ItemSet::of(&[1]))));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&Rule::frequency(ItemSet::of(&[1]))));
+    }
+
+    #[test]
+    fn intersection_size_is_symmetric() {
+        let a: RuleSet = [Rule::frequency(ItemSet::of(&[1])), Rule::frequency(ItemSet::of(&[2]))]
+            .into_iter()
+            .collect();
+        let b: RuleSet = [Rule::frequency(ItemSet::of(&[2])), Rule::frequency(ItemSet::of(&[3]))]
+            .into_iter()
+            .collect();
+        assert_eq!(a.intersection_size(&b), 1);
+        assert_eq!(b.intersection_size(&a), 1);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let s: RuleSet = [
+            Rule::frequency(ItemSet::of(&[2])),
+            Rule::frequency(ItemSet::of(&[1])),
+            Rule::new(ItemSet::of(&[1]), ItemSet::of(&[2])),
+        ]
+        .into_iter()
+        .collect();
+        let names: Vec<String> = s.sorted().iter().map(|r| r.to_string()).collect();
+        assert_eq!(names, vec!["∅ ⇒ {1}", "∅ ⇒ {2}", "{1} ⇒ {2}"]);
+    }
+}

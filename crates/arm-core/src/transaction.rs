@@ -1,0 +1,176 @@
+//! Transactions: identified item subsets, as in §3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::itemset::{Item, ItemSet};
+
+/// A transaction `t ⊆ I` with its unique identifier.
+///
+/// A transaction carries a *polarity*: `+1` for ordinary records, `−1`
+/// for the "negating transactions" of §3 ("deleting a transaction can be
+/// simulated by adding a 'negating' transaction instead, as is customary
+/// in logging"). Negating transactions subtract from support counts
+/// instead of adding, so the append-only protocol can express deletions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// Globally unique transaction id.
+    pub id: u64,
+    items: Vec<Item>,
+    polarity: i64,
+}
+
+/// Serialization mirror (keeps the sorted invariant private).
+#[derive(Serialize, Deserialize)]
+struct TransactionRepr {
+    id: u64,
+    items: Vec<u32>,
+    #[serde(default = "default_polarity")]
+    polarity: i64,
+}
+
+fn default_polarity() -> i64 {
+    1
+}
+
+impl Transaction {
+    /// Builds a transaction; items are sorted and deduplicated.
+    pub fn new(id: u64, mut items: Vec<Item>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Transaction { id, items, polarity: 1 }
+    }
+
+    /// Builds from raw ids (test convenience).
+    pub fn of(id: u64, ids: &[u32]) -> Self {
+        Self::new(id, ids.iter().map(|&i| Item(i)).collect())
+    }
+
+    /// The §3 negation of an existing transaction: same items, opposite
+    /// polarity. Appending it to the database cancels the original's
+    /// contribution to every support count.
+    pub fn negation_of(&self, new_id: u64) -> Self {
+        Transaction { id: new_id, items: self.items.clone(), polarity: -self.polarity }
+    }
+
+    /// `+1` for ordinary transactions, `−1` for negating ones.
+    pub fn polarity(&self) -> i64 {
+        self.polarity
+    }
+
+    /// Sorted items.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the transaction has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if the transaction contains every item of `set`.
+    pub fn contains_all(&self, set: &ItemSet) -> bool {
+        set.is_subset_of_sorted(&self.items)
+    }
+
+    /// True if the transaction contains this single item.
+    pub fn contains(&self, item: Item) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+}
+
+impl Serialize for Transaction {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        TransactionRepr {
+            id: self.id,
+            items: self.items.iter().map(|i| i.0).collect(),
+            polarity: self.polarity,
+        }
+        .serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for Transaction {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let repr = TransactionRepr::deserialize(d)?;
+        let mut t = Transaction::new(repr.id, repr.items.into_iter().map(Item).collect());
+        t.polarity = if repr.polarity < 0 { -1 } else { 1 };
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_all_matches_subset_semantics() {
+        let t = Transaction::of(1, &[5, 2, 9, 2]);
+        assert_eq!(t.len(), 3);
+        assert!(t.contains_all(&ItemSet::of(&[2, 9])));
+        assert!(t.contains_all(&ItemSet::empty()));
+        assert!(!t.contains_all(&ItemSet::of(&[2, 3])));
+        assert!(t.contains(Item(5)));
+        assert!(!t.contains(Item(4)));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_order_invariant() {
+        let t = Transaction::of(7, &[3, 1, 2]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Transaction = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}
+
+#[cfg(test)]
+mod negation_tests {
+    use super::*;
+    use crate::database::Database;
+
+    #[test]
+    fn negation_cancels_support() {
+        let t = Transaction::of(0, &[1, 2]);
+        let neg = t.negation_of(99);
+        assert_eq!(neg.polarity(), -1);
+        assert_eq!(neg.items(), t.items());
+        let db = Database::from_transactions(vec![
+            t.clone(),
+            Transaction::of(1, &[1, 2]),
+            neg,
+        ]);
+        assert_eq!(db.support(&ItemSet::of(&[1, 2])), 1, "one of two records deleted");
+        assert_eq!(db.len(), 3, "the log keeps all records");
+        assert_eq!(db.net_len(), 1);
+    }
+
+    #[test]
+    fn double_negation_restores() {
+        let t = Transaction::of(0, &[5]);
+        let neg = t.negation_of(1);
+        let pos_again = neg.negation_of(2);
+        assert_eq!(pos_again.polarity(), 1);
+        let db = Database::from_transactions(vec![t, neg, pos_again]);
+        assert_eq!(db.support(&ItemSet::of(&[5])), 1);
+    }
+
+    #[test]
+    fn over_negation_saturates_at_zero() {
+        let t = Transaction::of(0, &[7]);
+        let db = Database::from_transactions(vec![t.negation_of(1)]);
+        assert_eq!(db.support(&ItemSet::of(&[7])), 0, "net support never goes negative");
+    }
+
+    #[test]
+    fn polarity_survives_serde() {
+        let neg = Transaction::of(0, &[1]).negation_of(5);
+        let json = serde_json::to_string(&neg).unwrap();
+        let back: Transaction = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.polarity(), -1);
+        assert_eq!(back, neg);
+    }
+}

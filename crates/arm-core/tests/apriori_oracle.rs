@@ -1,0 +1,74 @@
+//! Property tests: Apriori must agree with the brute-force oracle on random
+//! small databases, for random thresholds.
+
+use gridmine_arm::bruteforce::{correct_rules_bruteforce, frequent_itemsets_bruteforce};
+use gridmine_arm::{correct_rules, frequent_itemsets, AprioriConfig, Database, Ratio, Transaction};
+use proptest::prelude::*;
+
+/// Random database over ≤ 8 items with ≤ 24 transactions.
+fn small_db() -> impl Strategy<Value = Database> {
+    prop::collection::vec(prop::collection::vec(0u32..8, 0..6), 1..24).prop_map(|rows| {
+        Database::from_transactions(
+            rows.into_iter()
+                .enumerate()
+                .map(|(id, items)| Transaction::of(id as u64, &items))
+                .collect(),
+        )
+    })
+}
+
+fn threshold() -> impl Strategy<Value = Ratio> {
+    (1u32..=10, 10u32..=10).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frequent_itemsets_match_oracle(db in small_db(), min_freq in threshold()) {
+        let cfg = AprioriConfig::new(min_freq, Ratio::new(1, 2));
+        prop_assert_eq!(frequent_itemsets(&db, &cfg), frequent_itemsets_bruteforce(&db, &cfg));
+    }
+
+    #[test]
+    fn correct_rules_match_oracle(db in small_db(), min_freq in threshold(), min_conf in threshold()) {
+        let cfg = AprioriConfig::new(min_freq, min_conf);
+        let a = correct_rules(&db, &cfg);
+        let b = correct_rules_bruteforce(&db, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn monotonicity_of_min_freq(db in small_db()) {
+        // Raising MinFreq can only shrink the frequent set.
+        let lo = AprioriConfig::new(Ratio::new(2, 10), Ratio::new(1, 2));
+        let hi = AprioriConfig::new(Ratio::new(6, 10), Ratio::new(1, 2));
+        let flo = frequent_itemsets(&db, &lo);
+        let fhi = frequent_itemsets(&db, &hi);
+        for s in fhi.keys() {
+            prop_assert!(flo.contains_key(s), "{} frequent at 0.6 but not at 0.2", s);
+        }
+    }
+
+    #[test]
+    fn downward_closure(db in small_db(), min_freq in threshold()) {
+        // Apriori's foundation: every subset of a frequent itemset is frequent.
+        let cfg = AprioriConfig::new(min_freq, Ratio::new(1, 2));
+        let freq = frequent_itemsets(&db, &cfg);
+        for s in freq.keys() {
+            for sub in s.shrink_by_one() {
+                if !sub.is_empty() {
+                    prop_assert!(freq.contains_key(&sub), "{} frequent but subset {} missing", s, sub);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supports_are_exact(db in small_db(), min_freq in threshold()) {
+        let cfg = AprioriConfig::new(min_freq, Ratio::new(1, 2));
+        for (s, &c) in &frequent_itemsets(&db, &cfg) {
+            prop_assert_eq!(c, db.support(s));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the itemset algebra — the foundation every miner
+//! builds on.
+
+use gridmine_arm::{Item, ItemSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn itemset() -> impl Strategy<Value = ItemSet> {
+    prop::collection::vec(0u32..30, 0..10).prop_map(|v| ItemSet::of(&v))
+}
+
+fn as_btree(s: &ItemSet) -> BTreeSet<u32> {
+    s.items().iter().map(|i| i.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn construction_matches_set_semantics(v in prop::collection::vec(0u32..50, 0..20)) {
+        let set = ItemSet::of(&v);
+        let reference: BTreeSet<u32> = v.iter().copied().collect();
+        prop_assert_eq!(as_btree(&set), reference);
+        // Sorted and deduplicated.
+        prop_assert!(set.items().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn union_matches_reference(a in itemset(), b in itemset()) {
+        let got = as_btree(&a.union(&b));
+        let want: BTreeSet<u32> = as_btree(&a).union(&as_btree(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn difference_matches_reference(a in itemset(), b in itemset()) {
+        let got = as_btree(&a.difference(&b));
+        let want: BTreeSet<u32> = as_btree(&a).difference(&as_btree(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn subset_matches_reference(a in itemset(), b in itemset()) {
+        prop_assert_eq!(a.is_subset_of(&b), as_btree(&a).is_subset(&as_btree(&b)));
+    }
+
+    #[test]
+    fn disjoint_matches_reference(a in itemset(), b in itemset()) {
+        prop_assert_eq!(a.is_disjoint(&b), as_btree(&a).is_disjoint(&as_btree(&b)));
+    }
+
+    #[test]
+    fn with_and_without_are_inverses(a in itemset(), i in 0u32..30) {
+        let item = Item(i);
+        let added = a.with(item);
+        prop_assert!(added.contains(item));
+        let removed = added.without(item);
+        prop_assert!(!removed.contains(item));
+        if !a.contains(item) {
+            prop_assert_eq!(removed, a);
+        }
+    }
+
+    #[test]
+    fn union_is_commutative_associative(a in itemset(), b in itemset(), c in itemset()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn shrink_by_one_covers_every_item(a in itemset()) {
+        let subs: Vec<ItemSet> = a.shrink_by_one().collect();
+        prop_assert_eq!(subs.len(), a.len());
+        for (sub, &item) in subs.iter().zip(a.items()) {
+            prop_assert_eq!(sub.len(), a.len().saturating_sub(1));
+            prop_assert!(!sub.contains(item));
+            prop_assert!(sub.is_subset_of(&a));
+        }
+    }
+
+    #[test]
+    fn empty_is_identity_for_union(a in itemset()) {
+        prop_assert_eq!(a.union(&ItemSet::empty()), a.clone());
+        prop_assert!(ItemSet::empty().is_subset_of(&a));
+        prop_assert!(ItemSet::empty().is_disjoint(&a));
+    }
+}

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the ARM substrate: the centralized
+//! Apriori ground-truth miner and the Quest generator, across the paper's
+//! three workload shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridmine_arm::{correct_rules, frequent_itemsets, AprioriConfig, Ratio};
+use gridmine_quest::{generate, partition, QuestParams};
+use std::hint::black_box;
+
+fn workloads() -> Vec<QuestParams> {
+    // Item-domain sizes follow the density discipline of DESIGN.md: long
+    // transactions over a small domain make everything frequent and the
+    // frequent-itemset lattice combinatorially explosive.
+    [
+        QuestParams::t5i2().with_items(100),
+        QuestParams::t10i4().with_items(300),
+        QuestParams::t20i6().with_items(1_000),
+    ]
+    .into_iter()
+    .map(|p| p.with_transactions(5_000).with_patterns(100).with_seed(7))
+    .collect()
+}
+
+fn bench_quest_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quest_generate_5k");
+    group.sample_size(10);
+    for params in workloads() {
+        group.bench_with_input(BenchmarkId::from_parameter(params.name()), &params, |b, p| {
+            b.iter(|| generate(black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_apriori(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apriori_5k");
+    group.sample_size(10);
+    for params in workloads() {
+        let db = generate(&params);
+        let cfg = AprioriConfig::new(Ratio::from_f64(0.04), Ratio::from_f64(0.5));
+        group.bench_with_input(
+            BenchmarkId::new("frequent_itemsets", params.name()),
+            &db,
+            |b, db| b.iter(|| frequent_itemsets(black_box(db), &cfg)),
+        );
+        // Rule derivation enumerates every subset of every frequent
+        // itemset; on T20I6's long patterns that is minutes per call, so
+        // the derivation benchmark sticks to the two shorter workloads.
+        if params.name() != "T20I6" {
+            group.bench_with_input(
+                BenchmarkId::new("correct_rules", params.name()),
+                &db,
+                |b, db| b.iter(|| correct_rules(black_box(db), &cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_support_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("support_scan");
+    let db = generate(&QuestParams::t10i4().with_transactions(50_000).with_items(200).with_seed(3));
+    let hot = db.item_domain()[0];
+    let set = gridmine_arm::ItemSet::singleton(hot);
+    group.bench_function("support_50k", |b| b.iter(|| db.support(black_box(&set))));
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    let db = generate(&QuestParams::t5i2().with_transactions(50_000).with_seed(3));
+    for n in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| partition(black_box(&db), n, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quest_generation,
+    bench_apriori,
+    bench_support_scans,
+    bench_partitioning
+);
+criterion_main!(benches);

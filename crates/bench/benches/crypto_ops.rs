@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks of the cryptographic substrate: the cost of
+//! everything §4.2 asks of an oblivious counter, across modulus sizes.
+//!
+//! Not a paper figure (the paper reports steps, not wall-clock), but the
+//! ablation DESIGN.md calls out: it quantifies why the large-scale
+//! simulations run on the mock cipher and what a real deployment pays per
+//! message.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridmine_core::counter::CounterLayout;
+use gridmine_core::{GridKeys, SecureCounter};
+use gridmine_paillier::{HomCipher, Keypair, MockCipher};
+use std::hint::black_box;
+
+fn bench_paillier_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier");
+    for bits in [512u64, 1024, 2048] {
+        let kp = Keypair::generate_with_seed(bits, 7);
+        let (enc, dec) = (kp.encryptor(), kp.decryptor());
+        let ct_a = enc.encrypt_i64(123_456);
+        let ct_b = enc.encrypt_i64(-789);
+
+        group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |b, _| {
+            b.iter(|| enc.encrypt_i64(black_box(42)))
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt", bits), &bits, |b, _| {
+            b.iter(|| dec.decrypt_i64(black_box(&ct_a)))
+        });
+        group.bench_with_input(BenchmarkId::new("add", bits), &bits, |b, _| {
+            b.iter(|| enc.add(black_box(&ct_a), black_box(&ct_b)))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_mul", bits), &bits, |b, _| {
+            b.iter(|| enc.scalar(black_box(1000), black_box(&ct_a)))
+        });
+        group.bench_with_input(BenchmarkId::new("rerandomize", bits), &bits, |b, _| {
+            b.iter(|| enc.rerandomize(black_box(&ct_a)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier_keygen");
+    group.sample_size(10);
+    for bits in [512u64, 1024] {
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| {
+                seed += 1;
+                Keypair::generate_with_seed(bits, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_secure_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secure_counter");
+    // The protocol's message unit at a typical tree degree (3).
+    let layout = CounterLayout::new(0, vec![1, 2, 3]);
+
+    {
+        let keys = GridKeys::paillier(1024, 3);
+        let key = keys.tags.key(layout.arity());
+        let a = SecureCounter::seal_local(&keys.enc, &key, &layout, 10, 20, 1, 99, 1);
+        let b = SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 1, 5, 9, 1, 50, 2);
+        group.bench_function("seal/paillier-1024", |bch| {
+            bch.iter(|| SecureCounter::seal_local(&keys.enc, &key, &layout, 10, 20, 1, 99, 1))
+        });
+        group.bench_function("aggregate/paillier-1024", |bch| {
+            bch.iter(|| a.add(&keys.pub_ops, black_box(&b)))
+        });
+        group.bench_function("open/paillier-1024", |bch| {
+            let agg = a.add(&keys.pub_ops, &b);
+            bch.iter(|| agg.open(&keys.dec, &key).unwrap())
+        });
+    }
+    {
+        let keys = GridKeys::<MockCipher>::mock(3);
+        let key = keys.tags.key(layout.arity());
+        let a = SecureCounter::seal_local(&keys.enc, &key, &layout, 10, 20, 1, 99, 1);
+        let b = SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 1, 5, 9, 1, 50, 2);
+        group.bench_function("seal/mock", |bch| {
+            bch.iter(|| SecureCounter::seal_local(&keys.enc, &key, &layout, 10, 20, 1, 99, 1))
+        });
+        group.bench_function("aggregate/mock", |bch| {
+            bch.iter(|| a.add(&keys.pub_ops, black_box(&b)))
+        });
+        group.bench_function("open/mock", |bch| {
+            let agg = a.add(&keys.pub_ops, &b);
+            bch.iter(|| agg.open(&keys.dec, &key).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_packed_vs_tuple(c: &mut Criterion) {
+    use gridmine_core::PackedCounter;
+    use gridmine_paillier::Keypair;
+
+    let mut group = c.benchmark_group("packed_vs_tuple");
+    let kp = Keypair::generate_with_seed(1024, 5);
+    let (enc, dec) = (kp.encryptor(), kp.decryptor());
+    let keys = GridKeys::paillier(1024, 5);
+    let layout = CounterLayout::new(0, vec![1, 2, 3]);
+    let key = keys.tags.key(layout.arity());
+
+    let mut fields = vec![0i64; layout.arity()];
+    fields[0] = 10;
+    fields[1] = 20;
+    fields[2] = 1;
+    fields[3] = 99;
+    fields[4] = 1;
+
+    let pa = PackedCounter::seal(&enc, &key, &layout, &fields);
+    let pb = PackedCounter::seal(&enc, &key, &layout, &fields);
+    let ta = SecureCounter::seal_local(&keys.enc, &key, &layout, 10, 20, 1, 99, 1);
+    let tb = SecureCounter::seal_local(&keys.enc, &key, &layout, 10, 20, 1, 99, 1);
+
+    group.bench_function("seal/packed", |b| {
+        b.iter(|| PackedCounter::seal(&enc, &key, &layout, black_box(&fields)))
+    });
+    group.bench_function("seal/tuple", |b| {
+        b.iter(|| SecureCounter::seal_local(&keys.enc, &key, &layout, 10, 20, 1, 99, 1))
+    });
+    group.bench_function("aggregate/packed", |b| b.iter(|| pa.add(&enc, black_box(&pb))));
+    group.bench_function("aggregate/tuple", |b| b.iter(|| ta.add(&keys.pub_ops, black_box(&tb))));
+    group.bench_function("open/packed", |b| b.iter(|| pa.open(&dec, &key).unwrap()));
+    group.bench_function("open/tuple", |b| b.iter(|| ta.open(&keys.dec, &key).unwrap()));
+    group.finish();
+
+    println!(
+        "wire bytes at degree 3, 1024-bit keys: packed = {}, tuple = {}",
+        pa.wire_bytes(),
+        ta.wire_bytes()
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_paillier_primitives,
+    bench_keygen,
+    bench_secure_counters,
+    bench_packed_vs_tuple
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Shared plumbing for the experiment harness.
+//!
+//! The three figure benches (`fig2_convergence`, `fig3_scalability`,
+//! `fig4_privacy`) are `harness = false` bench targets whose `main` runs
+//! the corresponding §6 experiment and prints the same series the paper
+//! plots. By default they run a scaled-down, shape-preserving
+//! configuration so `cargo bench` finishes in minutes; set
+//! `GRIDMINE_SCALE=full` for the paper's exact scale (2,000 resources,
+//! 10⁶-transaction databases — hours, and tens of GB of simulated
+//! traffic).
+//!
+//! Results are also written as JSON under `target/gridmine-experiments/`
+//! so EXPERIMENTS.md can be regenerated mechanically.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Which scale the benches run at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Shape-preserving scaled-down defaults (minutes).
+    Small,
+    /// The paper's §6 parameters (hours).
+    Full,
+}
+
+/// Reads `GRIDMINE_SCALE` (`full` → [`Scale::Full`], anything else or
+/// unset → [`Scale::Small`]).
+pub fn scale() -> Scale {
+    match std::env::var("GRIDMINE_SCALE") {
+        Ok(v) if v.eq_ignore_ascii_case("full") => Scale::Full,
+        _ => Scale::Small,
+    }
+}
+
+/// Where experiment JSON lands.
+pub fn output_dir() -> PathBuf {
+    let dir = PathBuf::from("target").join("gridmine-experiments");
+    std::fs::create_dir_all(&dir).expect("create experiment output dir");
+    dir
+}
+
+/// Serializes an experiment result next to the human-readable output.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = output_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create experiment json");
+    let body = serde_json::to_string_pretty(value).expect("serialize experiment");
+    f.write_all(body.as_bytes()).expect("write experiment json");
+    println!("\n[written: {}]", path.display());
+}
+
+/// Section header for printed tables.
+pub fn hr(title: &str) {
+    println!("\n=== {title} {}", "=".repeat(66_usize.saturating_sub(title.len())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_small() {
+        // Unless the caller exported GRIDMINE_SCALE=full, benches stay small.
+        if std::env::var("GRIDMINE_SCALE").is_err() {
+            assert_eq!(scale(), Scale::Small);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_lands_in_target() {
+        write_json("selftest", &vec![1, 2, 3]);
+        let p = output_dir().join("selftest.json");
+        assert!(p.exists());
+        std::fs::remove_file(p).ok();
+    }
+}

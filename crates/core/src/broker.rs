@@ -1,0 +1,395 @@
+//! The broker (Algorithm 1): runs Scalable-Majority over ciphertexts.
+//!
+//! The broker holds neither key. Everything it stores — its accountant's
+//! latest local counter, the latest counter received from each neighbor,
+//! the encrypted shares neighbors assigned to it — is opaque. Its only
+//! operations are the key-free aggregate algebra and asking its controller
+//! the two SFE questions. [`BrokerBehavior`] hooks let a compromised
+//! broker mis-aggregate in exactly the ways §5.2 analyzes.
+
+use std::collections::HashMap;
+
+use gridmine_arm::CandidateRule;
+use gridmine_paillier::HomCipher;
+use rand::Rng;
+
+use crate::attack::BrokerBehavior;
+use crate::counter::{CounterLayout, SecureCounter};
+
+/// A wire message between brokers: one sealed counter for one rule.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[serde(bound(
+    serialize = "C::Ct: serde::Serialize",
+    deserialize = "C::Ct: serde::Deserialize<'de>"
+))]
+pub struct BrokerMsg<C: HomCipher> {
+    /// Sending resource.
+    pub from: usize,
+    /// Receiving resource.
+    pub to: usize,
+    /// The voting instance.
+    pub cand: CandidateRule,
+    /// The sealed aggregate.
+    pub counter: SecureCounter<C>,
+}
+
+/// Per-rule instance state.
+#[derive(Clone, Debug)]
+struct Instance<C: HomCipher> {
+    /// `⟨sum, count, num⟩_enc^{⊥u}` — the accountant's latest counter.
+    local: SecureCounter<C>,
+    /// Latest counter per neighbor (placeholder until the first message).
+    recv: HashMap<usize, SecureCounter<C>>,
+    /// First real counter ever received per neighbor (replay attack stash).
+    first_recv: HashMap<usize, SecureCounter<C>>,
+    /// Messages received per neighbor (drives the selective-replay phase).
+    recv_count: HashMap<usize, u64>,
+}
+
+/// The broker of one resource.
+#[derive(Clone)]
+pub struct Broker<C: HomCipher> {
+    id: usize,
+    cipher: C,
+    layout: CounterLayout,
+    /// `share^{vu}` per neighbor v — the encrypted share v's accountant
+    /// assigned to this resource, included in messages sent *to* v.
+    shares_from: HashMap<usize, C::Ct>,
+    rules: HashMap<CandidateRule, Instance<C>>,
+    /// Injected deviation (Honest in normal operation).
+    pub behavior: BrokerBehavior,
+    /// Messages sent (protocol-cost accounting).
+    pub msgs_sent: u64,
+}
+
+impl<C: HomCipher> Broker<C> {
+    /// Builds a broker. `cipher` should be a key-free handle.
+    pub fn new(id: usize, cipher: C, layout: CounterLayout) -> Self {
+        Broker {
+            id,
+            cipher,
+            layout,
+            shares_from: HashMap::new(),
+            rules: HashMap::new(),
+            behavior: BrokerBehavior::Honest,
+            msgs_sent: 0,
+        }
+    }
+
+    /// Resource id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Own counter layout.
+    pub fn layout(&self) -> &CounterLayout {
+        &self.layout
+    }
+
+    /// Rules with live instances.
+    pub fn rules(&self) -> impl Iterator<Item = &CandidateRule> {
+        self.rules.keys()
+    }
+
+    /// Whether an instance exists for `cand`.
+    pub fn has_rule(&self, cand: &CandidateRule) -> bool {
+        self.rules.contains_key(cand)
+    }
+
+    /// Stores the encrypted share a neighbor's accountant assigned to us.
+    pub fn store_share_from(&mut self, v: usize, share: C::Ct) {
+        self.shares_from.insert(v, share);
+    }
+
+    /// Adopts a new layout after a membership change, dropping every rule
+    /// instance (counters sealed under the old arity cannot be mixed with
+    /// the new world; the resource re-initializes them from the
+    /// accountant, which loses no data — supports are re-reported, not
+    /// re-counted).
+    pub fn rewire(&mut self, layout: CounterLayout) {
+        self.layout = layout;
+        self.rules.clear();
+    }
+
+    /// The stored share for messages toward `v`.
+    ///
+    /// # Panics
+    /// Panics if initialization never delivered `v`'s share.
+    pub fn share_for_sending_to(&self, v: usize) -> &C::Ct {
+        self.shares_from
+            .get(&v)
+            .unwrap_or_else(|| panic!("no share from neighbor {v} (initialization incomplete)"))
+    }
+
+    /// Creates the voting instance for a rule from the accountant's
+    /// initial local counter and per-neighbor placeholders.
+    pub fn init_rule(
+        &mut self,
+        cand: &CandidateRule,
+        local: SecureCounter<C>,
+        placeholders: Vec<(usize, SecureCounter<C>)>,
+    ) {
+        self.rules.entry(cand.clone()).or_insert_with(|| Instance {
+            local,
+            recv: placeholders.into_iter().collect(),
+            first_recv: HashMap::new(),
+            recv_count: HashMap::new(),
+        });
+    }
+
+    /// Replaces the local counter (a new accountant response).
+    ///
+    /// # Panics
+    /// Panics if the instance does not exist.
+    pub fn set_local(&mut self, cand: &CandidateRule, counter: SecureCounter<C>) {
+        self.instance_mut(cand).local = counter;
+    }
+
+    /// Handles a received counter from neighbor `v`. A `Replay(v)` broker
+    /// lets the first two counters through (so the controller's trace
+    /// advances), then reverts to the first one — the selective reuse of
+    /// §5.2 that the timestamp vector exists to catch.
+    pub fn on_receive(&mut self, cand: &CandidateRule, v: usize, counter: SecureCounter<C>) {
+        let behavior = self.behavior;
+        let inst = self.instance_mut(cand);
+        inst.first_recv.entry(v).or_insert_with(|| counter.clone());
+        let seen = inst.recv_count.entry(v).or_insert(0);
+        *seen += 1;
+        match behavior {
+            BrokerBehavior::Replay(victim) if victim == v && *seen > 2 => {
+                let stale = inst.first_recv[&v].clone();
+                inst.recv.insert(v, stale);
+            }
+            _ => {
+                inst.recv.insert(v, counter);
+            }
+        }
+    }
+
+    fn instance_mut(&mut self, cand: &CandidateRule) -> &mut Instance<C> {
+        self.rules
+            .get_mut(cand)
+            .unwrap_or_else(|| panic!("no instance for {cand} at broker {}", self.id))
+    }
+
+    fn instance(&self, cand: &CandidateRule) -> &Instance<C> {
+        self.rules
+            .get(cand)
+            .unwrap_or_else(|| panic!("no instance for {cand} at broker {}", self.id))
+    }
+
+    /// The full aggregate `Σ_{v ∈ N} …` — local counter plus every
+    /// neighbor's latest — with behaviour deviations applied.
+    pub fn full_aggregate(&self, cand: &CandidateRule) -> SecureCounter<C> {
+        let inst = self.instance(cand);
+        let mut agg = inst.local.clone();
+        for (&v, c) in &inst.recv {
+            if matches!(self.behavior, BrokerBehavior::OmitNeighbor(w) if w == v) {
+                continue;
+            }
+            agg = agg.add(&self.cipher, c);
+            if matches!(self.behavior, BrokerBehavior::DoubleCount(w) if w == v) {
+                agg = agg.add(&self.cipher, c);
+            }
+        }
+        if self.behavior == BrokerBehavior::ArbitraryValue {
+            // Self-encrypted garbage: Paillier encryption is public-key, so
+            // a broker *can* encrypt — it just cannot produce a valid tag.
+            let garbage: Vec<C::Ct> =
+                (0..agg.msg.arity()).map(|i| self.cipher.encrypt_i64(1_000 + i as i64)).collect();
+            agg.msg.fields = garbage;
+        }
+        agg
+    }
+
+    /// The multiplicatively blinded majority counter
+    /// `E(ρ · (λ_d·Σsum − λ_n·Σcount))` for a random `ρ ∈ [1, 2¹⁶)` —
+    /// the broker-side half of the sign SFE. Blinding hides |Δ| from the
+    /// controller: the sign survives (`ρ > 0`), the magnitude does not.
+    /// A malicious broker blinding a *different* value can only flip its
+    /// own decisions (validity, not privacy — it holds no keys).
+    pub fn blinded_delta(&self, cand: &CandidateRule) -> C::Ct {
+        let agg = self.full_aggregate(cand);
+        let sum = &agg.msg.fields[crate::counter::F_SUM];
+        let count = &agg.msg.fields[crate::counter::F_COUNT];
+        let lambda = cand.lambda;
+        let delta = self.cipher.sub(
+            &self.cipher.scalar(lambda.den() as i64, sum),
+            &self.cipher.scalar(lambda.num() as i64, count),
+        );
+        let rho = rand::thread_rng().gen_range(1i64..1 << 16);
+        self.cipher.scalar(rho, &delta)
+    }
+
+    /// The aggregate without neighbor `v`'s contribution (the `Update(v)`
+    /// payload source).
+    pub fn minus_aggregate(&self, cand: &CandidateRule, v: usize) -> SecureCounter<C> {
+        let inst = self.instance(cand);
+        let mut agg = inst.local.clone();
+        for (&w, c) in &inst.recv {
+            if w != v {
+                agg = agg.add(&self.cipher, c);
+            }
+        }
+        agg
+    }
+
+    /// The latest counter from `v` (placeholder if nothing arrived yet),
+    /// rerandomized so repeated SFE inputs are unlinkable.
+    pub fn recv_of(&self, cand: &CandidateRule, v: usize) -> SecureCounter<C> {
+        self.instance(cand)
+            .recv
+            .get(&v)
+            .unwrap_or_else(|| panic!("no recv state for neighbor {v}"))
+            .rerandomize(&self.cipher)
+    }
+
+    /// Neighbor ids with instance state for `cand`.
+    pub fn instance_neighbors(&self, cand: &CandidateRule) -> Vec<usize> {
+        let mut v: Vec<usize> = self.instance(cand).recv.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accountant::Accountant;
+    use crate::keyring::GridKeys;
+    use gridmine_arm::{Database, ItemSet, Ratio, Rule, Transaction};
+    use gridmine_paillier::MockCipher;
+
+    fn rule() -> CandidateRule {
+        CandidateRule::new(Rule::frequency(ItemSet::of(&[1])), Ratio::new(1, 2))
+    }
+
+    struct Fix {
+        keys: GridKeys<MockCipher>,
+        broker: Broker<MockCipher>,
+        acc: Accountant<MockCipher>,
+    }
+
+    fn fix() -> Fix {
+        let keys = GridKeys::mock(2);
+        let layout = CounterLayout::new(0, vec![1, 2]);
+        let db = Database::from_transactions(vec![Transaction::of(0, &[1])]);
+        let mut acc =
+            Accountant::new(0, keys.enc.clone(), keys.tags.clone(), layout.clone(), db, 3);
+        let mut broker = Broker::new(0, keys.pub_ops.clone(), layout);
+        let r = rule();
+        acc.register_rule(&r);
+        acc.scan_all(&r);
+        let local = acc.respond(&r).pop().unwrap();
+        let placeholders = vec![(1, acc.placeholder_for(1)), (2, acc.placeholder_for(2))];
+        broker.init_rule(&r, local, placeholders);
+        Fix { keys, broker, acc }
+    }
+
+    fn incoming(f: &Fix, from: usize, sum: i64, count: i64, ts: i64) -> SecureCounter<MockCipher> {
+        // A counter as some honest neighbor's controller would seal it:
+        // receiver layout, receiver-assigned share.
+        let layout = f.broker.layout().clone();
+        let key = f.keys.tags.key(layout.arity());
+        let share = f
+            .acc
+            .placeholder_for(from)
+            .open(&f.keys.dec, &key)
+            .unwrap()
+            .share;
+        SecureCounter::seal_outgoing(&f.keys.enc, &key, &layout, from, sum, count, 1, share, ts)
+    }
+
+    fn open_full(f: &Fix) -> crate::counter::PlainCounter {
+        let agg = f.broker.full_aggregate(&rule());
+        let key = f.keys.tags.key(agg.layout.arity());
+        agg.open(&f.keys.dec, &key).unwrap()
+    }
+
+    #[test]
+    fn honest_aggregate_has_share_one() {
+        let mut f = fix();
+        f.broker.on_receive(&rule(), 1, incoming(&f, 1, 5, 9, 1));
+        let p = open_full(&f);
+        assert_eq!((p.sum, p.count, p.num), (6, 10, 2));
+        assert_eq!(p.share, 1, "all shares counted exactly once");
+    }
+
+    #[test]
+    fn placeholders_keep_share_valid_before_any_message() {
+        let f = fix();
+        let p = open_full(&f);
+        assert_eq!(p.share, 1);
+        assert_eq!(p.num, 1, "only own data so far");
+    }
+
+    #[test]
+    fn double_count_breaks_share() {
+        let mut f = fix();
+        f.broker.on_receive(&rule(), 1, incoming(&f, 1, 5, 9, 1));
+        f.broker.behavior = BrokerBehavior::DoubleCount(1);
+        let p = open_full(&f);
+        assert_ne!(p.share, 1);
+        assert_eq!(p.sum, 11, "victim counted twice");
+    }
+
+    #[test]
+    fn omission_breaks_share() {
+        let mut f = fix();
+        f.broker.on_receive(&rule(), 1, incoming(&f, 1, 5, 9, 1));
+        f.broker.behavior = BrokerBehavior::OmitNeighbor(2);
+        let p = open_full(&f);
+        assert_ne!(p.share, 1, "placeholder share of 2 missing");
+    }
+
+    #[test]
+    fn arbitrary_value_breaks_tag() {
+        let mut f = fix();
+        f.broker.behavior = BrokerBehavior::ArbitraryValue;
+        let agg = f.broker.full_aggregate(&rule());
+        let key = f.keys.tags.key(agg.layout.arity());
+        assert!(agg.open(&f.keys.dec, &key).is_err());
+    }
+
+    #[test]
+    fn replay_reverts_to_first_counter_after_two() {
+        let mut f = fix();
+        f.broker.behavior = BrokerBehavior::Replay(1);
+        f.broker.on_receive(&rule(), 1, incoming(&f, 1, 5, 9, 1));
+        // Second message still goes through (the trace-advancing phase).
+        f.broker.on_receive(&rule(), 1, incoming(&f, 1, 50, 90, 2));
+        assert_eq!(open_full(&f).sum, 51);
+        // Third message triggers the revert to the stale counter.
+        f.broker.on_receive(&rule(), 1, incoming(&f, 1, 70, 99, 3));
+        let p = open_full(&f);
+        assert_eq!(p.sum, 6, "stale counter back in use");
+        assert_eq!(p.ts[1], 1, "stale timestamp for neighbor 1 — a regression vs the trace");
+    }
+
+    #[test]
+    fn minus_aggregate_excludes_exactly_one_neighbor() {
+        let mut f = fix();
+        f.broker.on_receive(&rule(), 1, incoming(&f, 1, 5, 9, 1));
+        f.broker.on_receive(&rule(), 2, incoming(&f, 2, 7, 11, 1));
+        let key = f.keys.tags.key(f.broker.layout().arity());
+        let m1 = f.broker.minus_aggregate(&rule(), 1).open(&f.keys.dec, &key).unwrap();
+        assert_eq!((m1.sum, m1.count, m1.num), (8, 12, 2));
+        let m2 = f.broker.minus_aggregate(&rule(), 2).open(&f.keys.dec, &key).unwrap();
+        assert_eq!((m2.sum, m2.count, m2.num), (6, 10, 2));
+    }
+
+    #[test]
+    fn recv_of_is_rerandomized() {
+        let mut f = fix();
+        let c = incoming(&f, 1, 5, 9, 1);
+        f.broker.on_receive(&rule(), 1, c);
+        let a = f.broker.recv_of(&rule(), 1);
+        let b = f.broker.recv_of(&rule(), 1);
+        assert_ne!(a, b, "unlinkable");
+        let key = f.keys.tags.key(a.layout.arity());
+        assert_eq!(
+            a.open(&f.keys.dec, &key).unwrap(),
+            b.open(&f.keys.dec, &key).unwrap()
+        );
+    }
+}

@@ -1,0 +1,503 @@
+//! The controller (Algorithm 3): decryption-key holder, SFE responder,
+//! privacy gatekeeper and malicious-behaviour auditor.
+//!
+//! The controller never volunteers information: it answers exactly two
+//! kinds of broker queries — "should I send to neighbor v?" and "is this
+//! candidate rule correct?" — each releasing a single bit, gated by the
+//! k-privacy rule of §5.1. Before answering anything it audits the
+//! broker-supplied aggregates:
+//!
+//! * authentication tags must verify (forged/spliced counters ⇒ the local
+//!   broker is malicious);
+//! * the share field of the full aggregate must decrypt to 1 (a neighbor
+//!   counted zero or twice ⇒ the local broker is malicious, §5.2);
+//! * no timestamp may regress below the controller's trace (an old counter
+//!   was reused ⇒ the resource owning that slot is blamed, §5.2);
+//! * the broker's `full`, `minus-v` and `recv-v` inputs must be additively
+//!   consistent (else the local broker is malicious).
+//!
+//! On a positive send decision the controller itself seals the outgoing
+//! message — receiver-addressed share, fresh Lamport timestamp — which is
+//! what makes honest aggregation verifiable end to end.
+//!
+//! Like any Lamport-clock scheme, the timestamp traces assume FIFO
+//! links: reordering two honest messages on one edge is
+//! indistinguishable from a replay and will be blamed as one. The
+//! simulator's delay model preserves per-edge ordering accordingly.
+
+use std::collections::HashMap;
+
+use gridmine_arm::CandidateRule;
+use gridmine_paillier::HomCipher;
+
+use crate::counter::{CounterLayout, PlainCounter, SecureCounter};
+use crate::keyring::TagKeyring;
+use crate::sfe::{majority_send_cond, GateMode, KGate};
+use crate::shares::share_reduce;
+
+/// A malicious-behaviour finding, broadcast grid-wide when raised
+/// (Algorithm 3 "broadcast that … is malicious and halt").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The co-resident broker forged, spliced or mis-aggregated counters.
+    MaliciousBroker(usize),
+    /// The named resource replayed stale counters (timestamp regression).
+    MaliciousResource(usize),
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::MaliciousBroker(u) => write!(f, "broker of resource {u} is malicious"),
+            Verdict::MaliciousResource(u) => write!(f, "resource {u} is malicious"),
+        }
+    }
+}
+
+/// Per-rule audit state.
+#[derive(Clone, Debug)]
+struct RuleAudit {
+    output_gate: KGate,
+    send_gates: HashMap<usize, KGate>,
+    /// Timestamp traces `T̃` per slot of the own layout.
+    traces: Vec<i64>,
+    /// This resource's logical clock for outgoing messages of this rule.
+    clock: i64,
+    /// Plaintext (sum, count, num) last sealed toward each neighbor —
+    /// both the `Δ^uv` ingredient and the duplicate-send suppressor.
+    last_sent: HashMap<usize, (i64, i64, i64)>,
+}
+
+impl RuleAudit {
+    fn new(k: i64, mode: GateMode, n_slots: usize) -> Self {
+        RuleAudit {
+            output_gate: KGate::with_mode(k, mode),
+            send_gates: HashMap::new(),
+            traces: vec![0; n_slots],
+            clock: 0,
+            last_sent: HashMap::new(),
+        }
+    }
+}
+
+/// The controller of one resource.
+#[derive(Clone)]
+pub struct Controller<C: HomCipher> {
+    id: usize,
+    cipher: C,
+    tags: TagKeyring,
+    k: i64,
+    gate_mode: GateMode,
+    layout: CounterLayout,
+    rules: HashMap<CandidateRule, RuleAudit>,
+    halted: Option<Verdict>,
+    /// SFE queries served (protocol-cost accounting).
+    pub queries_served: u64,
+}
+
+impl<C: HomCipher> Controller<C> {
+    /// Builds a controller for resource `id` with its counter layout.
+    ///
+    /// # Panics
+    /// Panics if the cipher handle cannot decrypt — a controller without
+    /// the key is a configuration bug, not a runtime condition.
+    pub fn new(id: usize, cipher: C, tags: TagKeyring, k: i64, layout: CounterLayout) -> Self {
+        assert!(cipher.can_decrypt(), "controller requires the decryption key");
+        Controller {
+            id,
+            cipher,
+            tags,
+            k,
+            gate_mode: GateMode::default(),
+            layout,
+            rules: HashMap::new(),
+            halted: None,
+            queries_served: 0,
+        }
+    }
+
+    /// The verdict that halted this controller, if any.
+    pub fn verdict(&self) -> Option<Verdict> {
+        self.halted
+    }
+
+    /// Switches the privacy-gate mode (see [`GateMode`]); applies to gates
+    /// created afterwards, so call it right after construction.
+    pub fn set_gate_mode(&mut self, mode: GateMode) {
+        self.gate_mode = mode;
+    }
+
+    /// Replaces the layout after a membership change (Algorithm 2
+    /// regenerates shares on any change in `N_t^u`).
+    ///
+    /// Privacy state is *preserved*: the k-gates keep their disclosure
+    /// registers — a membership change must not re-permit disclosure over
+    /// an almost-identical population. Timestamp traces *reset*: the
+    /// broker's counter state restarts from placeholders in the new
+    /// epoch, and cross-epoch replay is blocked by the regenerated shares
+    /// (a stale-epoch counter carries a stale share, breaking the sum-to-1
+    /// audit). The outgoing clock continues, so this resource's own
+    /// messages never regress at its neighbors.
+    pub fn set_layout(&mut self, layout: CounterLayout) {
+        self.layout = layout;
+        let slots = self.layout.arity() - crate::counter::F_TS;
+        let retained: std::collections::HashSet<usize> =
+            self.layout.neighbors.iter().copied().collect();
+        for audit in self.rules.values_mut() {
+            audit.traces = vec![0; slots];
+            audit.send_gates.retain(|v, _| retained.contains(v));
+            audit.last_sent.retain(|v, _| retained.contains(v));
+        }
+    }
+
+    /// Clears the duplicate-send suppressor toward `v` for every rule, so
+    /// the next send evaluation may resend the current aggregate — used
+    /// when `v` rebuilt its counter state after a membership change and
+    /// needs our data again. The k-gates are untouched.
+    pub fn reset_edge(&mut self, v: usize) {
+        for audit in self.rules.values_mut() {
+            audit.last_sent.remove(&v);
+        }
+    }
+
+    fn audit_state(&mut self, rule: &CandidateRule) -> &mut RuleAudit {
+        let slots = self.layout.arity() - crate::counter::F_TS;
+        let (k, mode) = (self.k, self.gate_mode);
+        self.rules
+            .entry(rule.clone())
+            .or_insert_with(|| RuleAudit::new(k, mode, slots))
+    }
+
+    fn raise(&mut self, v: Verdict) -> Verdict {
+        self.halted = Some(v);
+        v
+    }
+
+    /// Opens a counter, translating tag failures into a broker verdict.
+    fn open_checked(&mut self, c: &SecureCounter<C>) -> Result<PlainCounter, Verdict> {
+        let key = self.tags.key(c.layout.arity());
+        match c.open(&self.cipher, &key) {
+            Ok(p) => Ok(p),
+            Err(_) => Err(self.raise(Verdict::MaliciousBroker(self.id))),
+        }
+    }
+
+    /// Full-aggregate audit: share and timestamp checks of Algorithm 3.
+    fn audit_full(
+        &mut self,
+        rule: &CandidateRule,
+        full: &SecureCounter<C>,
+    ) -> Result<PlainCounter, Verdict> {
+        if full.layout != self.layout {
+            return Err(self.raise(Verdict::MaliciousBroker(self.id)));
+        }
+        let p = self.open_checked(full)?;
+        if p.share != 1 {
+            return Err(self.raise(Verdict::MaliciousBroker(self.id)));
+        }
+        // Timestamp traces: slot 0 is the own accountant (⊥), slot i+1 the
+        // i-th neighbor.
+        let owners: Vec<usize> =
+            std::iter::once(self.id).chain(self.layout.neighbors.iter().copied()).collect();
+        let traces = self.audit_state(rule).traces.clone();
+        for (i, (&t, owner)) in p.ts.iter().zip(owners).enumerate() {
+            if t < traces[i] {
+                return Err(self.raise(Verdict::MaliciousResource(owner)));
+            }
+        }
+        self.audit_state(rule).traces.copy_from_slice(&p.ts);
+        Ok(p)
+    }
+
+    /// The `Output()` SFE of Algorithm 1: is the candidate rule's majority
+    /// non-negative? Gated by k; a gated query returns the previous
+    /// answer.
+    ///
+    /// `blinded_delta` is the broker's multiplicatively blinded
+    /// `E(ρ·Δ^u)` (see [`crate::broker::Broker::blinded_delta`]): the
+    /// controller evaluates only its *sign*, never seeing `Σsum` in the
+    /// clear — one step closer to the ideal SFE, in which the controller
+    /// learns nothing at all. The share/timestamp audits and the k-gate
+    /// still need the exact `count`/`num`/`share`/timestamp fields of the
+    /// aggregate.
+    pub fn output_query(
+        &mut self,
+        rule: &CandidateRule,
+        full: &SecureCounter<C>,
+        blinded_delta: &C::Ct,
+    ) -> Result<bool, Verdict> {
+        if let Some(v) = self.halted {
+            return Err(v);
+        }
+        self.queries_served += 1;
+        let p = self.audit_full(rule, full)?;
+        let sign_nonneg = self.cipher.decrypt_i64(blinded_delta) >= 0;
+        let id = self.id;
+        let audit = self.audit_state(rule);
+        let ans = audit.output_gate.disclose(p.count, p.num, || sign_nonneg);
+        if std::env::var("GRIDMINE_DEBUG_OUTPUT").is_ok() && id < 3 {
+            eprintln!(
+                "[dbg] r{} output: count={} num={} sign={} reg={:?} -> {}",
+                id,
+                p.count,
+                p.num,
+                sign_nonneg,
+                audit.output_gate.last_population(),
+                ans
+            );
+        }
+        Ok(ans)
+    }
+
+    /// The `MajorityCond(v)`/`Update(v)` SFE: should a message be sent to
+    /// neighbor `v`, and if so, here is the sealed outgoing message.
+    ///
+    /// `full` is the broker's complete aggregate, `minus_v` the aggregate
+    /// without `v`'s contribution, `recv_v` the latest counter received
+    /// from `v`, and `share_for_me` the encrypted share `v`'s accountant
+    /// assigned to this resource at initialization.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_query(
+        &mut self,
+        rule: &CandidateRule,
+        v: usize,
+        receiver_layout: &CounterLayout,
+        full: &SecureCounter<C>,
+        minus_v: &SecureCounter<C>,
+        recv_v: &SecureCounter<C>,
+        share_for_me: &C::Ct,
+    ) -> Result<Option<SecureCounter<C>>, Verdict> {
+        if let Some(verdict) = self.halted {
+            return Err(verdict);
+        }
+        self.queries_served += 1;
+        let p_full = self.audit_full(rule, full)?;
+        let p_minus = self.open_checked(minus_v)?;
+        let p_recv = self.open_checked(recv_v)?;
+
+        // Additive consistency: full = minus_v + recv_v, field by field.
+        let consistent = p_full.sum == p_minus.sum + p_recv.sum
+            && p_full.count == p_minus.count + p_recv.count
+            && p_full.num == p_minus.num + p_recv.num
+            && p_full.share == share_reduce(p_minus.share + p_recv.share)
+            && p_full
+                .ts
+                .iter()
+                .zip(p_minus.ts.iter().zip(&p_recv.ts))
+                .all(|(&f, (&m, &r))| f == m + r);
+        if !consistent {
+            return Err(self.raise(Verdict::MaliciousBroker(self.id)));
+        }
+
+        let lambda = rule.lambda;
+        let delta_u = lambda.delta(p_full.sum, p_full.count);
+        let (k, mode) = (self.k, self.gate_mode);
+        let share_plain = share_reduce(self.cipher.decrypt_i64(share_for_me));
+        let key = self.tags.key(receiver_layout.arity());
+        let sender = self.id;
+
+        let t_out = {
+            let audit = self.audit_state(rule);
+            let last = audit.last_sent.get(&v).copied().unwrap_or((0, 0, 0));
+            let delta_uv = lambda.delta(last.0 + p_recv.sum, last.1 + p_recv.count);
+
+            let gate = audit.send_gates.entry(v).or_insert_with(|| KGate::with_mode(k, mode));
+            // §5.1: send when the Majority-Rule condition holds, OR when
+            // fewer than k new transactions / k new resources arrived since
+            // the last disclosure (the data-independent default is to send).
+            let decision = if gate.is_fresh(p_full.count, p_full.num) {
+                gate.disclose(p_full.count, p_full.num, || majority_send_cond(delta_uv, delta_u))
+            } else {
+                true
+            };
+
+            // Duplicate suppression: resending an identical aggregate is a
+            // no-op for the receiver; the plain protocol never does it
+            // either (after a send, Δ^uv = Δ^u until something changes).
+            let payload = (p_minus.sum, p_minus.count, p_minus.num);
+            let already_sent = audit.last_sent.contains_key(&v);
+            if !decision
+                || (already_sent && payload == last)
+                || (!already_sent && p_minus.num == 0)
+            {
+                return Ok(None);
+            }
+
+            // Lamport time: strictly above everything this aggregate saw.
+            let max_ts = p_full.ts.iter().copied().max().unwrap_or(0);
+            audit.clock = audit.clock.max(max_ts) + 1;
+            audit.last_sent.insert(v, payload);
+            audit.clock
+        };
+
+        Ok(Some(SecureCounter::seal_outgoing(
+            &self.cipher,
+            &key,
+            receiver_layout,
+            sender,
+            p_minus.sum,
+            p_minus.count,
+            p_minus.num,
+            share_plain,
+            t_out,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::F_SUM;
+    use crate::keyring::GridKeys;
+    use gridmine_arm::{ItemSet, Ratio, Rule};
+    use gridmine_paillier::MockCipher;
+
+    fn rule() -> CandidateRule {
+        CandidateRule::new(Rule::frequency(ItemSet::of(&[1])), Ratio::new(1, 2))
+    }
+
+    struct Fix {
+        keys: GridKeys<MockCipher>,
+        layout: CounterLayout,
+        ctl: Controller<MockCipher>,
+    }
+
+    fn fix(k: i64) -> Fix {
+        let keys = GridKeys::mock(9);
+        let layout = CounterLayout::new(0, vec![1]);
+        let ctl = Controller::new(0, keys.dec.clone(), keys.tags.clone(), k, layout.clone());
+        Fix { keys, layout, ctl }
+    }
+
+    /// Builds a (full, minus_v, recv_v) triple with consistent shares
+    /// summing to 1 and the given vote values.
+    fn triple(
+        f: &Fix,
+        own: (i64, i64, i64),
+        from_v: (i64, i64, i64),
+        ts_own: i64,
+        ts_v: i64,
+    ) -> (SecureCounter<MockCipher>, SecureCounter<MockCipher>, SecureCounter<MockCipher>) {
+        let key = f.keys.tags.key(f.layout.arity());
+        let own_share = share_reduce(1 - 77);
+        let local =
+            SecureCounter::seal_local(&f.keys.enc, &key, &f.layout, own.0, own.1, own.2, own_share, ts_own);
+        let recv = SecureCounter::seal_outgoing(
+            &f.keys.enc, &key, &f.layout, 1, from_v.0, from_v.1, from_v.2, 77, ts_v,
+        );
+        let full = local.add(&f.keys.pub_ops, &recv);
+        (full, local, recv)
+    }
+
+    /// Blinded Δ as the broker would compute it (λ = 1/2 here).
+    fn blind(f: &Fix, sum: i64, count: i64) -> gridmine_paillier::MockCt {
+        f.keys.enc.encrypt_i64(7 * (2 * sum - count))
+    }
+
+    #[test]
+    fn output_query_discloses_when_gate_passes() {
+        let mut f = fix(2);
+        // 3 + 3 = 6 transactions of which 5 support; 2 resources; λ = 1/2.
+        let (full, _, _) = triple(&f, (2, 3, 1), (3, 3, 1), 1, 1);
+        let b = blind(&f, 5, 6);
+        assert_eq!(f.ctl.output_query(&rule(), &full, &b), Ok(true));
+    }
+
+    #[test]
+    fn output_query_gated_below_k() {
+        let mut f = fix(5);
+        // Only 2 resources < k = 5: gated, initial cache is false even
+        // though the majority holds.
+        let (full, _, _) = triple(&f, (3, 3, 1), (3, 3, 1), 1, 1);
+        let b = blind(&f, 6, 6);
+        assert_eq!(f.ctl.output_query(&rule(), &full, &b), Ok(false));
+    }
+
+    #[test]
+    fn bad_share_blames_broker() {
+        let mut f = fix(1);
+        let key = f.keys.tags.key(f.layout.arity());
+        // Local counter alone: share ≠ 1 (its neighbor share is missing).
+        let local = SecureCounter::seal_local(&f.keys.enc, &key, &f.layout, 1, 1, 1, 500, 1);
+        let b = blind(&f, 1, 1);
+        assert_eq!(f.ctl.output_query(&rule(), &local, &b), Err(Verdict::MaliciousBroker(0)));
+        // Halted: all further queries refused.
+        assert_eq!(f.ctl.output_query(&rule(), &local, &b), Err(Verdict::MaliciousBroker(0)));
+    }
+
+    #[test]
+    fn forged_counter_blames_broker() {
+        let mut f = fix(1);
+        let (full, _, _) = triple(&f, (1, 1, 1), (1, 1, 1), 1, 1);
+        let mut forged = full.clone();
+        forged.msg.fields[F_SUM] = f.keys.enc.encrypt_i64(999);
+        let b = blind(&f, 2, 2);
+        assert_eq!(f.ctl.output_query(&rule(), &forged, &b), Err(Verdict::MaliciousBroker(0)));
+    }
+
+    #[test]
+    fn timestamp_regression_blames_slot_owner() {
+        let mut f = fix(1);
+        let (newer, _, _) = triple(&f, (1, 5, 1), (1, 5, 1), 3, 7);
+        let b = blind(&f, 2, 10);
+        assert!(f.ctl.output_query(&rule(), &newer, &b).is_ok());
+        // Replay: neighbor 1's slot regresses from 7 to 2.
+        let (older, _, _) = triple(&f, (2, 15, 1), (1, 5, 1), 4, 2);
+        let b = blind(&f, 3, 20);
+        assert_eq!(f.ctl.output_query(&rule(), &older, &b), Err(Verdict::MaliciousResource(1)));
+    }
+
+    #[test]
+    fn send_query_seals_consistent_outgoing_message() {
+        let mut f = fix(1);
+        let (full, minus, recv) = triple(&f, (4, 10, 1), (6, 10, 1), 1, 1);
+        let receiver_layout = CounterLayout::new(1, vec![0]);
+        let share_for_me = f.keys.enc.encrypt_i64(123);
+        let out = f
+            .ctl
+            .send_query(&rule(), 1, &receiver_layout, &full, &minus, &recv, &share_for_me)
+            .unwrap();
+        let out = out.expect("first contact with data must send");
+        let key = f.keys.tags.key(receiver_layout.arity());
+        let p = out.open(&f.keys.dec, &key).unwrap();
+        assert_eq!((p.sum, p.count, p.num), (4, 10, 1));
+        assert_eq!(p.share, 123);
+        // Lamport time strictly above everything seen (max ts was 1).
+        assert_eq!(p.ts[receiver_layout.ts_slot(0) - crate::counter::F_TS], 2);
+    }
+
+    #[test]
+    fn inconsistent_triple_blames_broker() {
+        let mut f = fix(1);
+        let (full, minus, _) = triple(&f, (4, 10, 1), (6, 10, 1), 1, 1);
+        // Lie about recv_v: a different counter than the one aggregated.
+        let key = f.keys.tags.key(f.layout.arity());
+        let bogus_recv =
+            SecureCounter::seal_outgoing(&f.keys.enc, &key, &f.layout, 1, 0, 0, 0, 77, 1);
+        let receiver_layout = CounterLayout::new(1, vec![0]);
+        let share = f.keys.enc.encrypt_i64(5);
+        assert_eq!(
+            f.ctl.send_query(&rule(), 1, &receiver_layout, &full, &minus, &bogus_recv, &share),
+            Err(Verdict::MaliciousBroker(0))
+        );
+    }
+
+    #[test]
+    fn duplicate_sends_are_suppressed() {
+        let mut f = fix(1);
+        let (full, minus, recv) = triple(&f, (4, 10, 1), (6, 10, 1), 1, 1);
+        let receiver_layout = CounterLayout::new(1, vec![0]);
+        let share = f.keys.enc.encrypt_i64(5);
+        let first = f
+            .ctl
+            .send_query(&rule(), 1, &receiver_layout, &full, &minus, &recv, &share)
+            .unwrap();
+        assert!(first.is_some());
+        // Identical aggregate again: suppressed.
+        let second = f
+            .ctl
+            .send_query(&rule(), 1, &receiver_layout, &full, &minus, &recv, &share)
+            .unwrap();
+        assert!(second.is_none());
+    }
+}

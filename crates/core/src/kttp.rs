@@ -1,0 +1,153 @@
+//! An executable k-TTP — Definition 3.1, runnable.
+//!
+//! The paper defines k-privacy by simulation against an ideal trusted
+//! third party that refuses any output request whose population differs
+//! from every union of previously-served populations by fewer than k
+//! members. This module implements that entity literally, so tests can
+//! check that the controller's gate never answers a query the ideal
+//! k-TTP would refuse (§5.3's argument, executed).
+
+use std::collections::{BTreeSet, HashMap};
+
+/// Participant identifier.
+pub type Pid = usize;
+
+/// The ideal k-TTP for an aggregate-sum functionality (the majority vote's
+/// `⟨sum, count⟩` is two instances of it).
+#[derive(Clone, Debug)]
+pub struct KTtp {
+    k: usize,
+    /// Latest input per participant (`⊥` = absent).
+    inputs: HashMap<Pid, i64>,
+    /// `G_i`: per requester, the groups for which outputs were provided.
+    groups: HashMap<Pid, Vec<BTreeSet<Pid>>>,
+}
+
+impl KTtp {
+    /// A fresh k-TTP.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        KTtp { k, inputs: HashMap::new(), groups: HashMap::new() }
+    }
+
+    /// Participant `i` submits (or updates) its input `x_t^i`.
+    pub fn set_input(&mut self, i: Pid, x: i64) {
+        self.inputs.insert(i, x);
+    }
+
+    /// Definition 3.1's admission condition for requester `i` and
+    /// population `V`: `∀G ⊆ G_i : |V △ (∪_{j∈G} G_j)| ≥ k`.
+    ///
+    /// Exponential in `|G_i|`; the TTP is a test oracle, so the group
+    /// history is capped.
+    pub fn condition_holds(&self, i: Pid, v: &BTreeSet<Pid>) -> bool {
+        let history = self.groups.get(&i).map(Vec::as_slice).unwrap_or(&[]);
+        assert!(history.len() <= 20, "k-TTP oracle capped at 20 served groups per requester");
+        for mask in 0u32..(1 << history.len()) {
+            let mut union: BTreeSet<Pid> = BTreeSet::new();
+            for (j, g) in history.iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    union.extend(g.iter().copied());
+                }
+            }
+            let sym_diff = v.symmetric_difference(&union).count();
+            if sym_diff < self.k {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Participant `i` requests the output for population `V`. Returns the
+    /// sum of the latest inputs of `V`'s members (absent inputs are `⊥`,
+    /// contributing nothing) — or `None` when the k-TTP ignores the
+    /// request.
+    pub fn request_sum(&mut self, i: Pid, v: &BTreeSet<Pid>) -> Option<i64> {
+        if !self.condition_holds(i, v) {
+            return None;
+        }
+        self.groups.entry(i).or_default().push(v.clone());
+        Some(v.iter().filter_map(|p| self.inputs.get(p)).sum())
+    }
+
+    /// Number of groups served to requester `i`.
+    pub fn served(&self, i: Pid) -> usize {
+        self.groups.get(&i).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> BTreeSet<Pid> {
+        ids.iter().copied().collect()
+    }
+
+    fn filled(k: usize, n: usize) -> KTtp {
+        let mut t = KTtp::new(k);
+        for i in 0..n {
+            t.set_input(i, 1);
+        }
+        t
+    }
+
+    #[test]
+    fn first_request_needs_k_members() {
+        let mut t = filled(3, 10);
+        assert_eq!(t.request_sum(0, &set(&[1, 2])), None, "|V| = 2 < 3");
+        assert_eq!(t.request_sum(0, &set(&[1, 2, 3])), Some(3));
+    }
+
+    #[test]
+    fn repeat_of_same_population_refused() {
+        let mut t = filled(2, 10);
+        assert!(t.request_sum(0, &set(&[1, 2, 3])).is_some());
+        assert_eq!(t.request_sum(0, &set(&[1, 2, 3])), None, "symmetric difference 0");
+    }
+
+    #[test]
+    fn growth_by_k_admits_again() {
+        let mut t = filled(2, 10);
+        assert!(t.request_sum(0, &set(&[1, 2])).is_some());
+        assert_eq!(t.request_sum(0, &set(&[1, 2, 3])), None, "only 1 new member");
+        assert_eq!(t.request_sum(0, &set(&[1, 2, 3, 4])), Some(4), "2 new members");
+    }
+
+    #[test]
+    fn subset_unions_are_all_checked() {
+        let mut t = filled(2, 10);
+        assert!(t.request_sum(0, &set(&[1, 2])).is_some());
+        assert!(t.request_sum(0, &set(&[3, 4])).is_some());
+        // {1,2,3} differs from {1,2} by 1, from {3,4} by 3, from
+        // {1,2,3,4} (union of both) by 1, from ∅ by 3 → refused.
+        assert_eq!(t.request_sum(0, &set(&[1, 2, 3])), None);
+        // {1,2,3,4,5,6} differs from every union by ≥ 2 → served.
+        assert_eq!(t.request_sum(0, &set(&[1, 2, 3, 4, 5, 6])), Some(6));
+    }
+
+    #[test]
+    fn per_requester_isolation() {
+        let mut t = filled(2, 10);
+        assert!(t.request_sum(0, &set(&[1, 2])).is_some());
+        // A different requester has its own (empty) history.
+        assert!(t.request_sum(1, &set(&[1, 2])).is_some());
+        assert_eq!(t.served(0), 1);
+        assert_eq!(t.served(1), 1);
+    }
+
+    #[test]
+    fn inputs_update_between_requests() {
+        let mut t = filled(2, 10);
+        assert_eq!(t.request_sum(0, &set(&[1, 2])), Some(2));
+        t.set_input(5, 100);
+        assert_eq!(t.request_sum(0, &set(&[1, 2, 5, 6])), Some(103));
+    }
+
+    #[test]
+    fn absent_inputs_are_bottom() {
+        let mut t = KTtp::new(1);
+        t.set_input(0, 7);
+        assert_eq!(t.request_sum(9, &set(&[0, 1])), Some(7), "1's input is ⊥");
+    }
+}

@@ -1,0 +1,52 @@
+//! **Secure-Majority-Rule** — the paper's contribution: k-secure
+//! distributed association rule mining over a data grid, robust to
+//! malicious brokers and controllers (HPDC'04, Gilburd/Schuster/Wolff).
+//!
+//! Every resource is the triple of §5 (see Figure 1):
+//!
+//! * the **accountant** ([`accountant`]) holds the local database partition
+//!   and the encryption key; it answers support queries with sealed
+//!   [`counter::SecureCounter`]s that carry the vote, the accounting
+//!   `share` field and a timestamp vector (Algorithm 2);
+//! * the **broker** ([`broker`]) runs Scalable-Majority over ciphertexts it
+//!   can neither read nor forge (Algorithm 1);
+//! * the **controller** ([`controller`]) holds the decryption key and
+//!   answers the broker's sign-evaluation queries through a two-party SFE,
+//!   enforcing the k-privacy gate and the malicious-behaviour audits
+//!   (Algorithm 3).
+//!
+//! [`resource`] assembles the three into a full Secure-Majority-Rule
+//! participant (Algorithm 4); [`kttp`] is an executable rendition of the
+//! k-TTP of Definition 3.1 used to property-test the privacy gate;
+//! [`attack`] injects the malicious-broker behaviours of §5.2.
+//!
+//! All protocol code is generic over
+//! [`gridmine_paillier::HomCipher`], so the same state machines run under
+//! real Paillier and under the plaintext mock used at simulation scale.
+
+pub mod accountant;
+pub mod attack;
+pub mod broker;
+pub mod controller;
+pub mod counter;
+pub mod keyring;
+pub mod kttp;
+pub mod miner;
+pub mod packed;
+pub mod resource;
+pub mod sfe;
+pub mod shares;
+pub mod threaded;
+
+pub use accountant::Accountant;
+pub use attack::BrokerBehavior;
+pub use broker::{Broker, BrokerMsg};
+pub use controller::{Controller, Verdict};
+pub use counter::{CounterLayout, SecureCounter};
+pub use keyring::GridKeys;
+pub use kttp::KTtp;
+pub use miner::{mine_secure, MineConfig, MiningOutcome};
+pub use packed::PackedCounter;
+pub use resource::{SecureResource, WireMsg};
+pub use sfe::{GateMode, KGate};
+pub use threaded::mine_secure_threaded;

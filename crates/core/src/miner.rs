@@ -1,0 +1,249 @@
+//! One-call synchronous mining — the library's front door.
+//!
+//! [`mine_secure`] builds a grid over a communication tree, runs
+//! Secure-Majority-Rule to a fixpoint with FIFO message delivery, and
+//! returns every resource's interim solution. It is the secure
+//! counterpart of `gridmine_majority::rule::run_plain_mining` and the
+//! API most downstream users want; the discrete-event simulator in
+//! `gridmine-sim` is the scalable alternative when link delays, dynamic
+//! data or step-resolution metrics matter.
+
+use std::collections::VecDeque;
+
+use gridmine_arm::{Database, Item, Ratio, RuleSet};
+use gridmine_majority::CandidateGenerator;
+use gridmine_paillier::HomCipher;
+use gridmine_topology::Tree;
+
+use crate::controller::Verdict;
+use crate::keyring::GridKeys;
+use crate::resource::{wire_grid, SecureResource, WireMsg};
+
+/// Outcome of a synchronous mining run.
+#[derive(Debug)]
+pub struct MiningOutcome {
+    /// Interim solution per resource (indexed by tree node id).
+    pub solutions: Vec<RuleSet>,
+    /// Verdicts raised during the run (empty on honest grids).
+    pub verdicts: Vec<Verdict>,
+    /// Total protocol messages exchanged.
+    pub messages: u64,
+}
+
+/// Configuration of a synchronous run.
+#[derive(Clone, Copy, Debug)]
+pub struct MineConfig {
+    /// Frequency threshold.
+    pub min_freq: Ratio,
+    /// Confidence threshold.
+    pub min_conf: Ratio,
+    /// The privacy parameter k.
+    pub k: i64,
+    /// Rounds of (scan → quiescence → candidate generation → quiescence).
+    pub rounds: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl MineConfig {
+    /// A config with the given thresholds, k = 1 (exact convergence) and
+    /// six rounds.
+    pub fn new(min_freq: Ratio, min_conf: Ratio) -> Self {
+        MineConfig { min_freq, min_conf, k: 1, rounds: 6, seed: 0x417E }
+    }
+
+    /// Overrides k.
+    pub fn with_k(mut self, k: i64) -> Self {
+        self.k = k;
+        self
+    }
+}
+
+/// Runs Secure-Majority-Rule over `dbs` (one partition per tree node) to a
+/// fixpoint and returns every resource's mined rules.
+///
+/// The item domain is the union of the partitions' domains — in a
+/// deployment every resource knows the shared item catalog.
+///
+/// ```
+/// use gridmine_arm::{Database, Ratio, Transaction};
+/// use gridmine_core::{mine_secure, GridKeys, MineConfig};
+/// use gridmine_paillier::MockCipher;
+/// use gridmine_topology::Tree;
+///
+/// let dbs: Vec<Database> = (0..3u64)
+///     .map(|u| Database::from_transactions(
+///         (0..10).map(|j| Transaction::of(u * 10 + j, &[1, 2])).collect(),
+///     ))
+///     .collect();
+/// let keys = GridKeys::<MockCipher>::mock(7);
+/// let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+/// let outcome = mine_secure(&keys, &Tree::path(3), dbs, cfg);
+/// assert!(outcome.verdicts.is_empty());
+/// assert!(outcome.solutions[0].contains(
+///     &gridmine_arm::Rule::frequency(gridmine_arm::ItemSet::of(&[1, 2]))
+/// ));
+/// ```
+///
+/// # Panics
+/// Panics if the database count mismatches the tree size.
+pub fn mine_secure<C: HomCipher>(
+    keys: &GridKeys<C>,
+    tree: &Tree,
+    dbs: Vec<Database>,
+    cfg: MineConfig,
+) -> MiningOutcome {
+    assert_eq!(dbs.len(), tree.capacity(), "one database per tree node");
+    let generator = CandidateGenerator::new(cfg.min_freq, cfg.min_conf);
+    let mut items: Vec<Item> = dbs.iter().flat_map(|d| d.item_domain()).collect();
+    items.sort_unstable();
+    items.dedup();
+
+    let mut resources: Vec<SecureResource<C>> = dbs
+        .into_iter()
+        .enumerate()
+        .map(|(u, db)| {
+            let neighbors: Vec<usize> = tree.neighbors(u).collect();
+            SecureResource::new(
+                u,
+                keys,
+                neighbors,
+                db,
+                cfg.k,
+                generator,
+                &items,
+                cfg.seed ^ (u as u64).wrapping_mul(0x9E37_79B9),
+            )
+        })
+        .collect();
+    wire_grid(&mut resources);
+
+    let mut messages = 0u64;
+    let deliver = |resources: &mut Vec<SecureResource<C>>,
+                       queue: &mut VecDeque<WireMsg<C>>,
+                       messages: &mut u64| {
+        let mut hops = 0u64;
+        while let Some(msg) = queue.pop_front() {
+            hops += 1;
+            assert!(hops < 10_000_000, "secure mining failed to quiesce");
+            *messages += 1;
+            let to = msg.to;
+            queue.extend(resources[to].on_receive(&msg));
+        }
+    };
+
+    for _ in 0..cfg.rounds {
+        let mut queue: VecDeque<WireMsg<C>> = VecDeque::new();
+        for r in resources.iter_mut() {
+            queue.extend(r.step(usize::MAX));
+        }
+        deliver(&mut resources, &mut queue, &mut messages);
+
+        let mut queue: VecDeque<WireMsg<C>> = VecDeque::new();
+        for r in resources.iter_mut() {
+            queue.extend(r.generate_candidates());
+        }
+        deliver(&mut resources, &mut queue, &mut messages);
+
+        if resources.iter().any(|r| r.verdict().is_some()) {
+            break;
+        }
+    }
+    for r in resources.iter_mut() {
+        r.refresh_outputs();
+    }
+
+    let verdicts = resources.iter().filter_map(|r| r.verdict()).collect();
+    MiningOutcome {
+        solutions: resources.iter().map(|r| r.interim()).collect(),
+        verdicts,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmine_arm::{correct_rules, AprioriConfig, Transaction};
+    use gridmine_paillier::MockCipher;
+
+    fn dbs() -> Vec<Database> {
+        (0..4u64)
+            .map(|u| {
+                Database::from_transactions(
+                    (0..30)
+                        .map(|j| {
+                            let id = u * 30 + j;
+                            if j % 3 == 0 {
+                                Transaction::of(id, &[2, 3])
+                            } else {
+                                Transaction::of(id, &[1, 2])
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_call_mining_matches_centralized() {
+        let keys = GridKeys::<MockCipher>::mock(2);
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        let truth = correct_rules(
+            &Database::union_of(dbs().iter()),
+            &AprioriConfig::new(cfg.min_freq, cfg.min_conf),
+        );
+        let outcome = mine_secure(&keys, &Tree::path(4), dbs(), cfg);
+        assert!(outcome.verdicts.is_empty());
+        assert!(outcome.messages > 0);
+        for (u, sol) in outcome.solutions.iter().enumerate() {
+            assert_eq!(sol, &truth, "resource {u}");
+        }
+    }
+
+    #[test]
+    fn one_call_mining_over_star_topology() {
+        let keys = GridKeys::<MockCipher>::mock(4);
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(3, 4));
+        let outcome = mine_secure(&keys, &Tree::star(4), dbs(), cfg);
+        let truth = correct_rules(
+            &Database::union_of(dbs().iter()),
+            &AprioriConfig::new(cfg.min_freq, cfg.min_conf),
+        );
+        for sol in &outcome.solutions {
+            assert_eq!(sol, &truth);
+        }
+    }
+
+    #[test]
+    fn verdicts_surface_through_the_outcome() {
+        let keys = GridKeys::<MockCipher>::mock(6);
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        // Build manually to corrupt one broker, then reuse the driver via
+        // mine_secure's building blocks — simplest is to just corrupt after
+        // construction, so use the internal pieces directly.
+        let generator = CandidateGenerator::new(cfg.min_freq, cfg.min_conf);
+        let items = vec![gridmine_arm::Item(1), gridmine_arm::Item(2), gridmine_arm::Item(3)];
+        let tree = Tree::path(4);
+        let mut resources: Vec<SecureResource<MockCipher>> = dbs()
+            .into_iter()
+            .enumerate()
+            .map(|(u, db)| {
+                let neighbors: Vec<usize> = tree.neighbors(u).collect();
+                SecureResource::new(u, &keys, neighbors, db, 1, generator, &items, u as u64)
+            })
+            .collect();
+        wire_grid(&mut resources);
+        resources[1].set_broker_behavior(crate::attack::BrokerBehavior::DoubleCount(0));
+        let mut queue: VecDeque<WireMsg<MockCipher>> = VecDeque::new();
+        for r in resources.iter_mut() {
+            queue.extend(r.step(usize::MAX));
+        }
+        while let Some(msg) = queue.pop_front() {
+            let to = msg.to;
+            queue.extend(resources[to].on_receive(&msg));
+        }
+        assert_eq!(resources[1].verdict(), Some(Verdict::MaliciousBroker(1)));
+    }
+}

@@ -1,0 +1,236 @@
+//! The §4.2 vectorized wire format, as an ablation.
+//!
+//! The paper packs the whole tuple `⟨counter, share, T_⊥, T_v…⟩` into a
+//! *single* plaintext (`x₁N₁ + x₂N₂ + …`) so that one Paillier ciphertext
+//! carries the entire message and the share field "cannot be separated
+//! from the message itself". [`SecureCounter`](crate::counter) instead
+//! seals each field separately and binds them with a homomorphic tag —
+//! simpler algebra, works over any [`HomCipher`], no carry discipline.
+//!
+//! [`PackedCounter`] implements the paper's literal packing over real
+//! Paillier: `2 + 1 + d` logical fields in **one** ciphertext (plus the
+//! authentication tag, so two ciphertexts total versus `arity + 1`).
+//! The `crypto_ops` bench quantifies the trade: packing shrinks messages
+//! by ~`arity/2×` and speeds aggregation by the same factor, at the cost
+//! of bounded field widths and unsigned-only values (negative packed
+//! fields would borrow across slot boundaries).
+
+use gridmine_paillier::slots::{Slot, SlotLayout};
+use gridmine_paillier::{Ciphertext, HomCipher, ObliviousError, PaillierCtx, TagKey};
+
+use crate::counter::{CounterLayout, PlainCounter};
+
+/// Share modulus for the packed format: 2³¹ (a power of two so the
+/// modular slot's wrap-around is a bitmask). Packed shares are generated
+/// modulo this value rather than the tuple format's Mersenne prime.
+pub const PACKED_SHARE_MODULUS: i64 = 1 << 31;
+
+/// Field widths: value slots take 40 bits of capacity with 12 guard bits
+/// (4096 additions before a carry could occur — far beyond any tree
+/// degree), timestamps and `num` 32 bits with 12 guard bits.
+fn slot_layout(layout: &CounterLayout) -> SlotLayout {
+    let mut slots = Vec::with_capacity(layout.arity());
+    slots.push(Slot::counter(52, 40)); // sum
+    slots.push(Slot::counter(52, 40)); // count
+    slots.push(Slot::counter(44, 32)); // num
+    slots.push(Slot::modular(44, 31)); // share (mod 2³¹)
+    for _ in 0..=layout.neighbors.len() {
+        slots.push(Slot::counter(44, 32)); // T_⊥, T_v…
+    }
+    SlotLayout::new(slots)
+}
+
+/// A fully vectorized counter: one ciphertext for all fields, one for the
+/// authentication tag.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedCounter {
+    /// The packed tuple.
+    pub ct: Ciphertext,
+    /// Homomorphic authentication tag over the (unpacked) field values.
+    pub tag: Ciphertext,
+    /// Slot map.
+    pub layout: CounterLayout,
+}
+
+impl PackedCounter {
+    /// Seals a tuple of non-negative field values (protocol order:
+    /// `sum, count, num, share, T_⊥, T_v…`).
+    ///
+    /// # Panics
+    /// Panics on negative values (the packing is unsigned) or a field
+    /// count mismatching the layout.
+    pub fn seal(ctx: &PaillierCtx, key: &TagKey, layout: &CounterLayout, fields: &[i64]) -> Self {
+        assert_eq!(fields.len(), layout.arity(), "field count mismatch");
+        assert!(fields.iter().all(|&f| f >= 0), "packed counters are unsigned");
+        let slots = slot_layout(layout);
+        assert!(
+            slots.total_bits() < ctx.public_key().bits(),
+            "modulus too small for this degree: need > {} bits",
+            slots.total_bits()
+        );
+        let values: Vec<u64> = fields.iter().map(|&f| f as u64).collect();
+        let packed = slots.pack(&values);
+        let ct = ctx.encrypt_residue(&packed);
+        // The same linear tag as the tuple format, over the field values.
+        let tag_plain: i64 = fields
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| key.coeff(i) * m)
+            .sum();
+        PackedCounter { ct, tag: ctx.encrypt_i64(tag_plain), layout: layout.clone() }
+    }
+
+    /// Key-free aggregation: one homomorphic addition for the entire
+    /// tuple (the packing's selling point).
+    pub fn add(&self, ctx: &PaillierCtx, other: &Self) -> Self {
+        assert_eq!(self.layout, other.layout, "cannot add counters of different layouts");
+        PackedCounter {
+            ct: ctx.add_raw(&self.ct, &other.ct),
+            tag: ctx.add(&self.tag, &other.tag),
+            layout: self.layout.clone(),
+        }
+    }
+
+    /// Key-free rerandomization.
+    pub fn rerandomize(&self, ctx: &PaillierCtx) -> Self {
+        PackedCounter {
+            ct: ctx.rerandomize(&self.ct),
+            tag: ctx.rerandomize(&self.tag),
+            layout: self.layout.clone(),
+        }
+    }
+
+    /// Controller-side: decrypt, unpack, verify the tag.
+    ///
+    /// The tag is checked against the share *pre-reduction* running sum,
+    /// which the slot layout cannot represent once it wraps — so the tag
+    /// uses the reduced share, and verification reduces likewise.
+    pub fn open(&self, ctx: &PaillierCtx, key: &TagKey) -> Result<PlainCounter, ObliviousError> {
+        let slots = slot_layout(&self.layout);
+        let packed = ctx.decrypt_residue(&self.ct);
+        let values = slots.unpack(&packed).values;
+        let fields: Vec<i64> = values.iter().map(|&v| v as i64).collect();
+
+        // Tag verification: the share slot reduced modulo 2³¹ no longer
+        // matches the un-reduced running sum the tag accumulated, so the
+        // tag must be checked modulo coeff(share)·2³¹ contributions.
+        let tag = ctx.decrypt_i64(&self.tag);
+        let expect: i64 = fields.iter().enumerate().map(|(i, &m)| key.coeff(i) * m).sum();
+        let share_coeff = key.coeff(crate::counter::F_SHARE);
+        let diff = tag - expect;
+        let share_period = share_coeff * PACKED_SHARE_MODULUS;
+        if diff % share_period != 0 {
+            return Err(ObliviousError::TagMismatch);
+        }
+
+        Ok(PlainCounter {
+            sum: fields[crate::counter::F_SUM],
+            count: fields[crate::counter::F_COUNT],
+            num: fields[crate::counter::F_NUM],
+            share: fields[crate::counter::F_SHARE],
+            ts: fields[crate::counter::F_TS..].to_vec(),
+        })
+    }
+
+    /// Wire size in bytes: the packed ciphertext plus the tag.
+    pub fn wire_bytes(&self) -> usize {
+        self.ct.byte_len() + self.tag.byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::SecureCounter;
+    use crate::keyring::GridKeys;
+    use gridmine_paillier::Keypair;
+
+    fn setup() -> (PaillierCtx, PaillierCtx, CounterLayout, TagKey) {
+        let kp = Keypair::generate_with_seed(512, 0xFACE);
+        let layout = CounterLayout::new(0, vec![1, 2]);
+        let keys = GridKeys::paillier(512, 0xFACE);
+        let key = keys.tags.key(layout.arity());
+        (kp.encryptor(), kp.decryptor(), layout, key)
+    }
+
+    fn fields(layout: &CounterLayout, sum: i64, count: i64, num: i64, share: i64, ts0: i64) -> Vec<i64> {
+        let mut f = vec![0i64; layout.arity()];
+        f[0] = sum;
+        f[1] = count;
+        f[2] = num;
+        f[3] = share;
+        f[4] = ts0;
+        f
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let (e, d, layout, key) = setup();
+        let c = PackedCounter::seal(&e, &key, &layout, &fields(&layout, 7, 10, 1, 42, 3));
+        let p = c.open(&d, &key).unwrap();
+        assert_eq!((p.sum, p.count, p.num, p.share), (7, 10, 1, 42));
+        assert_eq!(p.ts, vec![3, 0, 0]);
+    }
+
+    #[test]
+    fn one_addition_aggregates_every_field() {
+        let (e, d, layout, key) = setup();
+        let a = PackedCounter::seal(&e, &key, &layout, &fields(&layout, 5, 8, 1, 100, 2));
+        let b = PackedCounter::seal(&e, &key, &layout, &fields(&layout, 3, 4, 2, 200, 9));
+        let p = a.add(&e, &b).open(&d, &key).unwrap();
+        assert_eq!((p.sum, p.count, p.num, p.share), (8, 12, 3, 300));
+        assert_eq!(p.ts, vec![11, 0, 0]);
+    }
+
+    #[test]
+    fn share_slot_wraps_modulo_2_31() {
+        let (e, d, layout, key) = setup();
+        let a = PackedCounter::seal(&e, &key, &layout, &fields(&layout, 0, 0, 0, PACKED_SHARE_MODULUS - 1, 0));
+        let b = PackedCounter::seal(&e, &key, &layout, &fields(&layout, 0, 0, 0, 5, 0));
+        let p = a.add(&e, &b).open(&d, &key).unwrap();
+        assert_eq!(p.share, 4, "wrap-around share arithmetic");
+    }
+
+    #[test]
+    fn forged_packed_counter_detected() {
+        let (e, d, layout, key) = setup();
+        let honest = PackedCounter::seal(&e, &key, &layout, &fields(&layout, 5, 8, 1, 7, 2));
+        let forged = PackedCounter {
+            ct: e.encrypt_residue(&slot_layout(&layout).pack(&[99, 8, 1, 7, 2, 0, 0])),
+            tag: honest.tag.clone(),
+            layout: layout.clone(),
+        };
+        assert_eq!(forged.open(&d, &key), Err(ObliviousError::TagMismatch));
+    }
+
+    #[test]
+    fn packed_is_smaller_on_the_wire() {
+        let (e, d, layout, key) = setup();
+        let packed = PackedCounter::seal(&e, &key, &layout, &fields(&layout, 5, 8, 1, 7, 2));
+        let tuple = SecureCounter::seal_local(&e, &key, &layout, 5, 8, 1, 7, 2);
+        assert!(
+            packed.wire_bytes() * 2 < tuple.wire_bytes(),
+            "packed {} vs tuple {}",
+            packed.wire_bytes(),
+            tuple.wire_bytes()
+        );
+        let _ = d;
+    }
+
+    #[test]
+    #[should_panic(expected = "unsigned")]
+    fn negative_fields_rejected() {
+        let (e, _, layout, key) = setup();
+        let _ = PackedCounter::seal(&e, &key, &layout, &fields(&layout, -1, 0, 0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus too small")]
+    fn tiny_modulus_rejected() {
+        let kp = Keypair::generate_with_seed(128, 1);
+        let layout = CounterLayout::new(0, vec![1, 2]);
+        let keys = GridKeys::paillier(128, 1);
+        let key = keys.tags.key(layout.arity());
+        let _ = PackedCounter::seal(&kp.encryptor(), &key, &layout, &vec![0; layout.arity()]);
+    }
+}

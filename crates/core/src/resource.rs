@@ -1,0 +1,565 @@
+//! A full Secure-Majority-Rule participant (Algorithm 4): the
+//! accountant/broker/controller triple plus anytime candidate management.
+//!
+//! The driving loop matches §6's simulation regime: the caller invokes
+//! [`SecureResource::step`] once per simulation step (the accountant scans
+//! its budget of transactions and the broker reacts to local-counter
+//! changes), [`SecureResource::on_receive`] per delivered message, and
+//! [`SecureResource::generate_candidates`] every few steps ("on every
+//! fifth step communicated with its controller to create new candidate
+//! rules").
+
+use std::collections::{HashMap, HashSet};
+
+use gridmine_arm::{CandidateRule, Database, Item, Rule, RuleSet};
+use gridmine_majority::CandidateGenerator;
+use gridmine_paillier::HomCipher;
+
+use crate::accountant::Accountant;
+use crate::attack::{BrokerBehavior, ControllerBehavior};
+use crate::broker::{Broker, BrokerMsg};
+use crate::controller::{Controller, Verdict};
+use crate::counter::CounterLayout;
+use crate::keyring::GridKeys;
+
+/// A protocol message in flight between two resources.
+pub type WireMsg<C> = BrokerMsg<C>;
+
+/// One grid resource running Secure-Majority-Rule.
+pub struct SecureResource<C: HomCipher> {
+    id: usize,
+    layout: CounterLayout,
+    acc: Accountant<C>,
+    broker: Broker<C>,
+    ctl: Controller<C>,
+    generator: CandidateGenerator,
+    /// Counter layouts of neighbors (public topology metadata), needed to
+    /// seal outgoing messages in the receiver's slot order.
+    neighbor_layouts: HashMap<usize, CounterLayout>,
+    /// Last `Output()` answer per candidate (Algorithm 4's `R̃` source).
+    output_cache: HashMap<CandidateRule, bool>,
+    /// Verdict that halted this resource, if any.
+    halted: Option<Verdict>,
+    /// Controller deviation (validity experiments).
+    pub controller_behavior: ControllerBehavior,
+}
+
+impl<C: HomCipher> SecureResource<C> {
+    /// Builds a resource with its initial per-item candidates
+    /// (Algorithm 4's `C ← {⟨∅ ⇒ {i}, MinFreq⟩ | i ∈ I}`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: usize,
+        keys: &GridKeys<C>,
+        neighbors: Vec<usize>,
+        db: Database,
+        k: i64,
+        generator: CandidateGenerator,
+        items: &[Item],
+        seed: u64,
+    ) -> Self {
+        let layout = CounterLayout::new(id, neighbors);
+        let acc = Accountant::new(id, keys.enc.clone(), keys.tags.clone(), layout.clone(), db, seed);
+        let broker = Broker::new(id, keys.pub_ops.clone(), layout.clone());
+        let ctl = Controller::new(id, keys.dec.clone(), keys.tags.clone(), k, layout.clone());
+        let mut r = SecureResource {
+            id,
+            layout,
+            acc,
+            broker,
+            ctl,
+            generator,
+            neighbor_layouts: HashMap::new(),
+            output_cache: HashMap::new(),
+            halted: None,
+            controller_behavior: ControllerBehavior::Honest,
+        };
+        for cand in generator.initial(items) {
+            r.ensure_candidate(&cand);
+        }
+        r
+    }
+
+    /// Resource id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Own counter layout.
+    pub fn layout(&self) -> &CounterLayout {
+        &self.layout
+    }
+
+    /// The accountant (for database growth and metrics).
+    pub fn accountant(&self) -> &Accountant<C> {
+        &self.acc
+    }
+
+    /// Mutable accountant access.
+    pub fn accountant_mut(&mut self) -> &mut Accountant<C> {
+        &mut self.acc
+    }
+
+    /// Injects a broker deviation.
+    pub fn set_broker_behavior(&mut self, b: BrokerBehavior) {
+        self.broker.behavior = b;
+    }
+
+    /// Switches the controller's privacy-gate mode (call right after
+    /// construction; see [`crate::sfe::GateMode`]).
+    pub fn set_gate_mode(&mut self, mode: crate::sfe::GateMode) {
+        self.ctl.set_gate_mode(mode);
+    }
+
+    /// Messages this resource's broker has sent.
+    pub fn msgs_sent(&self) -> u64 {
+        self.broker.msgs_sent
+    }
+
+    /// SFE queries this resource's controller has served.
+    pub fn queries_served(&self) -> u64 {
+        self.ctl.queries_served
+    }
+
+    /// Number of live candidate instances.
+    pub fn candidate_count(&self) -> usize {
+        self.output_cache.len()
+    }
+
+    /// The verdict that halted this resource, if any — either raised by
+    /// the local controller or delivered by a grid broadcast.
+    pub fn verdict(&self) -> Option<Verdict> {
+        self.halted.or(self.ctl.verdict())
+    }
+
+    /// Grid-broadcast handler: a verdict was announced somewhere; this
+    /// resource stops trusting / talking (Algorithm 3 halts execution).
+    pub fn on_verdict_broadcast(&mut self, v: Verdict) {
+        if self.halted.is_none() {
+            self.halted = Some(v);
+        }
+    }
+
+    /// Registers a neighbor's layout (grid wiring).
+    pub fn set_neighbor_layout(&mut self, v: usize, layout: CounterLayout) {
+        self.neighbor_layouts.insert(v, layout);
+    }
+
+    /// Stores the encrypted share a neighbor's accountant assigned to this
+    /// resource (grid wiring).
+    pub fn store_share_from(&mut self, v: usize, share: C::Ct) {
+        self.broker.store_share_from(v, share);
+    }
+
+    /// The encrypted share this resource's accountant assigned to neighbor
+    /// `v` (grid wiring, outbound).
+    pub fn share_for_neighbor(&self, v: usize) -> C::Ct {
+        self.acc.encrypted_share_for(v)
+    }
+
+    /// Adopts a new neighbor set (dynamic membership, §1's "dynamically
+    /// adjusts to … newly added resources").
+    ///
+    /// Following Algorithm 2's "on change in `N_t^u`", the accountant
+    /// regenerates the accounting shares (`epoch` salts them), every
+    /// voting instance is re-initialized from the accountant's current
+    /// counters (no support data is lost), and the controller remaps its
+    /// audit state — *keeping* the k-gates, so a membership change cannot
+    /// be abused to re-disclose over a near-identical population.
+    ///
+    /// The caller must afterwards re-deliver shares and layouts between
+    /// this resource and its (new) neighbors; `resource::wire_pair` does
+    /// one edge.
+    pub fn rewire(&mut self, neighbors: Vec<usize>, epoch: u64) {
+        let layout = CounterLayout::new(self.id, neighbors);
+        self.layout = layout.clone();
+        self.acc.set_layout(layout.clone(), epoch);
+        self.ctl.set_layout(layout.clone());
+        self.broker.rewire(layout);
+        let cands: Vec<CandidateRule> = self.output_cache.keys().cloned().collect();
+        for cand in cands {
+            let local = self
+                .acc
+                .respond(&cand)
+                .pop()
+                .expect("accountant responds with at least one counter");
+            let placeholders = self
+                .layout
+                .neighbors
+                .iter()
+                .map(|&v| (v, self.acc.placeholder_for(v)))
+                .collect();
+            self.broker.init_rule(&cand, local, placeholders);
+        }
+    }
+
+    /// Lifts the duplicate-send suppressor toward `v` (see
+    /// [`Controller::reset_edge`]); call on the neighbors of a resource
+    /// that just rewired so they resend their current aggregates.
+    pub fn reset_edge(&mut self, v: usize) {
+        self.ctl.reset_edge(v);
+    }
+
+    /// Re-evaluates the send condition for every rule toward every
+    /// neighbor (a poke after membership changes).
+    pub fn nudge(&mut self) -> Vec<WireMsg<C>> {
+        if self.halted.is_some() {
+            return Vec::new();
+        }
+        let rules: Vec<CandidateRule> = self.output_cache.keys().cloned().collect();
+        let mut out = Vec::new();
+        for cand in rules {
+            out.extend(self.on_change(&cand));
+            if self.halted.is_some() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Creates the voting instance for a candidate if absent.
+    fn ensure_candidate(&mut self, cand: &CandidateRule) {
+        if self.broker.has_rule(cand) {
+            return;
+        }
+        self.acc.register_rule(cand);
+        let local = self
+            .acc
+            .respond(cand)
+            .pop()
+            .expect("accountant responds with at least one counter");
+        let placeholders = self
+            .layout
+            .neighbors
+            .iter()
+            .map(|&v| (v, self.acc.placeholder_for(v)))
+            .collect();
+        self.broker.init_rule(cand, local, placeholders);
+        self.output_cache.insert(cand.clone(), false);
+    }
+
+    /// Evaluates the send condition toward every neighbor for one rule
+    /// (Algorithm 1's "for each v ∈ E: if MajorityCond(v), call
+    /// Update(v)").
+    fn on_change(&mut self, cand: &CandidateRule) -> Vec<WireMsg<C>> {
+        if self.halted.is_some() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let neighbors = self.layout.neighbors.clone();
+        for v in neighbors {
+            let Some(receiver_layout) = self.neighbor_layouts.get(&v).cloned() else {
+                // Wiring incomplete (e.g. during joins); skip this edge.
+                continue;
+            };
+            let full = self.broker.full_aggregate(cand);
+            let minus = self.broker.minus_aggregate(cand, v);
+            let recv = self.broker.recv_of(cand, v);
+            let share = self.broker.share_for_sending_to(v).clone();
+            match self.ctl.send_query(cand, v, &receiver_layout, &full, &minus, &recv, &share) {
+                Ok(Some(counter)) => {
+                    self.broker.msgs_sent += 1;
+                    out.push(BrokerMsg { from: self.id, to: v, cand: cand.clone(), counter });
+                }
+                Ok(None) => {}
+                Err(verdict) => {
+                    self.halted = Some(verdict);
+                    return out;
+                }
+            }
+        }
+        out
+    }
+
+    /// One simulation step: the accountant scans `scan_budget` transactions
+    /// per candidate; changed counters flow to the broker (with the
+    /// obfuscation sequence) and trigger send evaluations.
+    pub fn step(&mut self, scan_budget: usize) -> Vec<WireMsg<C>> {
+        if self.halted.is_some() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let rules: Vec<CandidateRule> = self.output_cache.keys().cloned().collect();
+        for cand in rules {
+            if self.acc.advance_scan(&cand, scan_budget) {
+                for counter in self.acc.respond(&cand) {
+                    self.broker.set_local(&cand, counter);
+                    out.extend(self.on_change(&cand));
+                }
+            }
+            if self.halted.is_some() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Handles a delivered protocol message. Unknown candidates are
+    /// adopted together with their implied union-frequency candidate
+    /// (Algorithm 4's receive handler).
+    pub fn on_receive(&mut self, msg: &WireMsg<C>) -> Vec<WireMsg<C>> {
+        if self.halted.is_some() {
+            return Vec::new();
+        }
+        // Stale-epoch guard: a message sealed before a membership change
+        // carries the old layout (or comes from a departed neighbor) and
+        // cannot be mixed into the new counter world. Dropping it is safe:
+        // the rewire nudges force fresh sends under the new epoch.
+        if msg.counter.layout != self.layout || !self.layout.neighbors.contains(&msg.from) {
+            return Vec::new();
+        }
+        for implied in self.generator.from_received(&msg.cand) {
+            self.ensure_candidate(&implied);
+        }
+        self.broker.on_receive(&msg.cand, msg.from, msg.counter.clone());
+        self.on_change(&msg.cand)
+    }
+
+    /// Refreshes every candidate's `Output()` answer through the
+    /// controller SFE.
+    pub fn refresh_outputs(&mut self) {
+        if self.halted.is_some() {
+            return;
+        }
+        let rules: Vec<CandidateRule> = self.output_cache.keys().cloned().collect();
+        for cand in rules {
+            if self.controller_behavior == ControllerBehavior::Mute {
+                continue;
+            }
+            let full = self.broker.full_aggregate(&cand);
+            let blinded = self.broker.blinded_delta(&cand);
+            match self.ctl.output_query(&cand, &full, &blinded) {
+                Ok(answer) => {
+                    let answer = if self.controller_behavior == ControllerBehavior::InvertOutputs {
+                        !answer
+                    } else {
+                        answer
+                    };
+                    self.output_cache.insert(cand, answer);
+                }
+                Err(verdict) => {
+                    self.halted = Some(verdict);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The interim solution `R̃_u[DB_t]`: candidates whose `Output()` is
+    /// true; confidence rules additionally require their union's frequency
+    /// rule to hold ("correct rules between frequent itemsets").
+    pub fn interim(&self) -> RuleSet {
+        let frequent: HashSet<&Rule> = self
+            .output_cache
+            .iter()
+            .filter(|(c, &ok)| ok && c.rule.is_frequency())
+            .map(|(c, _)| &c.rule)
+            .collect();
+        let mut out = RuleSet::new();
+        for (cand, &ok) in &self.output_cache {
+            if !ok {
+                continue;
+            }
+            if cand.rule.is_frequency() || frequent.contains(&Rule::frequency(cand.rule.union())) {
+                out.insert(cand.rule.clone());
+            }
+        }
+        out
+    }
+
+    /// The candidate-generation cycle of Algorithm 4: refresh outputs,
+    /// expand the candidate set from the interim solution, start new
+    /// voting instances.
+    pub fn generate_candidates(&mut self) -> Vec<WireMsg<C>> {
+        if self.halted.is_some() {
+            return Vec::new();
+        }
+        self.refresh_outputs();
+        let interim = self.interim();
+        let existing: HashSet<CandidateRule> = self.output_cache.keys().cloned().collect();
+        let fresh = self.generator.expand(&interim, &existing);
+        let mut out = Vec::new();
+        for cand in fresh {
+            self.ensure_candidate(&cand);
+            out.extend(self.on_change(&cand));
+            if self.halted.is_some() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Wires one edge: exchanges encrypted shares and layouts between two
+/// adjacent resources (both directions). Use after a join or rewire.
+pub fn wire_pair<C: HomCipher>(a: &mut SecureResource<C>, b: &mut SecureResource<C>) {
+    let (a_id, b_id) = (a.id, b.id);
+    a.set_neighbor_layout(b_id, b.layout.clone());
+    b.set_neighbor_layout(a_id, a.layout.clone());
+    b.store_share_from(a_id, a.share_for_neighbor(b_id));
+    a.store_share_from(b_id, b.share_for_neighbor(a_id));
+}
+
+/// Wires a grid: exchanges encrypted shares and layouts between adjacent
+/// resources. Call once after constructing all resources.
+pub fn wire_grid<C: HomCipher>(resources: &mut [SecureResource<C>]) {
+    // Outbound shares: u's accountant assigns share^{uv} to neighbor v.
+    let mut deliveries: Vec<(usize, usize, C::Ct)> = Vec::new();
+    let mut layouts: Vec<(usize, CounterLayout)> = Vec::new();
+    for r in resources.iter() {
+        layouts.push((r.id, r.layout.clone()));
+        for &v in &r.layout.neighbors {
+            deliveries.push((r.id, v, r.share_for_neighbor(v)));
+        }
+    }
+    let layout_map: HashMap<usize, CounterLayout> = layouts.into_iter().collect();
+    for r in resources.iter_mut() {
+        let nbrs = r.layout.neighbors.clone();
+        for v in nbrs {
+            if let Some(l) = layout_map.get(&v) {
+                r.set_neighbor_layout(v, l.clone());
+            }
+        }
+    }
+    for (from, to, share) in deliveries {
+        if let Some(r) = resources.iter_mut().find(|r| r.id == to) {
+            r.store_share_from(from, share);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmine_arm::{Ratio, Transaction};
+    use gridmine_paillier::MockCipher;
+
+    fn mk_db(rows: &[(u64, &[u32])]) -> Database {
+        Database::from_transactions(
+            rows.iter().map(|&(id, items)| Transaction::of(id, items)).collect(),
+        )
+    }
+
+    fn items(n: u32) -> Vec<Item> {
+        (1..=n).map(Item).collect()
+    }
+
+    /// Synchronous driver used by the unit tests: steps resources and
+    /// delivers messages until quiescence, interleaving generation cycles.
+    fn run_grid(resources: &mut [SecureResource<MockCipher>], max_rounds: usize) {
+        for round in 0..max_rounds {
+            let mut queue: Vec<WireMsg<MockCipher>> = Vec::new();
+            for r in resources.iter_mut() {
+                queue.extend(r.step(usize::MAX));
+            }
+            let mut hops = 0;
+            while !queue.is_empty() {
+                hops += 1;
+                assert!(hops < 10_000, "message storm: no quiescence");
+                let mut next = Vec::new();
+                for msg in queue {
+                    let to = msg.to;
+                    let r = resources.iter_mut().find(|r| r.id() == to).expect("routed");
+                    next.extend(r.on_receive(&msg));
+                }
+                queue = next;
+            }
+            let mut gen_msgs: Vec<WireMsg<MockCipher>> = Vec::new();
+            for r in resources.iter_mut() {
+                gen_msgs.extend(r.generate_candidates());
+            }
+            let mut hops = 0;
+            let mut queue = gen_msgs;
+            while !queue.is_empty() {
+                hops += 1;
+                assert!(hops < 10_000, "message storm in generation round {round}");
+                let mut next = Vec::new();
+                for msg in queue {
+                    let to = msg.to;
+                    let r = resources.iter_mut().find(|r| r.id() == to).expect("routed");
+                    next.extend(r.on_receive(&msg));
+                }
+                queue = next;
+            }
+        }
+        for r in resources.iter_mut() {
+            r.refresh_outputs();
+        }
+    }
+
+    fn two_resource_grid(k: i64) -> Vec<SecureResource<MockCipher>> {
+        let keys = GridKeys::mock(5);
+        let generator = CandidateGenerator::new(Ratio::new(1, 2), Ratio::new(3, 4));
+        let db0 = mk_db(&[(0, &[1, 2]), (1, &[1, 2]), (2, &[3])]);
+        let db1 = mk_db(&[(3, &[1, 2]), (4, &[1])]);
+        let mut rs = vec![
+            SecureResource::new(0, &keys, vec![1], db0, k, generator, &items(3), 7),
+            SecureResource::new(1, &keys, vec![0], db1, k, generator, &items(3), 8),
+        ];
+        wire_grid(&mut rs);
+        rs
+    }
+
+    #[test]
+    fn two_resources_converge_to_global_rules() {
+        let mut rs = two_resource_grid(1);
+        run_grid(&mut rs, 6);
+        // Global: {1}: 4/5, {2}: 3/5, {1,2}: 3/5 frequent at MinFreq 1/2;
+        // conf(1⇒2) = 3/4, conf(2⇒1) = 1 at MinConf 3/4.
+        let expect = [
+            "∅ ⇒ {1}",
+            "∅ ⇒ {1,2}",
+            "∅ ⇒ {2}",
+            "{1} ⇒ {2}",
+            "{2} ⇒ {1}",
+        ];
+        for r in &rs {
+            let got: Vec<String> = r.interim().sorted().iter().map(|x| x.to_string()).collect();
+            assert_eq!(got, expect, "resource {} diverged", r.id());
+            assert!(r.verdict().is_none());
+        }
+    }
+
+    #[test]
+    fn high_k_discloses_nothing_on_a_small_grid() {
+        // k = 10 with 2 resources: the num gate can never pass, so the
+        // interim solutions stay empty — the k-privacy floor in action.
+        let mut rs = two_resource_grid(10);
+        run_grid(&mut rs, 4);
+        for r in &rs {
+            assert!(r.interim().is_empty(), "k larger than the grid must gate all outputs");
+        }
+    }
+
+    #[test]
+    fn double_count_attack_is_detected_and_blamed() {
+        let mut rs = two_resource_grid(1);
+        rs[0].set_broker_behavior(BrokerBehavior::DoubleCount(1));
+        run_grid(&mut rs, 3);
+        assert_eq!(rs[0].verdict(), Some(Verdict::MaliciousBroker(0)));
+    }
+
+    #[test]
+    fn arbitrary_value_attack_is_detected() {
+        let mut rs = two_resource_grid(1);
+        rs[1].set_broker_behavior(BrokerBehavior::ArbitraryValue);
+        run_grid(&mut rs, 3);
+        assert_eq!(rs[1].verdict(), Some(Verdict::MaliciousBroker(1)));
+    }
+
+    #[test]
+    fn omission_attack_is_detected() {
+        let mut rs = two_resource_grid(1);
+        rs[0].set_broker_behavior(BrokerBehavior::OmitNeighbor(1));
+        run_grid(&mut rs, 3);
+        assert_eq!(rs[0].verdict(), Some(Verdict::MaliciousBroker(0)));
+    }
+
+    #[test]
+    fn verdict_broadcast_halts_other_resources() {
+        let mut rs = two_resource_grid(1);
+        rs[1].on_verdict_broadcast(Verdict::MaliciousBroker(0));
+        assert_eq!(rs[1].verdict(), Some(Verdict::MaliciousBroker(0)));
+        assert!(rs[1].step(usize::MAX).is_empty(), "halted resources stay silent");
+    }
+}

@@ -1,0 +1,112 @@
+//! Accounting shares (§5.2).
+//!
+//! > "each message sent from broker v to broker u includes … a special
+//! > field … containing an encrypted random integer chosen by the
+//! > accountant of u on initialization. The values encrypted by the group
+//! > of shares assigned by u to its neighbors and itself have the property
+//! > of summing to 1 (modulo the size of the field)."
+//!
+//! Resource `u`'s accountant draws one share per neighbor plus one for
+//! itself, summing to 1 modulo [`SHARE_MODULUS`]. When `u`'s broker later
+//! aggregates its own counter with every neighbor's latest message, the
+//! share field of the aggregate decrypts to 1 **iff** each contribution
+//! was counted exactly once — over/under-counting by a broker shifts the
+//! sum by some share value, which it cannot compensate without knowing the
+//! (encrypted) shares.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Shares live in `Z_p` for a prime that keeps sums inside `i64` even
+/// after the controller's linear tag arithmetic: 2³¹ − 1 (Mersenne).
+pub const SHARE_MODULUS: i64 = (1 << 31) - 1;
+
+/// Reduces a value into the share field `[0, SHARE_MODULUS)`.
+pub fn share_reduce(x: i64) -> i64 {
+    x.rem_euclid(SHARE_MODULUS)
+}
+
+/// The share vector one accountant creates for its resource.
+#[derive(Clone, Debug)]
+pub struct ShareSet {
+    /// `share_{u⊥}` — kept by the accountant for its own counters.
+    pub own: i64,
+    /// `share^{uv}` per neighbor `v` — distributed to `v` at initialization,
+    /// indexed by neighbor id.
+    pub per_neighbor: Vec<(usize, i64)>,
+}
+
+impl ShareSet {
+    /// Draws shares for `neighbors`, summing to 1 modulo the field.
+    pub fn generate(neighbors: &[usize], seed: u64) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x5AAE);
+        let per_neighbor: Vec<(usize, i64)> = neighbors
+            .iter()
+            .map(|&v| (v, rng.gen_range(0..SHARE_MODULUS)))
+            .collect();
+        let neighbor_sum: i64 = per_neighbor.iter().map(|&(_, s)| s).fold(0, |a, b| share_reduce(a + b));
+        let own = share_reduce(1 - neighbor_sum);
+        ShareSet { own, per_neighbor }
+    }
+
+    /// The share assigned to neighbor `v`.
+    pub fn for_neighbor(&self, v: usize) -> Option<i64> {
+        self.per_neighbor.iter().find(|&&(n, _)| n == v).map(|&(_, s)| s)
+    }
+
+    /// Verifies the defining invariant (test helper).
+    pub fn sums_to_one(&self) -> bool {
+        let total = self
+            .per_neighbor
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(self.own, |a, b| share_reduce(a + b));
+        total == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        for n in 0..8usize {
+            let neighbors: Vec<usize> = (0..n).collect();
+            let s = ShareSet::generate(&neighbors, n as u64);
+            assert!(s.sums_to_one(), "degree {n}");
+            assert_eq!(s.per_neighbor.len(), n);
+        }
+    }
+
+    #[test]
+    fn shares_are_random_looking() {
+        let s = ShareSet::generate(&[1, 2, 3], 7);
+        let t = ShareSet::generate(&[1, 2, 3], 8);
+        assert_ne!(s.per_neighbor, t.per_neighbor);
+    }
+
+    #[test]
+    fn double_count_breaks_the_sum() {
+        let s = ShareSet::generate(&[1, 2], 3);
+        let honest = share_reduce(s.own + s.for_neighbor(1).unwrap() + s.for_neighbor(2).unwrap());
+        assert_eq!(honest, 1);
+        let double = share_reduce(honest + s.for_neighbor(1).unwrap());
+        assert_ne!(double, 1);
+        let omitted = share_reduce(s.own + s.for_neighbor(1).unwrap());
+        assert_ne!(omitted, 1);
+    }
+
+    #[test]
+    fn share_reduce_handles_negatives() {
+        assert_eq!(share_reduce(-1), SHARE_MODULUS - 1);
+        assert_eq!(share_reduce(SHARE_MODULUS), 0);
+        assert_eq!(share_reduce(1), 1);
+    }
+
+    #[test]
+    fn degree_zero_resource_owns_the_whole_unit() {
+        let s = ShareSet::generate(&[], 0);
+        assert_eq!(s.own, 1);
+    }
+}

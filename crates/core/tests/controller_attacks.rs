@@ -1,0 +1,133 @@
+//! Malicious controllers (§3's attack model lets them "do whatever they
+//! please"): the paper's claim is that they can harm *validity*, never
+//! privacy — a controller already holds the decryption key, so there is
+//! nothing privacy-relevant left for it to steal; what it can do is lie.
+//!
+//! These tests check the blast radius: an output-inverting controller
+//! corrupts only its own resource's interim solution, and a mute one only
+//! stalls its own resource.
+
+use gridmine_arm::{correct_rules, AprioriConfig, Database, Item, Ratio, Transaction};
+use gridmine_core::attack::ControllerBehavior;
+use gridmine_core::resource::wire_grid;
+use gridmine_core::{GridKeys, SecureResource, WireMsg};
+use gridmine_paillier::MockCipher;
+
+fn drive(resources: &mut [SecureResource<MockCipher>], rounds: usize) {
+    // FIFO delivery: the protocol's replay detection (timestamp traces)
+    // assumes ordered channels, like any Lamport-clock scheme.
+    use std::collections::VecDeque;
+    for _ in 0..rounds {
+        let mut queue: VecDeque<WireMsg<MockCipher>> = VecDeque::new();
+        for r in resources.iter_mut() {
+            queue.extend(r.step(usize::MAX));
+        }
+        while let Some(msg) = queue.pop_front() {
+            let to = msg.to;
+            queue.extend(resources[to].on_receive(&msg));
+        }
+        let mut queue: VecDeque<WireMsg<MockCipher>> = VecDeque::new();
+        for r in resources.iter_mut() {
+            queue.extend(r.generate_candidates());
+        }
+        while let Some(msg) = queue.pop_front() {
+            let to = msg.to;
+            queue.extend(resources[to].on_receive(&msg));
+        }
+    }
+    for r in resources.iter_mut() {
+        r.refresh_outputs();
+    }
+}
+
+fn grid(n: usize) -> (Vec<SecureResource<MockCipher>>, gridmine_arm::RuleSet) {
+    let keys = GridKeys::mock(4);
+    let generator =
+        gridmine_majority::CandidateGenerator::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    let items = vec![Item(1), Item(2), Item(3)];
+    let dbs: Vec<Database> = (0..n as u64)
+        .map(|u| {
+            Database::from_transactions(
+                (0..40)
+                    .map(|j| {
+                        let id = u * 40 + j;
+                        if j % 4 == 0 {
+                            Transaction::of(id, &[3])
+                        } else {
+                            Transaction::of(id, &[1, 2])
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let truth = correct_rules(
+        &Database::union_of(dbs.iter()),
+        &AprioriConfig::new(Ratio::new(1, 2), Ratio::new(1, 2)),
+    );
+    let mut rs: Vec<SecureResource<MockCipher>> = dbs
+        .into_iter()
+        .enumerate()
+        .map(|(u, db)| {
+            let mut neighbors = Vec::new();
+            if u > 0 {
+                neighbors.push(u - 1);
+            }
+            if u + 1 < n {
+                neighbors.push(u + 1);
+            }
+            SecureResource::new(u, &keys, neighbors, db, 1, generator, &items, u as u64)
+        })
+        .collect();
+    wire_grid(&mut rs);
+    (rs, truth)
+}
+
+#[test]
+fn inverting_controller_harms_only_its_own_resource() {
+    let (mut rs, truth) = grid(5);
+    rs[2].controller_behavior = ControllerBehavior::InvertOutputs;
+    drive(&mut rs, 6);
+
+    // The victim's interim is inverted garbage…
+    let victim = rs[2].interim();
+    assert!(
+        gridmine_arm::recall(&victim, &truth) < 0.5,
+        "inverted outputs should wreck the local interim, got {:?}",
+        victim.sorted()
+    );
+    // …while every honest resource still converges exactly.
+    for r in rs.iter().filter(|r| r.id() != 2) {
+        assert_eq!(
+            r.interim(),
+            truth,
+            "honest resource {} was affected by a lying controller elsewhere",
+            r.id()
+        );
+        assert!(r.verdict().is_none());
+    }
+}
+
+#[test]
+fn mute_controller_stalls_only_its_own_resource() {
+    let (mut rs, truth) = grid(5);
+    rs[2].controller_behavior = ControllerBehavior::Mute;
+    drive(&mut rs, 6);
+
+    // The mute resource's outputs never refresh: its interim stays empty.
+    assert!(rs[2].interim().is_empty(), "mute controller must leave the cache untouched");
+    // Honest resources still converge — the broker of resource 2 keeps
+    // relaying (its *send* SFE still runs; Mute models an output-silent
+    // controller, the denial-of-service that §3 allows).
+    for r in rs.iter().filter(|r| r.id() != 2) {
+        assert_eq!(r.interim(), truth, "honest resource {} stalled", r.id());
+    }
+}
+#[test]
+fn honest_baseline_converges() {
+    let (mut rs, truth) = grid(5);
+    drive(&mut rs, 6);
+    for r in rs.iter() {
+        assert_eq!(r.interim(), truth, "resource {} diverged (verdict {:?}, cands {})", r.id(), r.verdict(), r.candidate_count());
+    }
+}

@@ -1,0 +1,113 @@
+//! §5.3's security argument, executed: the controller's k-gate must answer
+//! exactly the queries the ideal k-TTP of Definition 3.1 would serve, for
+//! the cumulative (grow-only) populations the protocol produces.
+//!
+//! "Because in our algorithm votes are always accumulated, we have that
+//! V_t1 ⊆ V_t2 … consequently, for any G ⊆ {V_t1 …}, either
+//! |V_ti △ (∪G)| ≥ k or the controller does not provide the majority
+//! vote."
+
+use std::collections::BTreeSet;
+
+use gridmine_core::{KGate, KTtp};
+use proptest::prelude::*;
+
+/// A random grow-only population chain: each query adds 0..=6 new
+/// participants to the previous population.
+fn growth_chain() -> impl Strategy<Value = Vec<usize>> {
+    // Population sizes, cumulative.
+    prop::collection::vec(0usize..7, 1..12).prop_map(|increments| {
+        let mut sizes = Vec::with_capacity(increments.len());
+        let mut total = 0;
+        for inc in increments {
+            total += inc;
+            sizes.push(total);
+        }
+        sizes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For nested populations, the gate's "≥ k new members since the last
+    /// answered query" decision coincides with Definition 3.1's
+    /// symmetric-difference condition.
+    #[test]
+    fn gate_matches_kttp_on_growing_chains(sizes in growth_chain(), k in 1usize..5) {
+        let mut ttp = KTtp::new(k);
+        let mut gate = KGate::new(k as i64);
+        for i in 0..40 {
+            ttp.set_input(i, 1);
+        }
+        for &n in &sizes {
+            let v: BTreeSet<usize> = (0..n).collect();
+            let ttp_answers = ttp.request_sum(0, &v).is_some();
+            // The gate sees the resource count as x2 and (here) the same
+            // value as the transaction count x1.
+            let gate_fresh = gate.is_fresh(n as i64, n as i64);
+            prop_assert_eq!(
+                ttp_answers, gate_fresh,
+                "population {} of chain {:?} (k = {})", n, sizes, k
+            );
+            if gate_fresh {
+                gate.disclose(n as i64, n as i64, || true);
+            }
+        }
+    }
+
+    /// The gate never discloses more often than the TTP allows, even when
+    /// the transaction population grows faster than the resource
+    /// population (the protocol's usual shape).
+    #[test]
+    fn gate_is_conservative_with_faster_transactions(
+        sizes in growth_chain(),
+        tx_scale in 2i64..50,
+        k in 1usize..5,
+    ) {
+        let mut ttp = KTtp::new(k);
+        let mut gate = KGate::new(k as i64);
+        for i in 0..40 {
+            ttp.set_input(i, 1);
+        }
+        for &n in &sizes {
+            let v: BTreeSet<usize> = (0..n).collect();
+            let ttp_answers = ttp.request_sum(0, &v).is_some();
+            let gate_fresh = gate.is_fresh(n as i64 * tx_scale, n as i64);
+            // Resource population gating is the binding constraint here:
+            // the gate may be *stricter* than the TTP (x1 also must grow)
+            // but never looser.
+            prop_assert!(
+                !gate_fresh || ttp_answers,
+                "gate disclosed where the k-TTP refuses (n = {n}, k = {k})"
+            );
+            if gate_fresh {
+                gate.disclose(n as i64 * tx_scale, n as i64, || true);
+            } else if ttp_answers {
+                // Keep the two histories aligned: the TTP served this
+                // population even though the gate stayed shut; from the
+                // gate's perspective that disclosure never happened, which
+                // only makes it stricter going forward.
+            }
+        }
+    }
+}
+
+#[test]
+fn kttp_refuses_differencing_attack() {
+    // The attack the resource-gate exists to stop: query {A..J}, then
+    // {A..J} ∪ {K} — the difference would reveal K's data alone.
+    let mut ttp = KTtp::new(2);
+    for i in 0..11 {
+        ttp.set_input(i, (i * i) as i64);
+    }
+    let v10: BTreeSet<usize> = (0..10).collect();
+    let v11: BTreeSet<usize> = (0..11).collect();
+    assert!(ttp.request_sum(0, &v10).is_some());
+    assert_eq!(ttp.request_sum(0, &v11), None, "|V11 △ V10| = 1 < 2");
+    // Two more members is fine.
+    let mut v12 = v11.clone();
+    v12.insert(11);
+    ttp.set_input(11, 5);
+    assert!(ttp.request_sum(0, &v12).is_some());
+}

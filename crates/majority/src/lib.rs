@@ -1,0 +1,25 @@
+//! *Majority-Rule* — the scalable, non-private distributed ARM baseline
+//! (§4.1, citing Wolff & Schuster ICDM'03).
+//!
+//! Two layers:
+//!
+//! * [`scalable`] — *Scalable-Majority*: the local majority-voting protocol
+//!   over the communication tree. Each node keeps, per neighbor, the last
+//!   pair ⟨sum, count⟩ sent and received, and forwards its aggregate only
+//!   when the pairwise view and its own view disagree about the majority —
+//!   the locality that makes the whole construction scale.
+//! * [`rule`] — *Majority-Rule*: the reduction of distributed ARM to one
+//!   majority vote per candidate rule, plus the Apriori-flavored candidate
+//!   generation of §4.1 (shared by the secure algorithm in
+//!   `gridmine-core`).
+//!
+//! Everything here is plaintext; `gridmine-core` wraps the same logic in
+//! oblivious counters.
+
+pub mod candidates;
+pub mod rule;
+pub mod scalable;
+
+pub use candidates::CandidateGenerator;
+pub use rule::{MajorityRuleMiner, ResourceVote};
+pub use scalable::{MajorityNode, OutMsg, VotePair};

@@ -1,0 +1,324 @@
+//! The Paillier cipher proper: encryption, decryption and the key-free
+//! homomorphic algebra (`A+`, `A−`, scalar multiplication, rerandomization).
+//!
+//! Plaintexts are signed 64-bit integers embedded into `Z_n` with the
+//! standard shifting convention the paper mentions: a residue above `n/2`
+//! decodes as negative. Counters in the protocol are far below 2⁶³ so the
+//! embedding is always unambiguous.
+
+use std::sync::{Arc, Mutex};
+
+use num_bigint::{BigInt, BigUint, RandBigInt, Sign};
+use num_traits::One;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::keys::{mod_inverse, PrivateKey, PublicKey};
+use crate::HomCipher;
+
+/// A Paillier ciphertext: an element of `Z_{n²}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ciphertext(pub(crate) BigUint);
+
+impl serde::Serialize for Ciphertext {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serde::Serialize::serialize(&self.0.to_bytes_be(), s)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Ciphertext {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let bytes = Vec::<u8>::deserialize(d)?;
+        Ok(Ciphertext(BigUint::from_bytes_be(&bytes)))
+    }
+}
+
+impl Ciphertext {
+    /// Raw residue (for serialization / size accounting).
+    pub fn as_biguint(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Serialized size in bytes (used by the simulator's bandwidth model).
+    pub fn byte_len(&self) -> usize {
+        (self.0.bits() as usize).div_ceil(8)
+    }
+}
+
+/// A capability handle over a Paillier keypair.
+///
+/// * accountants get a handle with no private key (encrypt + algebra),
+/// * controllers get one with the private key (everything),
+/// * brokers get one with no private key and, by protocol contract, only
+///   ever call the algebra.
+///
+/// The handle owns a seeded RNG behind a mutex so that `&self` methods can
+/// draw randomness; contention is negligible because each protocol entity
+/// owns its own handle.
+#[derive(Clone, Debug)]
+pub struct PaillierCtx {
+    pk: Arc<PublicKey>,
+    sk: Option<Arc<PrivateKey>>,
+    rng: Arc<Mutex<ChaCha12Rng>>,
+}
+
+impl PaillierCtx {
+    pub(crate) fn new(pk: PublicKey, sk: Option<PrivateKey>, seed: u64) -> Self {
+        PaillierCtx {
+            pk: Arc::new(pk),
+            sk: sk.map(Arc::new),
+            rng: Arc::new(Mutex::new(ChaCha12Rng::seed_from_u64(seed))),
+        }
+    }
+
+    /// The public key this handle operates under.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    /// Encode a signed integer into `Z_n` (shifting convention).
+    fn encode(&self, m: i64) -> BigUint {
+        if m >= 0 {
+            BigUint::from(m as u64)
+        } else {
+            &self.pk.n - BigUint::from(m.unsigned_abs())
+        }
+    }
+
+    /// Decode a `Z_n` residue back to a signed integer.
+    ///
+    /// # Panics
+    /// Panics if the residue does not fit an `i64` after sign adjustment —
+    /// which in the protocol means a corrupted or overflowed counter.
+    fn decode(&self, m: BigUint) -> i64 {
+        use num_traits::ToPrimitive;
+        if m > self.pk.half_n {
+            let neg = &self.pk.n - m;
+            let v = neg.to_i64().expect("decoded magnitude exceeds i64");
+            -v
+        } else {
+            m.to_i64().expect("decoded magnitude exceeds i64")
+        }
+    }
+
+    /// Draws a unit `r ∈ Z_n*` for encryption randomness.
+    fn sample_unit(&self) -> BigUint {
+        use num_integer::Integer;
+        let mut rng = self.rng.lock().expect("rng poisoned");
+        loop {
+            let r = rng.gen_biguint_range(&BigUint::one(), &self.pk.n);
+            if r.gcd(&self.pk.n).is_one() {
+                return r;
+            }
+        }
+    }
+
+    /// Encrypts an arbitrary `Z_n` residue (used by the slot-vector layer,
+    /// whose packed plaintexts exceed 64 bits).
+    pub fn encrypt_residue(&self, m: &BigUint) -> Ciphertext {
+        debug_assert!(m < &self.pk.n, "plaintext must be reduced mod n");
+        let r = self.sample_unit();
+        // (1 + m·n) · rⁿ mod n²  — the g = n+1 shortcut.
+        let gm = (BigUint::one() + m * &self.pk.n) % &self.pk.n2;
+        let rn = r.modpow(&self.pk.n, &self.pk.n2);
+        Ciphertext(gm * rn % &self.pk.n2)
+    }
+
+    /// Decrypts to the raw `Z_n` residue. Uses CRT (mod p² and q²
+    /// separately) when the private key carries the precomputation —
+    /// roughly 4× cheaper than the direct mod-n² exponentiation.
+    ///
+    /// # Panics
+    /// Panics if this handle has no private key.
+    pub fn decrypt_residue(&self, c: &Ciphertext) -> BigUint {
+        let sk = self
+            .sk
+            .as_ref()
+            .expect("this handle has no decryption capability (broker/accountant side)");
+        if let Some(crt) = &sk.crt {
+            // m mod p = L_p(c^{p−1} mod p²) · hp mod p; likewise mod q.
+            let cp = (&c.0 % &crt.p2).modpow(&(&crt.p - 1u32), &crt.p2);
+            let cq = (&c.0 % &crt.q2).modpow(&(&crt.q - 1u32), &crt.q2);
+            let mp = ((cp - BigUint::one()) / &crt.p) % &crt.p * &crt.hp % &crt.p;
+            let mq = ((cq - BigUint::one()) / &crt.q) % &crt.q * &crt.hq % &crt.q;
+            // Garner recombination: m = mp + p·((mq − mp)·p⁻¹ mod q).
+            let diff = if mq >= mp { &mq - &mp } else { &crt.q - ((&mp - &mq) % &crt.q) % &crt.q };
+            let t = diff % &crt.q * &crt.p_inv_q % &crt.q;
+            (mp + &crt.p * t) % &self.pk.n
+        } else {
+            let u = c.0.modpow(&sk.lambda, &self.pk.n2);
+            // L(u) = (u - 1) / n
+            let l = (u - BigUint::one()) / &self.pk.n;
+            l * &sk.mu % &self.pk.n
+        }
+    }
+
+    /// Decrypts via the direct (non-CRT) path — reference implementation
+    /// used by tests to cross-check the CRT fast path.
+    pub fn decrypt_residue_slow(&self, c: &Ciphertext) -> BigUint {
+        let sk = self
+            .sk
+            .as_ref()
+            .expect("this handle has no decryption capability (broker/accountant side)");
+        let u = c.0.modpow(&sk.lambda, &self.pk.n2);
+        let l = (u - BigUint::one()) / &self.pk.n;
+        l * &sk.mu % &self.pk.n
+    }
+
+    /// Homomorphic addition of raw ciphertexts: multiply mod n².
+    pub fn add_raw(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext(&a.0 * &b.0 % &self.pk.n2)
+    }
+
+    /// Homomorphic negation: modular inverse mod n².
+    pub fn neg_raw(&self, a: &Ciphertext) -> Ciphertext {
+        let inv = mod_inverse(&a.0, &self.pk.n2)
+            .expect("ciphertext is a unit mod n² (gcd(c, n) = 1 for honest ciphertexts)");
+        Ciphertext(inv)
+    }
+
+    /// Homomorphic scalar multiplication by an arbitrary-precision signed
+    /// scalar: `c^k mod n²` (inverse first for negative `k`).
+    pub fn scalar_raw(&self, k: &BigInt, c: &Ciphertext) -> Ciphertext {
+        let (sign, mag) = k.clone().into_parts();
+        let base = if sign == Sign::Minus {
+            self.neg_raw(c).0
+        } else {
+            c.0.clone()
+        };
+        Ciphertext(base.modpow(&mag, &self.pk.n2))
+    }
+}
+
+impl HomCipher for PaillierCtx {
+    type Ct = Ciphertext;
+
+    fn encrypt_i64(&self, m: i64) -> Ciphertext {
+        let enc = self.encode(m);
+        self.encrypt_residue(&enc)
+    }
+
+    fn decrypt_i64(&self, c: &Ciphertext) -> i64 {
+        let m = self.decrypt_residue(c);
+        self.decode(m)
+    }
+
+    fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.add_raw(a, b)
+    }
+
+    fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.add_raw(a, &self.neg_raw(b))
+    }
+
+    fn scalar(&self, m: i64, c: &Ciphertext) -> Ciphertext {
+        self.scalar_raw(&BigInt::from(m), c)
+    }
+
+    fn rerandomize(&self, c: &Ciphertext) -> Ciphertext {
+        let r = self.sample_unit();
+        let rn = r.modpow(&self.pk.n, &self.pk.n2);
+        Ciphertext(&c.0 * rn % &self.pk.n2)
+    }
+
+    fn can_decrypt(&self) -> bool {
+        self.sk.is_some()
+    }
+
+    fn ct_bytes(c: &Ciphertext) -> usize {
+        c.byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keypair;
+
+    fn small_keys() -> Keypair {
+        Keypair::generate_with_seed(256, 0xA11CE)
+    }
+
+    #[test]
+    fn roundtrip_positive_and_negative() {
+        let kp = small_keys();
+        let (e, d) = (kp.encryptor(), kp.decryptor());
+        for m in [0i64, 1, -1, 42, -42, i64::MAX / 4, -(i64::MAX / 4)] {
+            assert_eq!(d.decrypt_i64(&e.encrypt_i64(m)), m, "roundtrip {m}");
+        }
+    }
+
+    #[test]
+    fn encryption_is_probabilistic() {
+        let kp = small_keys();
+        let e = kp.encryptor();
+        assert_ne!(e.encrypt_i64(5), e.encrypt_i64(5));
+    }
+
+    #[test]
+    fn addition_subtraction_scalar() {
+        let kp = small_keys();
+        let (e, d) = (kp.encryptor(), kp.decryptor());
+        let a = e.encrypt_i64(30);
+        let b = e.encrypt_i64(-12);
+        assert_eq!(d.decrypt_i64(&e.add(&a, &b)), 18);
+        assert_eq!(d.decrypt_i64(&e.sub(&a, &b)), 42);
+        assert_eq!(d.decrypt_i64(&e.scalar(3, &a)), 90);
+        assert_eq!(d.decrypt_i64(&e.scalar(-3, &a)), -90);
+        assert_eq!(d.decrypt_i64(&e.scalar(0, &a)), 0);
+    }
+
+    #[test]
+    fn rerandomization_preserves_plaintext_changes_cipher() {
+        let kp = small_keys();
+        let (e, d) = (kp.encryptor(), kp.decryptor());
+        let c = e.encrypt_i64(77);
+        let r = e.rerandomize(&c);
+        assert_ne!(c, r);
+        assert_eq!(d.decrypt_i64(&r), 77);
+    }
+
+    #[test]
+    fn broker_handle_cannot_decrypt() {
+        let kp = small_keys();
+        assert!(!kp.broker_handle().can_decrypt());
+        assert!(kp.decryptor().can_decrypt());
+    }
+
+    #[test]
+    #[should_panic(expected = "no decryption capability")]
+    fn decrypt_without_key_panics() {
+        let kp = small_keys();
+        let e = kp.encryptor();
+        let c = e.encrypt_i64(1);
+        let _ = e.decrypt_i64(&c);
+    }
+
+    #[test]
+    fn crt_decryption_matches_reference_path() {
+        use num_bigint::RandBigInt;
+        use rand::SeedableRng;
+        let kp = Keypair::generate_with_seed(512, 0xC127);
+        let (e, d) = (kp.encryptor(), kp.decryptor());
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(9);
+        for _ in 0..50 {
+            let m = rng.gen_biguint_below(e.public_key().modulus());
+            let c = e.encrypt_residue(&m);
+            assert_eq!(d.decrypt_residue(&c), d.decrypt_residue_slow(&c));
+            assert_eq!(d.decrypt_residue(&c), m);
+        }
+    }
+
+    #[test]
+    fn sum_of_many_terms() {
+        let kp = small_keys();
+        let (e, d) = (kp.encryptor(), kp.decryptor());
+        let mut acc = e.zero();
+        let mut expect = 0i64;
+        for i in -20i64..=20 {
+            acc = e.add(&acc, &e.encrypt_i64(i * 7));
+            expect += i * 7;
+        }
+        assert_eq!(d.decrypt_i64(&acc), expect);
+    }
+}

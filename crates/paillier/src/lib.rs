@@ -1,0 +1,98 @@
+//! Homomorphic cryptography substrate for gridmine.
+//!
+//! This crate implements everything Section 4.2 of the paper ("Oblivious
+//! Counters") requires:
+//!
+//! * [`primes`] — Miller–Rabin probabilistic primality testing and random
+//!   prime generation, the only number-theoretic machinery Paillier needs.
+//! * [`keys`] / [`cipher`] — the Paillier probabilistic additively
+//!   homomorphic public-key cryptosystem: encryption, decryption,
+//!   ciphertext addition/subtraction (`A+` / `A−`), scalar multiplication
+//!   and rerandomization.
+//! * [`slots`] — the paper's vectorization extension: packing a tuple of
+//!   bounded integers into a single plaintext such that homomorphic
+//!   addition acts slot-wise (`§4.2`, the `x₁N₁ + x₂N₂ + …` encoding).
+//! * [`oblivious`] — authenticated oblivious counters: multi-field
+//!   encrypted messages carrying the vote counter, the accounting `share`
+//!   field and the timestamp vector, bound together by a homomorphic
+//!   authentication tag so a broker that knows neither key can still add
+//!   and rerandomize them but can neither read nor forge them (`§5.2`).
+//! * [`mock`] — a structurally identical plaintext cipher used for
+//!   large-scale simulation, behind the same [`HomCipher`] trait.
+//!
+//! # Quick example
+//!
+//! ```
+//! use gridmine_paillier::{Keypair, HomCipher};
+//! let kp = Keypair::generate_with_seed(512, 42);
+//! let (pk, sk) = (kp.encryptor(), kp.decryptor());
+//! let a = pk.encrypt_i64(20);
+//! let b = pk.encrypt_i64(-8);
+//! let sum = pk.add(&a, &b);
+//! assert_eq!(sk.decrypt_i64(&sum), 12);
+//! ```
+
+pub mod cipher;
+pub mod keys;
+pub mod mock;
+pub mod oblivious;
+pub mod primes;
+pub mod slots;
+
+pub use cipher::{Ciphertext, PaillierCtx};
+pub use keys::{Keypair, PrivateKey, PublicKey};
+pub use mock::{MockCipher, MockCt};
+pub use oblivious::{CounterMsg, ObliviousError, TagKey};
+pub use slots::{SlotLayout, SlotVector};
+
+/// The additively homomorphic probabilistic cipher abstraction.
+///
+/// All protocol code in `gridmine-core` is generic over this trait, so the
+/// same broker/accountant/controller implementation runs over real Paillier
+/// ([`PaillierCtx`] handles) and over the plaintext [`MockCipher`] used for
+/// paper-scale simulation. The trait surface maps one-to-one onto the
+/// primitives of §4.2: `E`, `D`, `A+`, `A−`, iterated `A+` (scalar
+/// multiplication) and rerandomization.
+///
+/// Role separation (who may call what) is enforced by the concrete handle
+/// types, not by the trait: a broker is handed a context without the
+/// decryption key, so `decrypt_i64` on it panics — the same way a real
+/// deployment simply would not ship the key.
+pub trait HomCipher: Clone + Send + Sync {
+    /// Ciphertext type.
+    type Ct: Clone + PartialEq + std::fmt::Debug + Send + Sync;
+
+    /// Encrypt a signed integer (`E`). Probabilistic: two encryptions of the
+    /// same plaintext compare unequal with overwhelming probability.
+    fn encrypt_i64(&self, m: i64) -> Self::Ct;
+
+    /// Decrypt to a signed integer (`D`). Panics if this handle lacks the
+    /// decryption key.
+    fn decrypt_i64(&self, c: &Self::Ct) -> i64;
+
+    /// Homomorphic addition (`A+`): `D(add(E(x), E(y))) == x + y`.
+    fn add(&self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct;
+
+    /// Homomorphic subtraction (`A−`): `D(sub(E(x), E(y))) == x - y`.
+    fn sub(&self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct;
+
+    /// Iterated `A+`: `D(scalar(m, E(x))) == m * x`, with `m` possibly
+    /// negative.
+    fn scalar(&self, m: i64, c: &Self::Ct) -> Self::Ct;
+
+    /// Rerandomize: a different ciphertext of the same plaintext, unlinkable
+    /// to the input without the key.
+    fn rerandomize(&self, c: &Self::Ct) -> Self::Ct;
+
+    /// Fresh encryption of zero.
+    fn zero(&self) -> Self::Ct {
+        self.encrypt_i64(0)
+    }
+
+    /// Whether this handle can decrypt (controller-side handles only).
+    fn can_decrypt(&self) -> bool;
+
+    /// Serialized size of a ciphertext in bytes (the simulator's
+    /// bandwidth model).
+    fn ct_bytes(c: &Self::Ct) -> usize;
+}

@@ -1,0 +1,296 @@
+//! Authenticated oblivious counters — the message unit of §5.2.
+//!
+//! A [`CounterMsg`] is the encrypted tuple
+//! `⟨counter, share, T_⊥, T_v₁, …, T_v_d⟩_enc` from Algorithm 2. Every
+//! field is a ciphertext of the underlying [`HomCipher`]; the whole tuple
+//! is bound together by a **homomorphic authentication tag**.
+//!
+//! # Why a tag instead of literal "encrypt-then-sign"
+//!
+//! The paper constructs its cryptosystem so that `A+` needs no key yet
+//! brokers cannot forge ciphertexts, by composing "any two homomorphic
+//! cryptosystems: messages are first encrypted using the first … then their
+//! encryption is signed using the second" (§4.2, footnote 1). Signing a
+//! ciphertext with a second *homomorphic* system while keeping the
+//! signature meaningful under addition is exactly a linearly homomorphic
+//! authenticator, which is what we implement: accountants share a secret
+//! coefficient vector `s₁…s_p` and tag a tuple `(m₁…m_p)` with
+//! `E(Σ sᵢ·mᵢ)`. Component-wise `A+`/`A−`/scalar on two tagged tuples
+//! preserves the relation; a broker that assembles any tuple the
+//! accountants did not implicitly authorize (arbitrary values, fields mixed
+//! across messages) breaks it except with probability `≈ 1/|coeff space|`.
+//! Controllers — who hold the decryption key anyway — check the relation
+//! before answering any SFE (Algorithm 3's `D(share) ≠ 1` test generalized
+//! to the whole tuple).
+//!
+//! This preserves precisely the property the protocol needs from the
+//! footnote construction: *brokers can aggregate and rerandomize but cannot
+//! mint or splice*.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::HomCipher;
+
+/// Errors surfaced by tag verification — each maps to a malicious-behaviour
+/// verdict in Algorithm 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObliviousError {
+    /// The tag relation `D(tag) = Σ sᵢ·D(fieldᵢ)` failed: the tuple was
+    /// forged or spliced.
+    TagMismatch,
+    /// Field count differs from the tag key arity.
+    ArityMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for ObliviousError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObliviousError::TagMismatch => write!(f, "authentication tag mismatch (forged or spliced counter)"),
+            ObliviousError::ArityMismatch { expected, got } => {
+                write!(f, "field arity mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObliviousError {}
+
+/// The accountants' shared tagging secret: one coefficient per tuple field.
+///
+/// Coefficients are drawn from `[2^10, 2^20)` so that `Σ sᵢ·mᵢ` stays well
+/// inside `i64` even when a field holds an aggregated 34-bit share sum,
+/// while forging a tuple still requires guessing ≥ 20 unknown bits per
+/// altered field — ample for a protocol whose other defence is detection,
+/// not secrecy.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TagKey {
+    coeffs: Vec<i64>,
+}
+
+impl TagKey {
+    /// Derives a tag key for `arity` fields from a seed (all accountants
+    /// and controllers of a grid share the same key, like the encryption
+    /// and decryption keys themselves).
+    pub fn derive(arity: usize, seed: u64) -> Self {
+        assert!(arity >= 1, "tag key needs at least one field");
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x7A67_4B45u64);
+        let coeffs = (0..arity).map(|_| rng.gen_range(1i64 << 10..1i64 << 20)).collect();
+        TagKey { coeffs }
+    }
+
+    /// Number of fields this key covers.
+    pub fn arity(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The secret coefficient of field `i` (used by alternative wire
+    /// formats that need to recompute the linear tag themselves).
+    pub fn coeff(&self, i: usize) -> i64 {
+        self.coeffs[i]
+    }
+
+    /// Plaintext tag of a tuple.
+    fn tag_plain(&self, fields: &[i64]) -> i64 {
+        debug_assert_eq!(fields.len(), self.coeffs.len());
+        self.coeffs.iter().zip(fields).map(|(c, m)| c * m).sum()
+    }
+}
+
+/// An authenticated encrypted tuple: the wire format of every
+/// Secure-Scalable-Majority message field group.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(bound(serialize = "C::Ct: Serialize", deserialize = "C::Ct: Deserialize<'de>"))]
+pub struct CounterMsg<C: HomCipher> {
+    /// Ciphertexts of the tuple fields, in protocol order
+    /// (`value, share, T_⊥, T_v₁ … T_v_d`).
+    pub fields: Vec<C::Ct>,
+    /// Homomorphic authentication tag: encryption of `Σ sᵢ·mᵢ`.
+    pub tag: C::Ct,
+}
+
+impl<C: HomCipher> PartialEq for CounterMsg<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields && self.tag == other.tag
+    }
+}
+
+impl<C: HomCipher> CounterMsg<C> {
+    /// Accountant-side construction: encrypt each field and the tag.
+    pub fn seal(cipher: &C, key: &TagKey, fields: &[i64]) -> Self {
+        assert_eq!(
+            fields.len(),
+            key.arity(),
+            "field count must match tag key arity"
+        );
+        let cts = fields.iter().map(|&m| cipher.encrypt_i64(m)).collect();
+        let tag = cipher.encrypt_i64(key.tag_plain(fields));
+        CounterMsg { fields: cts, tag }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Key-free component-wise addition (the broker's aggregation step).
+    pub fn add(&self, cipher: &C, other: &Self) -> Self {
+        assert_eq!(self.arity(), other.arity(), "cannot add tuples of different arity");
+        let fields = self
+            .fields
+            .iter()
+            .zip(&other.fields)
+            .map(|(a, b)| cipher.add(a, b))
+            .collect();
+        CounterMsg { fields, tag: cipher.add(&self.tag, &other.tag) }
+    }
+
+    /// Key-free component-wise subtraction.
+    pub fn sub(&self, cipher: &C, other: &Self) -> Self {
+        assert_eq!(self.arity(), other.arity(), "cannot subtract tuples of different arity");
+        let fields = self
+            .fields
+            .iter()
+            .zip(&other.fields)
+            .map(|(a, b)| cipher.sub(a, b))
+            .collect();
+        CounterMsg { fields, tag: cipher.sub(&self.tag, &other.tag) }
+    }
+
+    /// Key-free scalar multiplication (iterated `A+`).
+    pub fn scalar(&self, cipher: &C, m: i64) -> Self {
+        let fields = self.fields.iter().map(|c| cipher.scalar(m, c)).collect();
+        CounterMsg { fields, tag: cipher.scalar(m, &self.tag) }
+    }
+
+    /// Key-free rerandomization of every component — what `Update(v)` in
+    /// Algorithm 1 applies before sending, so receivers cannot tell whether
+    /// an aggregate changed.
+    pub fn rerandomize(&self, cipher: &C) -> Self {
+        let fields = self.fields.iter().map(|c| cipher.rerandomize(c)).collect();
+        CounterMsg { fields, tag: cipher.rerandomize(&self.tag) }
+    }
+
+    /// A sealed all-zero tuple (additive identity with a *valid* tag).
+    pub fn zeros(cipher: &C, key: &TagKey) -> Self {
+        Self::seal(cipher, key, &vec![0i64; key.arity()])
+    }
+
+    /// Controller-side: verify the tag and decrypt all fields.
+    ///
+    /// Returns the plaintext tuple or the malicious-behaviour error the
+    /// controller must broadcast (Algorithm 3).
+    pub fn open(&self, cipher: &C, key: &TagKey) -> Result<Vec<i64>, ObliviousError> {
+        if self.arity() != key.arity() {
+            return Err(ObliviousError::ArityMismatch { expected: key.arity(), got: self.arity() });
+        }
+        let fields: Vec<i64> = self.fields.iter().map(|c| cipher.decrypt_i64(c)).collect();
+        let tag = cipher.decrypt_i64(&self.tag);
+        if tag != key.tag_plain(&fields) {
+            return Err(ObliviousError::TagMismatch);
+        }
+        Ok(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Keypair, MockCipher, PaillierCtx};
+
+    fn setup() -> (PaillierCtx, PaillierCtx, TagKey) {
+        let kp = Keypair::generate_with_seed(256, 0xBEEF);
+        (kp.encryptor(), kp.decryptor(), TagKey::derive(4, 7))
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let (e, d, key) = setup();
+        let msg = CounterMsg::seal(&e, &key, &[5, 1, 100, 0]);
+        assert_eq!(msg.open(&d, &key).unwrap(), vec![5, 1, 100, 0]);
+    }
+
+    #[test]
+    fn addition_preserves_tag() {
+        let (e, d, key) = setup();
+        let a = CounterMsg::seal(&e, &key, &[5, 1, 3, 0]);
+        let b = CounterMsg::seal(&e, &key, &[2, 0, 1, 9]);
+        let sum = a.add(&e, &b);
+        assert_eq!(sum.open(&d, &key).unwrap(), vec![7, 1, 4, 9]);
+    }
+
+    #[test]
+    fn subtraction_and_scalar_preserve_tag() {
+        let (e, d, key) = setup();
+        let a = CounterMsg::seal(&e, &key, &[10, 2, 4, 4]);
+        let b = CounterMsg::seal(&e, &key, &[3, 1, 1, 1]);
+        assert_eq!(a.sub(&e, &b).open(&d, &key).unwrap(), vec![7, 1, 3, 3]);
+        assert_eq!(a.scalar(&e, 3).open(&d, &key).unwrap(), vec![30, 6, 12, 12]);
+        assert_eq!(a.scalar(&e, -1).open(&d, &key).unwrap(), vec![-10, -2, -4, -4]);
+    }
+
+    #[test]
+    fn rerandomization_is_transparent_but_unlinkable() {
+        let (e, d, key) = setup();
+        let a = CounterMsg::seal(&e, &key, &[5, 1, 3, 0]);
+        let r = a.rerandomize(&e);
+        assert_ne!(a, r);
+        assert_eq!(r.open(&d, &key).unwrap(), vec![5, 1, 3, 0]);
+    }
+
+    #[test]
+    fn forged_tuple_detected() {
+        let (e, d, key) = setup();
+        // A broker without the tag key encrypts values itself (Paillier is
+        // public-key, so it *can* encrypt) — but cannot produce the tag.
+        let forged = CounterMsg {
+            fields: vec![e.encrypt_i64(999), e.encrypt_i64(1), e.encrypt_i64(0), e.encrypt_i64(0)],
+            tag: e.encrypt_i64(12345),
+        };
+        assert_eq!(forged.open(&d, &key), Err(ObliviousError::TagMismatch));
+    }
+
+    #[test]
+    fn spliced_fields_detected() {
+        let (e, d, key) = setup();
+        let a = CounterMsg::seal(&e, &key, &[5, 1, 3, 0]);
+        let b = CounterMsg::seal(&e, &key, &[9, 1, 7, 2]);
+        // Mix a's counter with b's remaining fields and b's tag.
+        let spliced = CounterMsg {
+            fields: vec![a.fields[0].clone(), b.fields[1].clone(), b.fields[2].clone(), b.fields[3].clone()],
+            tag: b.tag.clone(),
+        };
+        assert_eq!(spliced.open(&d, &key), Err(ObliviousError::TagMismatch));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let (e, d, key) = setup();
+        let a = CounterMsg::seal(&e, &key, &[5, 1, 3, 0]);
+        let truncated = CounterMsg { fields: a.fields[..3].to_vec(), tag: a.tag.clone() };
+        assert_eq!(
+            truncated.open(&d, &key),
+            Err(ObliviousError::ArityMismatch { expected: 4, got: 3 })
+        );
+    }
+
+    #[test]
+    fn works_identically_over_mock_cipher() {
+        let mock = MockCipher::new(11);
+        let key = TagKey::derive(3, 5);
+        let a = CounterMsg::seal(&mock, &key, &[4, 1, 2]);
+        let b = CounterMsg::seal(&mock, &key, &[6, 0, 3]);
+        assert_eq!(a.add(&mock, &b).open(&mock, &key).unwrap(), vec![10, 1, 5]);
+        let forged = CounterMsg { fields: a.fields.clone(), tag: mock.encrypt_i64(0) };
+        assert_eq!(forged.open(&mock, &key), Err(ObliviousError::TagMismatch));
+    }
+
+    #[test]
+    fn zeros_is_additive_identity() {
+        let (e, d, key) = setup();
+        let z = CounterMsg::zeros(&e, &key);
+        let a = CounterMsg::seal(&e, &key, &[5, 1, 3, 0]);
+        assert_eq!(a.add(&e, &z).open(&d, &key).unwrap(), vec![5, 1, 3, 0]);
+    }
+}

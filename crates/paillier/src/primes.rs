@@ -1,0 +1,186 @@
+//! Probabilistic prime generation for Paillier key material.
+//!
+//! Uses trial division by a table of small primes followed by Miller–Rabin
+//! with enough rounds (40) that the error probability is below 2⁻⁸⁰, the
+//! conventional bar for cryptographic key generation.
+
+use num_bigint::{BigUint, RandBigInt};
+use num_traits::{One, Zero};
+use rand::Rng;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u32; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Number of Miller–Rabin rounds; 40 rounds give error < 4⁻⁴⁰ ≈ 2⁻⁸⁰.
+const MR_ROUNDS: usize = 40;
+
+/// Returns `true` if `n` is (probably) prime.
+///
+/// Deterministic for `n < 252` via the small-prime table; probabilistic
+/// Miller–Rabin otherwise.
+pub fn is_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
+    if n < &BigUint::from(2u32) {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p = BigUint::from(p);
+        if *n == p {
+            return true;
+        }
+        if (n % &p).is_zero() {
+            return false;
+        }
+    }
+    miller_rabin(n, MR_ROUNDS, rng)
+}
+
+/// Miller–Rabin primality test with `rounds` random bases.
+///
+/// Precondition: `n` is odd and larger than every entry of
+/// [`SMALL_PRIMES`].
+fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    let one = BigUint::one();
+    let two = BigUint::from(2u32);
+    let n_minus_1 = n - &one;
+
+    // Factor n - 1 = d * 2^s with d odd.
+    let mut d = n_minus_1.clone();
+    let mut s = 0u32;
+    while (&d % &two).is_zero() {
+        d >>= 1;
+        s += 1;
+    }
+
+    'witness: for _ in 0..rounds {
+        let a = rng.gen_biguint_range(&two, &n_minus_1);
+        let mut x = a.modpow(&d, n);
+        if x == one || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = x.modpow(&two, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random prime of exactly `bits` bits (top bit set).
+///
+/// # Panics
+/// Panics if `bits < 8`; Paillier needs real primes, not toys smaller than
+/// a byte.
+pub fn gen_prime<R: Rng + ?Sized>(bits: u64, rng: &mut R) -> BigUint {
+    assert!(bits >= 8, "prime size must be at least 8 bits, got {bits}");
+    loop {
+        let mut candidate = rng.gen_biguint(bits);
+        // Force exact bit length and oddness.
+        candidate.set_bit(bits - 1, true);
+        candidate.set_bit(0, true);
+        if is_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a pair of distinct primes of `bits` bits each, suitable as the
+/// Paillier factors `p`, `q`. Ensures `p != q` and that `gcd(pq, (p-1)(q-1))`
+/// is 1 (guaranteed when `p` and `q` have the same bit length, but checked
+/// anyway out of paranoia).
+pub fn gen_prime_pair<R: Rng + ?Sized>(bits: u64, rng: &mut R) -> (BigUint, BigUint) {
+    use num_integer::Integer;
+    loop {
+        let p = gen_prime(bits, rng);
+        let q = gen_prime(bits, rng);
+        if p == q {
+            continue;
+        }
+        let n = &p * &q;
+        let phi = (&p - 1u32) * (&q - 1u32);
+        if n.gcd(&phi).is_one() {
+            return (p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut r = rng();
+        for p in [2u32, 3, 5, 7, 11, 13, 97, 251] {
+            assert!(is_prime(&BigUint::from(p), &mut r), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u32, 1, 4, 6, 9, 15, 21, 25, 91, 255, 561 /* Carmichael */] {
+            assert!(!is_prime(&BigUint::from(c), &mut r), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut r = rng();
+        // Classic Miller–Rabin stress cases that fool Fermat tests.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841] {
+            assert!(!is_prime(&BigUint::from(c), &mut r), "{c} is Carmichael");
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        let mut r = rng();
+        // 2^89 - 1 is a Mersenne prime.
+        let p = (BigUint::one() << 89u32) - BigUint::one();
+        assert!(is_prime(&p, &mut r));
+        // 2^89 + 1 is composite.
+        let c = (BigUint::one() << 89u32) + BigUint::one();
+        assert!(!is_prime(&c, &mut r));
+    }
+
+    #[test]
+    fn generated_primes_have_exact_bits() {
+        let mut r = rng();
+        for bits in [32u64, 64, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bits(), bits);
+            assert!(is_prime(&p, &mut r));
+        }
+    }
+
+    #[test]
+    fn prime_pair_is_coprime_to_phi() {
+        use num_integer::Integer;
+        let mut r = rng();
+        let (p, q) = gen_prime_pair(64, &mut r);
+        assert_ne!(p, q);
+        let n = &p * &q;
+        let phi = (&p - 1u32) * (&q - 1u32);
+        assert!(n.gcd(&phi).is_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 bits")]
+    fn tiny_primes_refused() {
+        let mut r = rng();
+        let _ = gen_prime(4, &mut r);
+    }
+}

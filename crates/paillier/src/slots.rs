@@ -1,0 +1,290 @@
+//! Slot-vector plaintext packing — the paper's §4.2 vectorization.
+//!
+//! > "extend the encryption and decryption functions to work over a tuple of
+//! > integers while keeping the homomorphic property for each single
+//! > element … by encoding (x₁,…,x_p) as x₁N₁ + x₂N₂ + … + x_p before
+//! > encryption, and using modulo calculations for decoding."
+//!
+//! We realize each `Nᵢ` as a power of two so packing is shifting. Each slot
+//! has a *width* (its total bit budget) and a *capacity* (the bits values
+//! may actually occupy); the difference is guard space that absorbs the
+//! growth from homomorphic additions so a sum never carries into the next
+//! slot. A [`SlotLayout`] fixes widths once per protocol instance; the
+//! number of additions it can absorb before overflow is
+//! `2^(width - capacity)`.
+//!
+//! One slot may be declared *modular* (the accounting `share` field of
+//! §5.2): its values are decoded modulo `2^capacity`, so random shares that
+//! intentionally wrap around stay meaningful while their carries die in the
+//! guard bits.
+
+use num_bigint::BigUint;
+use num_traits::Zero;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one packed slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slot {
+    /// Total bits reserved for the slot in the packed integer.
+    pub width: u32,
+    /// Bits a *single* stored value may occupy; `width - capacity` guard
+    /// bits absorb addition growth.
+    pub capacity: u32,
+    /// If true the slot decodes modulo `2^capacity` (wrap-around semantics,
+    /// used for the share field).
+    pub modular: bool,
+}
+
+impl Slot {
+    /// A plain accumulator slot.
+    pub fn counter(width: u32, capacity: u32) -> Self {
+        Slot { width, capacity, modular: false }
+    }
+
+    /// A modular (wrap-around) slot.
+    pub fn modular(width: u32, capacity: u32) -> Self {
+        Slot { width, capacity, modular: true }
+    }
+}
+
+/// A fixed layout of slots, most-significant first in the packed integer.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotLayout {
+    slots: Vec<Slot>,
+    total_bits: u64,
+}
+
+/// A decoded slot vector (plaintext side).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotVector {
+    /// Values, one per slot, in layout order.
+    pub values: Vec<u64>,
+}
+
+impl SlotLayout {
+    /// Builds a layout.
+    ///
+    /// # Panics
+    /// Panics if a slot's capacity exceeds its width, a capacity exceeds
+    /// 63 bits (values are `u64`), or the layout is empty.
+    pub fn new(slots: Vec<Slot>) -> Self {
+        assert!(!slots.is_empty(), "layout must have at least one slot");
+        for (i, s) in slots.iter().enumerate() {
+            assert!(s.capacity <= s.width, "slot {i}: capacity > width");
+            assert!(s.capacity >= 1 && s.capacity <= 63, "slot {i}: capacity out of range");
+            assert!(s.width <= 128, "slot {i}: width too large");
+        }
+        let total_bits = slots.iter().map(|s| s.width as u64).sum();
+        SlotLayout { slots, total_bits }
+    }
+
+    /// The protocol layout from §5.2: one vote counter, one modular share
+    /// slot, and `1 + degree` timestamp slots (`T_⊥, T_v₁ … T_v_d`).
+    ///
+    /// `headroom_adds` is the number of homomorphic additions the layout
+    /// must survive without carries (log2, rounded up, becomes guard bits).
+    pub fn protocol(degree: usize, headroom_adds: u64) -> Self {
+        let guard = (64 - headroom_adds.leading_zeros()).max(4);
+        let mut slots = Vec::with_capacity(2 + 1 + degree);
+        // Vote counter: up to 2^40 transactions, plus guard.
+        slots.push(Slot::counter(40 + guard, 40));
+        // Share: 32-bit modular field.
+        slots.push(Slot::modular(32 + guard, 32));
+        // Timestamps: 32-bit logical clocks.
+        for _ in 0..=degree {
+            slots.push(Slot::counter(32 + guard, 32));
+        }
+        SlotLayout::new(slots)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the layout has no slots (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total packed width in bits; must stay below the plaintext modulus
+    /// bit length for the encryption to be lossless.
+    pub fn total_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Slot descriptors.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Packs a vector of slot values into a single integer.
+    ///
+    /// # Panics
+    /// Panics if the value count mismatches the layout or a non-modular
+    /// value exceeds its slot capacity. Modular slots are reduced.
+    pub fn pack(&self, values: &[u64]) -> BigUint {
+        assert_eq!(values.len(), self.slots.len(), "value/slot count mismatch");
+        let mut acc = BigUint::zero();
+        for (slot, &v) in self.slots.iter().zip(values) {
+            let v = if slot.modular {
+                v & ((1u64 << slot.capacity) - 1)
+            } else {
+                assert!(
+                    v < (1u64 << slot.capacity),
+                    "value {v} exceeds slot capacity {} bits",
+                    slot.capacity
+                );
+                v
+            };
+            acc <<= slot.width;
+            acc += BigUint::from(v);
+        }
+        acc
+    }
+
+    /// Unpacks an integer into slot values, applying modular reduction to
+    /// modular slots and asserting the others never overflowed their width.
+    pub fn unpack(&self, packed: &BigUint) -> SlotVector {
+        use num_traits::ToPrimitive;
+        let mut rest = packed.clone();
+        let mut values = vec![0u64; self.slots.len()];
+        for (i, slot) in self.slots.iter().enumerate().rev() {
+            let mask = (BigUint::from(1u8) << slot.width) - 1u8;
+            let raw = (&rest & &mask).to_u64().unwrap_or_else(|| {
+                // width can be up to 128; overflow beyond u64 means the guard
+                // bits were breached.
+                panic!("slot {i} overflowed its width")
+            });
+            values[i] = if slot.modular {
+                raw & ((1u64 << slot.capacity) - 1)
+            } else {
+                raw
+            };
+            rest >>= slot.width;
+        }
+        assert!(rest.is_zero(), "packed value wider than layout");
+        SlotVector { values }
+    }
+
+    /// Slot-wise sum of plain vectors — the reference semantics that
+    /// homomorphic addition of packed encryptions must agree with.
+    pub fn add_plain(&self, a: &SlotVector, b: &SlotVector) -> SlotVector {
+        let values = self
+            .slots
+            .iter()
+            .zip(a.values.iter().zip(&b.values))
+            .map(|(slot, (&x, &y))| {
+                if slot.modular {
+                    (x + y) & ((1u64 << slot.capacity) - 1)
+                } else {
+                    x + y
+                }
+            })
+            .collect();
+        SlotVector { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HomCipher, Keypair};
+
+    fn layout() -> SlotLayout {
+        SlotLayout::new(vec![
+            Slot::counter(48, 40),
+            Slot::modular(40, 32),
+            Slot::counter(40, 32),
+            Slot::counter(40, 32),
+        ])
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let l = layout();
+        let vals = [123_456u64, 0xDEAD_BEEF, 7, 0];
+        let packed = l.pack(&vals);
+        assert_eq!(l.unpack(&packed).values, vals);
+    }
+
+    #[test]
+    fn zero_roundtrip() {
+        let l = layout();
+        let packed = l.pack(&[0, 0, 0, 0]);
+        assert!(packed.is_zero());
+        assert_eq!(l.unpack(&packed).values, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slot capacity")]
+    fn overflowing_counter_rejected() {
+        let l = layout();
+        let _ = l.pack(&[1u64 << 41, 0, 0, 0]);
+    }
+
+    #[test]
+    fn modular_slot_wraps() {
+        let l = layout();
+        let a = l.unpack(&l.pack(&[0, u32::MAX as u64, 0, 0]));
+        let b = l.unpack(&l.pack(&[0, 5, 0, 0]));
+        let sum = l.add_plain(&a, &b);
+        // (2^32 - 1) + 5 ≡ 4 (mod 2^32)
+        assert_eq!(sum.values[1], 4);
+    }
+
+    #[test]
+    fn plain_addition_matches_packed_integer_addition() {
+        let l = layout();
+        let a = [10u64, 20, 30, 40];
+        let b = [1u64, 2, 3, 4];
+        let pa = l.pack(&a);
+        let pb = l.pack(&b);
+        let packed_sum = l.unpack(&(pa + pb));
+        let plain_sum = l.add_plain(&SlotVector { values: a.to_vec() }, &SlotVector { values: b.to_vec() });
+        assert_eq!(packed_sum, plain_sum);
+    }
+
+    #[test]
+    fn homomorphic_addition_acts_slotwise() {
+        let kp = Keypair::generate_with_seed(512, 99);
+        let (e, d) = (kp.encryptor(), kp.decryptor());
+        let l = layout();
+        assert!(l.total_bits() < kp.public_key().bits());
+
+        let a = [100u64, 7, 1, 2];
+        let b = [250u64, 9, 3, 4];
+        let ca = e.encrypt_residue(&l.pack(&a));
+        let cb = e.encrypt_residue(&l.pack(&b));
+        let sum = e.add(&ca, &cb);
+        let got = l.unpack(&d.decrypt_residue(&sum));
+        assert_eq!(got.values, [350, 16, 4, 6]);
+    }
+
+    #[test]
+    fn protocol_layout_has_expected_shape() {
+        let l = SlotLayout::protocol(5, 1 << 10);
+        // counter + share + (1 + 5) timestamps
+        assert_eq!(l.len(), 8);
+        assert!(l.slots()[1].modular);
+        assert!(!l.slots()[0].modular);
+    }
+
+    #[test]
+    fn guard_bits_absorb_many_additions() {
+        let l = SlotLayout::new(vec![Slot::counter(24, 8), Slot::counter(24, 8)]);
+        let one = l.pack(&[200, 200]);
+        let mut acc = BigUint::zero();
+        for _ in 0..1000 {
+            acc += &one;
+        }
+        // 1000 * 200 = 200_000 < 2^24: no carry, slots intact.
+        assert_eq!(l.unpack(&acc).values, [200_000, 200_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn empty_layout_rejected() {
+        let _ = SlotLayout::new(vec![]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal distribution samplers.
+//!
+//! The Quest generator needs Poisson, exponential and (clipped) normal
+//! variates; `rand` core provides only uniforms, and pulling in `rand_distr`
+//! for three textbook samplers is not worth a dependency. All samplers are
+//! deterministic given the RNG.
+
+use rand::Rng;
+
+/// Poisson sample via Knuth's product-of-uniforms method.
+///
+/// Fine for the generator's λ ≤ ~30 (transaction/pattern lengths); cost is
+/// O(λ) uniforms per draw.
+pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    assert!(lambda > 0.0 && lambda < 100.0, "poisson λ out of supported range: {lambda}");
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Exponential sample with the given mean, via inverse CDF.
+pub fn exponential<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Standard normal sample via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(mean: f64, std_dev: f64, rng: &mut R) -> f64 {
+    assert!(std_dev >= 0.0, "std dev must be non-negative");
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// Normal sample clipped into `[lo, hi]` (the generator's corruption
+/// levels live in [0, 1]).
+pub fn clipped_normal<R: Rng + ?Sized>(mean: f64, std_dev: f64, lo: f64, hi: f64, rng: &mut R) -> f64 {
+    normal(mean, std_dev, rng).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut r = rng();
+        let n = 20_000;
+        for lambda in [2.0f64, 5.0, 10.0] {
+            let sum: u64 = (0..n).map(|_| poisson(lambda, &mut r)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!((mean - lambda).abs() < 0.15 * lambda, "λ={lambda}, mean={mean}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exponential(3.0, &mut r)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.2, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(1.0, 2.0, &mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn clipped_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let x = clipped_normal(0.5, 0.5, 0.0, 1.0, &mut r);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(poisson(5.0, &mut a), poisson(5.0, &mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of supported range")]
+    fn huge_lambda_rejected() {
+        let mut r = rng();
+        let _ = poisson(1000.0, &mut r);
+    }
+}

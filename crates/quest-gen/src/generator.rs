@@ -1,0 +1,207 @@
+//! The Agrawal–Srikant synthetic generator (VLDB'94 §4.1 "Synthetic Data
+//! Generation"), as used by the paper's evaluation.
+//!
+//! Pipeline:
+//! 1. Build a table of `|L|` *patterns* (maximal potentially-large
+//!    itemsets). Each pattern's length is Poisson(`|I|`); a fraction of its
+//!    items (exponential with mean `correlation`) is reused from the
+//!    previous pattern, the rest drawn uniformly. Each pattern carries a
+//!    weight (exponential, normalized to sum 1) and a *corruption level*
+//!    (normal mean `corruption_mean`, σ 0.1, clipped to the unit interval).
+//! 2. Each transaction's length is Poisson(`|T|`). It is filled by drawing
+//!    patterns by weight; each drawn pattern is *corrupted* — items are
+//!    dropped while a uniform draw stays below the corruption level. If a
+//!    corrupted pattern overflows the remaining room, it is placed anyway
+//!    in half the cases and deferred to the next transaction otherwise,
+//!    exactly as in the original description.
+
+use gridmine_arm::{Database, Item, Transaction};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::dist::{clipped_normal, exponential, poisson};
+use crate::params::QuestParams;
+
+/// One entry in the pattern table.
+#[derive(Clone, Debug)]
+struct Pattern {
+    items: Vec<Item>,
+    /// Cumulative weight upper bound (for binary-search selection).
+    cum_weight: f64,
+    corruption: f64,
+}
+
+/// Builds the pattern table.
+fn build_patterns(p: &QuestParams, rng: &mut ChaCha12Rng) -> Vec<Pattern> {
+    let mut patterns: Vec<Pattern> = Vec::with_capacity(p.n_patterns);
+    let mut weights = Vec::with_capacity(p.n_patterns);
+    let mut prev_items: Vec<Item> = Vec::new();
+
+    for _ in 0..p.n_patterns {
+        let len = poisson(p.avg_pattern_len, rng).max(1) as usize;
+        let len = len.min(p.n_items as usize);
+        let mut items: Vec<Item> = Vec::with_capacity(len);
+
+        // Fraction of items reused from the previous pattern.
+        if !prev_items.is_empty() {
+            let frac = exponential(p.correlation, rng).min(1.0);
+            let reuse = ((len as f64) * frac).round() as usize;
+            let reuse = reuse.min(prev_items.len());
+            items.extend(prev_items.choose_multiple(rng, reuse).copied());
+        }
+        while items.len() < len {
+            let candidate = Item(rng.gen_range(0..p.n_items));
+            if !items.contains(&candidate) {
+                items.push(candidate);
+            }
+        }
+        items.sort_unstable();
+        items.dedup();
+
+        weights.push(exponential(1.0, rng));
+        let corruption = clipped_normal(p.corruption_mean, 0.1, 0.0, 1.0, rng);
+        prev_items = items.clone();
+        patterns.push(Pattern { items, cum_weight: 0.0, corruption });
+    }
+
+    // Normalize weights into a cumulative distribution.
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for (pat, w) in patterns.iter_mut().zip(&weights) {
+        acc += w / total;
+        pat.cum_weight = acc;
+    }
+    // Guard against floating-point shortfall at the end.
+    if let Some(last) = patterns.last_mut() {
+        last.cum_weight = 1.0;
+    }
+    patterns
+}
+
+/// Picks a pattern index by weight.
+fn pick_pattern(patterns: &[Pattern], rng: &mut ChaCha12Rng) -> usize {
+    let x: f64 = rng.gen();
+    patterns.partition_point(|p| p.cum_weight < x).min(patterns.len() - 1)
+}
+
+/// Returns a corrupted copy of a pattern's items: items are dropped while a
+/// uniform draw stays below the corruption level.
+fn corrupt(pattern: &Pattern, rng: &mut ChaCha12Rng) -> Vec<Item> {
+    let mut items = pattern.items.clone();
+    while items.len() > 1 && rng.gen::<f64>() < pattern.corruption {
+        let idx = rng.gen_range(0..items.len());
+        items.swap_remove(idx);
+    }
+    items
+}
+
+/// Generates a synthetic database per the parameters.
+///
+/// ```
+/// use gridmine_quest::{generate, QuestParams};
+/// let db = generate(&QuestParams::t5i2().with_transactions(100).with_items(50));
+/// assert_eq!(db.len(), 100);
+/// ```
+pub fn generate(params: &QuestParams) -> Database {
+    params.validate();
+    let mut rng = ChaCha12Rng::seed_from_u64(params.seed);
+    let patterns = build_patterns(params, &mut rng);
+
+    let mut transactions = Vec::with_capacity(params.n_transactions);
+    // Pattern deferred from an overflowing transaction.
+    let mut carry: Option<Vec<Item>> = None;
+
+    for tid in 0..params.n_transactions as u64 {
+        let target_len = poisson(params.avg_trans_len, &mut rng).max(1) as usize;
+        let mut items: Vec<Item> = Vec::with_capacity(target_len + 4);
+
+        while items.len() < target_len {
+            let chunk = match carry.take() {
+                Some(c) => c,
+                None => corrupt(&patterns[pick_pattern(&patterns, &mut rng)], &mut rng),
+            };
+            if items.len() + chunk.len() > target_len && !items.is_empty() {
+                // Overflow: place anyway half the time, defer otherwise.
+                if rng.gen::<bool>() {
+                    items.extend(chunk);
+                } else {
+                    carry = Some(chunk);
+                    break;
+                }
+            } else {
+                items.extend(chunk);
+            }
+        }
+        transactions.push(Transaction::new(tid, items));
+    }
+    Database::from_transactions(transactions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmine_arm::{frequent_itemsets, AprioriConfig, Ratio};
+
+    fn small() -> QuestParams {
+        QuestParams::t5i2().with_transactions(2_000).with_items(100).with_patterns(50)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let db = generate(&small());
+        assert_eq!(db.len(), 2_000);
+        assert!(db.transactions().iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small().with_seed(5));
+        let b = generate(&small().with_seed(5));
+        assert_eq!(a.transactions(), b.transactions());
+        let c = generate(&small().with_seed(6));
+        assert_ne!(a.transactions(), c.transactions());
+    }
+
+    #[test]
+    fn average_length_tracks_t_parameter() {
+        for (params, t) in [(QuestParams::t5i2(), 5.0), (QuestParams::t10i4(), 10.0)] {
+            let db = generate(&params.with_transactions(4_000).with_items(200).with_patterns(100));
+            let mean: f64 =
+                db.transactions().iter().map(|t| t.len() as f64).sum::<f64>() / db.len() as f64;
+            // Corruption + overflow deferral bias the realized mean a bit;
+            // it must still clearly track T.
+            assert!((mean - t).abs() < 0.35 * t, "T={t}, realized mean={mean}");
+        }
+    }
+
+    #[test]
+    fn items_stay_in_domain() {
+        let db = generate(&small().with_items(50));
+        for t in db.transactions() {
+            for i in t.items() {
+                assert!(i.0 < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn produces_actual_associations() {
+        // The whole point of the pattern table: there must be frequent
+        // itemsets of size ≥ 2, unlike independent-uniform noise.
+        let db = generate(&small());
+        let cfg = AprioriConfig::new(Ratio::from_f64(0.01), Ratio::new(1, 2));
+        let freq = frequent_itemsets(&db, &cfg);
+        let max_len = freq.keys().map(|s| s.len()).max().unwrap_or(0);
+        assert!(max_len >= 2, "expected correlated itemsets, got max length {max_len}");
+    }
+
+    #[test]
+    fn pattern_weights_are_cumulative_and_complete() {
+        let p = small();
+        let mut rng = ChaCha12Rng::seed_from_u64(p.seed);
+        let pats = build_patterns(&p, &mut rng);
+        assert!(pats.windows(2).all(|w| w[0].cum_weight <= w[1].cum_weight));
+        assert_eq!(pats.last().unwrap().cum_weight, 1.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Pairwise-independent hash partitioning of the global database into
+//! per-resource local databases (§6: "Using standard, pair-wise independent
+//! hashing techniques, transactions were sampled from the database to
+//! simulate the local database of each resource").
+
+use gridmine_arm::Database;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// A pairwise-independent hash family member: `h(x) = ((a·x + b) mod p) mod m`
+/// with `p = 2⁶¹ − 1` (Mersenne prime) and random `a ∈ [1, p)`, `b ∈ [0, p)`.
+#[derive(Clone, Copy, Debug)]
+pub struct PairwiseHash {
+    a: u128,
+    b: u128,
+    m: u64,
+}
+
+/// The Mersenne prime 2⁶¹ − 1.
+const P: u128 = (1u128 << 61) - 1;
+
+impl PairwiseHash {
+    /// Draws a hash function onto `[0, m)` from the family.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: u64, seed: u64) -> Self {
+        assert!(m > 0, "range must be non-empty");
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let a = rng.gen_range(1..P);
+        let b = rng.gen_range(0..P);
+        PairwiseHash { a, b, m }
+    }
+
+    /// Hashes a transaction id.
+    pub fn hash(&self, x: u64) -> u64 {
+        (((self.a * x as u128 + self.b) % P) % self.m as u128) as u64
+    }
+
+    /// The range size `m`.
+    pub fn range(&self) -> u64 {
+        self.m
+    }
+}
+
+/// Splits a database into `n_resources` disjoint partitions by hashing
+/// transaction ids. The union of the partitions is exactly the input, so
+/// the centralized ground truth on the input equals the distributed target.
+pub fn partition(db: &Database, n_resources: usize, seed: u64) -> Vec<Database> {
+    assert!(n_resources > 0, "need at least one resource");
+    let h = PairwiseHash::new(n_resources as u64, seed);
+    let mut parts: Vec<Vec<gridmine_arm::Transaction>> = vec![Vec::new(); n_resources];
+    for t in db.transactions() {
+        parts[h.hash(t.id) as usize].push(t.clone());
+    }
+    parts.into_iter().map(Database::from_transactions).collect()
+}
+
+/// The paper's memory-saving variant: each resource's local database is a
+/// hash-driven sample (with replacement across resources) of `local_size`
+/// transactions from the global database. Resource `r` takes global
+/// transaction `h_r(j)` as its `j`-th local transaction.
+pub fn sample_with_replacement(
+    db: &Database,
+    n_resources: usize,
+    local_size: usize,
+    seed: u64,
+) -> Vec<Database> {
+    assert!(n_resources > 0, "need at least one resource");
+    assert!(!db.is_empty(), "cannot sample from an empty database");
+    (0..n_resources)
+        .map(|r| {
+            let h = PairwiseHash::new(db.len() as u64, seed.wrapping_add(r as u64 * 0x9E37_79B9));
+            let txs = (0..local_size)
+                .map(|j| db.transactions()[h.hash(j as u64) as usize].clone())
+                .collect();
+            Database::from_transactions(txs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmine_arm::Transaction;
+
+    fn db(n: u64) -> Database {
+        Database::from_transactions((0..n).map(|i| Transaction::of(i, &[i as u32 % 7])).collect())
+    }
+
+    #[test]
+    fn partition_is_exact_and_disjoint() {
+        let global = db(10_000);
+        let parts = partition(&global, 16, 3);
+        assert_eq!(parts.len(), 16);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 10_000);
+        // Disjoint: every id appears exactly once across partitions.
+        let mut seen = std::collections::HashSet::new();
+        for p in &parts {
+            for t in p.transactions() {
+                assert!(seen.insert(t.id), "id {} duplicated", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let parts = partition(&db(50_000), 10, 1);
+        for p in &parts {
+            let expected = 5_000.0;
+            assert!(
+                ((p.len() as f64) - expected).abs() < 0.15 * expected,
+                "partition size {} far from {expected}",
+                p.len()
+            );
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let h = PairwiseHash::new(100, 7);
+        for x in 0..1_000u64 {
+            let v = h.hash(x);
+            assert!(v < 100);
+            assert_eq!(v, h.hash(x));
+        }
+    }
+
+    #[test]
+    fn pairwise_collision_rate_is_uniform() {
+        // For a pairwise-independent family, Pr[h(x) = h(y)] ≈ 1/m.
+        let m = 64u64;
+        let trials = 400;
+        let mut collisions = 0u64;
+        for s in 0..trials {
+            let h = PairwiseHash::new(m, s);
+            if h.hash(123) == h.hash(456) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!(rate < 4.0 / m as f64, "collision rate {rate} too high");
+    }
+
+    #[test]
+    fn sampling_produces_requested_sizes() {
+        let global = db(1_000);
+        let locals = sample_with_replacement(&global, 8, 200, 5);
+        assert_eq!(locals.len(), 8);
+        assert!(locals.iter().all(|l| l.len() == 200));
+        // Samples must differ across resources.
+        assert_ne!(locals[0].transactions(), locals[1].transactions());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn zero_resources_rejected() {
+        let _ = partition(&db(10), 0, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the synthetic generator and the partition sampler.
+
+use gridmine_quest::{generate, partition, sample_with_replacement, PairwiseHash, QuestParams};
+use proptest::prelude::*;
+
+fn small_params() -> impl Strategy<Value = QuestParams> {
+    (
+        100usize..800,          // transactions
+        prop_oneof![Just(3.0f64), Just(5.0), Just(8.0)], // T
+        prop_oneof![Just(1.5f64), Just(2.0), Just(3.0)], // I
+        20u32..120,             // items
+        5usize..40,             // patterns
+        any::<u64>(),           // seed
+    )
+        .prop_map(|(n, t, i, items, patterns, seed)| QuestParams {
+            n_transactions: n,
+            avg_trans_len: t,
+            avg_pattern_len: i,
+            n_items: items,
+            n_patterns: patterns,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generator_respects_basic_contracts(params in small_params()) {
+        let db = generate(&params);
+        prop_assert_eq!(db.len(), params.n_transactions);
+        for t in db.transactions() {
+            prop_assert!(!t.is_empty(), "no empty transactions");
+            for i in t.items() {
+                prop_assert!(i.0 < params.n_items, "item {} outside domain", i.0);
+            }
+            // Sorted, deduplicated.
+            prop_assert!(t.items().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic(params in small_params()) {
+        let a = generate(&params);
+        let b = generate(&params);
+        prop_assert_eq!(a.transactions(), b.transactions());
+    }
+
+    #[test]
+    fn partition_is_lossless_and_disjoint(
+        n_tx in 50u64..2000,
+        n_res in 1usize..40,
+        seed: u64,
+    ) {
+        let db = gridmine_arm::Database::from_transactions(
+            (0..n_tx).map(|i| gridmine_arm::Transaction::of(i, &[(i % 9) as u32])).collect(),
+        );
+        let parts = partition(&db, n_res, seed);
+        prop_assert_eq!(parts.len(), n_res);
+        let mut ids: Vec<u64> =
+            parts.iter().flat_map(|p| p.transactions().iter().map(|t| t.id)).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n_tx).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_sizes_and_membership(
+        n_tx in 10u64..500,
+        n_res in 1usize..10,
+        local in 1usize..100,
+        seed: u64,
+    ) {
+        let db = gridmine_arm::Database::from_transactions(
+            (0..n_tx).map(|i| gridmine_arm::Transaction::of(i, &[1])).collect(),
+        );
+        let locals = sample_with_replacement(&db, n_res, local, seed);
+        prop_assert_eq!(locals.len(), n_res);
+        for l in &locals {
+            prop_assert_eq!(l.len(), local);
+            for t in l.transactions() {
+                prop_assert!(t.id < n_tx, "sampled transaction must come from the source");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_range_is_respected(m in 1u64..10_000, seed: u64, xs in prop::collection::vec(any::<u64>(), 20)) {
+        let h = PairwiseHash::new(m, seed);
+        prop_assert_eq!(h.range(), m);
+        for x in xs {
+            prop_assert!(h.hash(x) < m);
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! The stepped grid simulation.
+//!
+//! One step = one unit of simulated time. Messages cross a link in that
+//! link's delay (in steps). Within a step: arriving messages are
+//! delivered, each resource's database grows, each resource scans its
+//! budget and reacts, and — every `candidate_every` steps — runs the
+//! candidate-generation cycle. Resources are stepped in parallel with
+//! rayon; cross-resource interaction happens only through the message
+//! queue, so per-phase parallelism is race-free.
+
+use std::collections::BTreeMap;
+
+use gridmine_arm::{Database, Item, Ratio, RuleSet};
+use gridmine_core::resource::{wire_grid, wire_pair};
+use gridmine_core::{BrokerBehavior, GridKeys, SecureResource, Verdict, WireMsg};
+use gridmine_majority::CandidateGenerator;
+use gridmine_paillier::HomCipher;
+use gridmine_topology::Overlay;
+use rayon::prelude::*;
+
+use crate::config::SimConfig;
+use crate::workload::GrowthPlan;
+
+/// A running simulation.
+pub struct Simulation<C: HomCipher> {
+    cfg: SimConfig,
+    overlay: Overlay,
+    keys: GridKeys<C>,
+    items: Vec<Item>,
+    resources: Vec<SecureResource<C>>,
+    plans: Vec<GrowthPlan>,
+    inflight: BTreeMap<u64, Vec<WireMsg<C>>>,
+    departed: Vec<bool>,
+    step_no: u64,
+    /// Total protocol messages put on the wire.
+    pub total_msgs: u64,
+    /// Total protocol bytes put on the wire (per the cipher's bandwidth
+    /// model).
+    pub total_bytes: u64,
+    /// Verdicts raised so far, with the step they surfaced at.
+    pub verdicts: Vec<(u64, Verdict)>,
+    /// Broadcast verdicts to all resources as they surface (attack runs).
+    pub broadcast_verdicts: bool,
+}
+
+impl<C: HomCipher> Simulation<C>
+where
+    C::Ct: Send + Sync,
+{
+    /// Builds a grid: BA topology, spanning tree, one resource per node.
+    pub fn new(
+        cfg: SimConfig,
+        keys: &GridKeys<C>,
+        mut plans: Vec<GrowthPlan>,
+        items: &[Item],
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(plans.len(), cfg.n_resources, "one growth plan per resource");
+        let overlay = if cfg.n_resources == 1 {
+            Overlay::from_tree(gridmine_topology::Tree::singleton(), cfg.delay, cfg.seed)
+        } else {
+            Overlay::barabasi(cfg.n_resources, cfg.ba_m.min(cfg.n_resources - 1), cfg.delay, cfg.seed)
+        };
+        let generator = CandidateGenerator::new(cfg.min_freq, cfg.min_conf);
+        let mut resources: Vec<SecureResource<C>> = (0..cfg.n_resources)
+            .map(|u| {
+                let neighbors: Vec<usize> = overlay.neighbors(u).collect();
+                let db = std::mem::take(&mut plans[u].initial);
+                let mut r = SecureResource::new(
+                    u,
+                    keys,
+                    neighbors,
+                    db,
+                    cfg.k,
+                    generator,
+                    items,
+                    cfg.seed ^ (u as u64).wrapping_mul(0x9E37_79B9),
+                );
+                r.accountant_mut().obfuscate = cfg.obfuscate;
+                if cfg.relaxed_gate {
+                    r.set_gate_mode(gridmine_core::GateMode::TransactionsOnly);
+                }
+                r
+            })
+            .collect();
+        wire_grid(&mut resources);
+        Simulation {
+            cfg,
+            overlay,
+            keys: keys.clone(),
+            items: items.to_vec(),
+            resources,
+            plans,
+            inflight: BTreeMap::new(),
+            departed: vec![false; cfg.n_resources],
+            step_no: 0,
+            total_msgs: 0,
+            total_bytes: 0,
+            verdicts: Vec::new(),
+            broadcast_verdicts: false,
+        }
+    }
+
+    /// Current step number.
+    pub fn step_no(&self) -> u64 {
+        self.step_no
+    }
+
+    /// Number of resources currently in the grid (grows with joins,
+    /// shrinks with departures). Slot ids are never reused, so this is a
+    /// count, not an upper bound on ids.
+    pub fn current_size(&self) -> usize {
+        self.departed.iter().filter(|&&d| !d).count()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The overlay topology.
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// Access to a resource (metrics, attack injection).
+    pub fn resource(&self, u: usize) -> &SecureResource<C> {
+        &self.resources[u]
+    }
+
+    /// Mutable access to a resource.
+    pub fn resource_mut(&mut self, u: usize) -> &mut SecureResource<C> {
+        &mut self.resources[u]
+    }
+
+    /// Makes one broker malicious.
+    pub fn corrupt_broker(&mut self, u: usize, behavior: BrokerBehavior) {
+        self.resources[u].set_broker_behavior(behavior);
+    }
+
+    /// A new resource joins the grid under `parent` (dynamic membership).
+    ///
+    /// The parent rewires (regenerated shares, remapped audit state —
+    /// k-gates preserved), both ends of every affected edge re-exchange
+    /// shares and layouts, the parent's other neighbors lift their
+    /// duplicate-send suppressors toward it, and everyone affected is
+    /// nudged so current aggregates flow into the new world. Returns the
+    /// new resource's id.
+    pub fn join_resource(&mut self, parent: usize, plan: GrowthPlan) -> usize {
+        assert!(parent < self.resources.len(), "parent must exist");
+        let mut plan = plan;
+        let id = self.overlay.join(parent);
+        let generator = CandidateGenerator::new(self.cfg.min_freq, self.cfg.min_conf);
+        let db = std::mem::take(&mut plan.initial);
+        let newcomer = SecureResource::new(
+            id,
+            &self.keys,
+            vec![parent],
+            db,
+            self.cfg.k,
+            generator,
+            &self.items,
+            self.cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9) ^ 0xBEEF,
+        );
+        self.resources.push(newcomer);
+        self.plans.push(plan);
+        self.departed.push(false);
+        if self.cfg.relaxed_gate {
+            self.resources[id].set_gate_mode(gridmine_core::GateMode::TransactionsOnly);
+        }
+        self.resources[id].accountant_mut().obfuscate = self.cfg.obfuscate;
+
+        // Parent adopts its grown neighbor set; the whole neighborhood is
+        // re-wired and nudged.
+        self.rewire_around(parent);
+        id
+    }
+
+    /// A *leaf* resource departs the grid. Its former neighbor rewires
+    /// into a new share epoch, rebuilding its aggregates *without* the
+    /// departed subtree — so fresh statistics no longer count the departed
+    /// data. Because the k-gates are monotone in the accumulated counts,
+    /// already-disclosed answers persist until new data outgrows the
+    /// registers; re-convergence to the shrunken database therefore needs
+    /// ongoing growth (the protocol's world is append-only, §3). Interior
+    /// departures would partition the tree; as in §3, the underlying
+    /// overlay mechanism is assumed to repair those, so only the safe case
+    /// is modelled.
+    ///
+    /// # Panics
+    /// Panics if `u` is not a present leaf.
+    pub fn leave_resource(&mut self, u: usize) {
+        let neighbors: Vec<usize> = self.overlay.neighbors(u).collect();
+        assert!(neighbors.len() <= 1, "only leaf resources can depart");
+        self.overlay.leave(u);
+        self.departed[u] = true;
+        if let Some(&parent) = neighbors.first() {
+            self.rewire_around(parent);
+        }
+    }
+
+    /// True if resource `u` has departed.
+    pub fn is_departed(&self, u: usize) -> bool {
+        self.departed[u]
+    }
+
+    /// Rebuilds resource `u`'s protocol state for its current overlay
+    /// neighbor set and re-wires every incident edge: shares and layouts
+    /// are re-exchanged, neighbors lift their duplicate-send suppressors
+    /// toward `u` (its recv state restarted), and the neighborhood is
+    /// nudged so current aggregates flow into the new epoch.
+    fn rewire_around(&mut self, u: usize) {
+        let neighbors: Vec<usize> = self.overlay.neighbors(u).collect();
+        let epoch = self
+            .step_no
+            .wrapping_mul(0x9E37)
+            .wrapping_add(self.resources.len() as u64);
+        self.resources[u].rewire(neighbors.clone(), epoch);
+
+        for &v in &neighbors {
+            let (a, b) = if u < v {
+                let (lo, hi) = self.resources.split_at_mut(v);
+                (&mut lo[u], &mut hi[0])
+            } else {
+                let (lo, hi) = self.resources.split_at_mut(u);
+                (&mut hi[0], &mut lo[v])
+            };
+            wire_pair(a, b);
+            self.resources[v].reset_edge(u);
+        }
+
+        let mut msgs = Vec::new();
+        for w in neighbors.into_iter().chain([u]) {
+            msgs.extend(self.resources[w].nudge());
+        }
+        self.schedule(msgs);
+    }
+
+    fn schedule(&mut self, msgs: Vec<WireMsg<C>>) {
+        for m in msgs {
+            let delay = self.overlay.delay(m.from, m.to).max(1);
+            self.total_msgs += 1;
+            self.total_bytes += m.counter.wire_bytes() as u64;
+            self.inflight.entry(self.step_no + delay).or_default().push(m);
+        }
+    }
+
+    fn collect_new_verdicts(&mut self) {
+        let mut fresh = Vec::new();
+        for r in &self.resources {
+            if let Some(v) = r.verdict() {
+                if !self.verdicts.iter().any(|&(_, w)| w == v) {
+                    fresh.push(v);
+                }
+            }
+        }
+        for v in fresh {
+            self.verdicts.push((self.step_no, v));
+            if self.broadcast_verdicts {
+                for r in self.resources.iter_mut() {
+                    r.on_verdict_broadcast(v);
+                }
+            }
+        }
+    }
+
+    /// Runs one simulation step.
+    pub fn step(&mut self) {
+        self.step_no += 1;
+        let t = self.step_no;
+
+        // Phase 1: deliver messages scheduled for this step, in parallel
+        // per receiver.
+        let arriving = self.inflight.remove(&t).unwrap_or_default();
+        if !arriving.is_empty() {
+            let n = self.resources.len();
+            let mut buckets: Vec<Vec<WireMsg<C>>> = (0..n).map(|_| Vec::new()).collect();
+            for m in arriving {
+                buckets[m.to].push(m);
+            }
+            let departed = self.departed.clone();
+            let outs: Vec<Vec<WireMsg<C>>> = self
+                .resources
+                .par_iter_mut()
+                .zip(buckets)
+                .enumerate()
+                .map(|(u, (r, msgs))| {
+                    if departed[u] {
+                        return Vec::new();
+                    }
+                    let mut out = Vec::new();
+                    for m in msgs {
+                        out.extend(r.on_receive(&m));
+                    }
+                    out
+                })
+                .collect();
+            for out in outs {
+                self.schedule(out);
+            }
+        }
+
+        // Phase 2: database growth (departed resources' partitions are
+        // frozen as of their departure).
+        let growth = self.cfg.growth_per_step;
+        if growth > 0 {
+            for (u, (r, plan)) in
+                self.resources.iter_mut().zip(self.plans.iter_mut()).enumerate()
+            {
+                if self.departed[u] {
+                    continue;
+                }
+                let txs = plan.take(growth);
+                if !txs.is_empty() {
+                    r.accountant_mut().append(txs);
+                }
+            }
+        }
+
+        // Phase 3: local processing.
+        let budget = self.cfg.scan_budget;
+        let departed = self.departed.clone();
+        let outs: Vec<Vec<WireMsg<C>>> = self
+            .resources
+            .par_iter_mut()
+            .enumerate()
+            .map(|(u, r)| if departed[u] { Vec::new() } else { r.step(budget) })
+            .collect();
+        for out in outs {
+            self.schedule(out);
+        }
+
+        // Phase 4: candidate generation every few cycles.
+        if t.is_multiple_of(self.cfg.candidate_every) {
+            let outs: Vec<Vec<WireMsg<C>>> =
+                self.resources.par_iter_mut().map(|r| r.generate_candidates()).collect();
+            for out in outs {
+                self.schedule(out);
+            }
+        }
+
+        self.collect_new_verdicts();
+    }
+
+    /// Runs `n` steps.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Forces an `Output()` refresh everywhere (before sampling metrics).
+    pub fn refresh_outputs(&mut self) {
+        self.resources.par_iter_mut().for_each(|r| r.refresh_outputs());
+    }
+
+    /// The union of every resource's *current* database content — the
+    /// `DB_t` that defines `R[DB_t]`.
+    /// Only present resources count: a departed resource's data is gone
+    /// from every *fresh* disclosure (its former neighbor rebuilt its
+    /// aggregates without it). Cached interim answers may keep reflecting
+    /// the departed history until new data outgrows the k-gate registers —
+    /// the price of the protocol's monotone disclosure accounting.
+    pub fn current_global_db(&self) -> Database {
+        Database::union_of(
+            self.resources
+                .iter()
+                .enumerate()
+                .filter(|(u, _)| !self.departed[*u])
+                .map(|(_, r)| r.accountant().db()),
+        )
+    }
+
+    /// Average recall and precision across all present resources against
+    /// `truth`.
+    pub fn global_recall_precision(&self, truth: &RuleSet) -> (f64, f64) {
+        let n = self.departed.iter().filter(|&&d| !d).count() as f64;
+        let (r_sum, p_sum) = self
+            .resources
+            .par_iter()
+            .enumerate()
+            .filter(|(u, _)| !self.departed[*u])
+            .map(|(_, r)| {
+                let interim = r.interim();
+                (gridmine_arm::recall(&interim, truth), gridmine_arm::precision(&interim, truth))
+            })
+            .reduce(|| (0.0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
+        (r_sum / n, p_sum / n)
+    }
+
+    /// Fraction of resources whose interim solution contains every rule of
+    /// `truth` (per-rule coverage used by the single-itemset experiments).
+    pub fn coverage(&self, truth: &RuleSet) -> f64 {
+        if truth.is_empty() {
+            return 1.0;
+        }
+        let n = self.departed.iter().filter(|&&d| !d).count() as f64;
+        let covered = self
+            .resources
+            .par_iter()
+            .enumerate()
+            .filter(|(u, r)| {
+                if self.departed[*u] {
+                    return false;
+                }
+                let interim = r.interim();
+                truth.iter().all(|rule| interim.contains(rule))
+            })
+            .count();
+        covered as f64 / n
+    }
+
+    /// Number of local-database scans completed so far (the x-axis of
+    /// Figure 2): steps × budget / current average local size.
+    pub fn scans_completed(&self) -> f64 {
+        let avg_size: f64 = self
+            .resources
+            .iter()
+            .map(|r| r.accountant().db_len() as f64)
+            .sum::<f64>()
+            / self.resources.len() as f64;
+        if avg_size == 0.0 {
+            return 0.0;
+        }
+        (self.step_no as f64 * self.cfg.scan_budget as f64) / avg_size
+    }
+
+    /// The thresholds as an Apriori config (ground-truth computation).
+    pub fn apriori_cfg(&self) -> gridmine_arm::AprioriConfig {
+        gridmine_arm::AprioriConfig::new(self.cfg.min_freq, self.cfg.min_conf)
+    }
+
+    /// λ accessor pair.
+    pub fn thresholds(&self) -> (Ratio, Ratio) {
+        (self.cfg.min_freq, self.cfg.min_conf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmine_arm::{correct_rules, Transaction};
+    use gridmine_paillier::MockCipher;
+
+    fn grid(n: usize, k: i64) -> Simulation<MockCipher> {
+        let keys = GridKeys::mock(1);
+        // Every resource holds {1,2}-heavy data; {1,2} is globally frequent.
+        let plans: Vec<GrowthPlan> = (0..n)
+            .map(|u| {
+                GrowthPlan::fixed(Database::from_transactions(
+                    (0..40)
+                        .map(|j| {
+                            let id = (u * 40 + j) as u64;
+                            if j % 4 == 0 {
+                                Transaction::of(id, &[3])
+                            } else {
+                                Transaction::of(id, &[1, 2])
+                            }
+                        })
+                        .collect(),
+                ))
+            })
+            .collect();
+        let mut cfg = SimConfig::small().with_resources(n).with_k(k);
+        cfg.growth_per_step = 0;
+        cfg.min_freq = Ratio::new(1, 2);
+        cfg.min_conf = Ratio::new(1, 2);
+        let items: Vec<Item> = vec![Item(1), Item(2), Item(3)];
+        Simulation::new(cfg, &keys, plans, &items)
+    }
+
+    #[test]
+    fn small_grid_converges_to_centralized_result() {
+        let mut sim = grid(8, 1);
+        sim.run(40);
+        sim.refresh_outputs();
+        let truth = correct_rules(&sim.current_global_db(), &sim.apriori_cfg());
+        let (recall, precision) = sim.global_recall_precision(&truth);
+        assert!(recall > 0.99, "recall {recall}");
+        assert!(precision > 0.99, "precision {precision}");
+        assert!(sim.verdicts.is_empty());
+        assert!(sim.total_msgs > 0);
+    }
+
+    #[test]
+    fn privacy_gate_blocks_small_grids() {
+        // k = 6 > what a 4-resource grid can ever aggregate: nothing is
+        // disclosed, recall stays 0.
+        let mut sim = grid(4, 6);
+        sim.run(30);
+        sim.refresh_outputs();
+        let truth = correct_rules(&sim.current_global_db(), &sim.apriori_cfg());
+        let (recall, _) = sim.global_recall_precision(&truth);
+        assert_eq!(recall, 0.0, "k-privacy floor must gate all outputs");
+    }
+
+    #[test]
+    fn attack_surfaces_as_verdict() {
+        let mut sim = grid(6, 1);
+        sim.broadcast_verdicts = true;
+        let victim = sim.overlay().neighbors(2).next().unwrap();
+        sim.corrupt_broker(2, BrokerBehavior::DoubleCount(victim));
+        sim.run(20);
+        assert!(
+            sim.verdicts.iter().any(|&(_, v)| v == Verdict::MaliciousBroker(2)),
+            "double-count must be detected, got {:?}",
+            sim.verdicts
+        );
+    }
+
+    #[test]
+    fn growth_streams_are_consumed() {
+        let keys = GridKeys::mock(2);
+        let txs: Vec<Transaction> = (0..200).map(|i| Transaction::of(i, &[1])).collect();
+        let global = Database::from_transactions(txs);
+        let plans = crate::workload::split_growth(&global, 4, 0.5, 1);
+        let mut cfg = SimConfig::small().with_resources(4).with_k(1);
+        cfg.growth_per_step = 5;
+        let mut sim = Simulation::new(cfg, &keys, plans, &[Item(1)]);
+        let before = sim.current_global_db().len();
+        sim.run(10);
+        let after = sim.current_global_db().len();
+        assert!(after > before, "databases must grow");
+        assert_eq!(after, 200, "everything eventually arrives");
+    }
+}

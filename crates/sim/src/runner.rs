@@ -1,0 +1,202 @@
+//! One-call experiment drivers, used by the benches and examples.
+
+use gridmine_arm::{correct_rules, Database, Item, Ratio, Rule, RuleSet};
+use gridmine_core::GridKeys;
+use gridmine_paillier::MockCipher;
+
+use crate::config::SimConfig;
+use crate::engine::Simulation;
+use crate::metrics::{GlobalMetrics, Sample};
+use crate::workload::{significance_databases, split_growth, GrowthPlan};
+
+/// Runs a full convergence experiment (the Figure 2 harness): partitions
+/// `global` across the grid with `growth_fraction` of each partition
+/// arriving during the run, samples recall/precision every `sample_every`
+/// steps against the *current* ground truth, and stops after `max_steps`.
+pub fn run_convergence(
+    cfg: SimConfig,
+    global: &Database,
+    growth_fraction: f64,
+    sample_every: u64,
+    max_steps: u64,
+) -> GlobalMetrics {
+    let keys = GridKeys::mock(cfg.seed);
+    let plans = split_growth(global, cfg.n_resources, growth_fraction, cfg.seed ^ 0xF00D);
+    let items = global.item_domain();
+    let mut sim = Simulation::new(cfg, &keys, plans, &items);
+
+    let mut metrics = GlobalMetrics::default();
+    let mut truth_cache: Option<(usize, RuleSet)> = None;
+    let mut steps = 0;
+    while steps < max_steps {
+        let chunk = sample_every.min(max_steps - steps);
+        sim.run(chunk);
+        steps += chunk;
+        sim.refresh_outputs();
+        let db = sim.current_global_db();
+        // Ground truth is the dominant cost of sampling; recompute only
+        // when the database grew by more than 2% since the last Apriori
+        // run (the rule set moves slowly under uniform growth).
+        let truth = match &truth_cache {
+            Some((len, t)) if db.len() < len + len / 50 => t.clone(),
+            _ => {
+                let t = correct_rules(&db, &sim.apriori_cfg());
+                truth_cache = Some((db.len(), t.clone()));
+                t
+            }
+        };
+        let (recall, precision) = sim.global_recall_precision(&truth);
+        metrics.push(Sample {
+            step: sim.step_no(),
+            scans: sim.scans_completed(),
+            recall,
+            precision,
+            msgs: sim.total_msgs,
+        });
+    }
+    metrics
+}
+
+/// Steps until average recall reaches `target`, or `max_steps`. Returns
+/// `(steps, metrics)`; `None` for steps when the target was never reached.
+pub fn time_to_recall(
+    cfg: SimConfig,
+    global: &Database,
+    target: f64,
+    sample_every: u64,
+    max_steps: u64,
+) -> (Option<u64>, GlobalMetrics) {
+    let keys = GridKeys::mock(cfg.seed);
+    let plans = split_growth(global, cfg.n_resources, 0.0, cfg.seed ^ 0xF00D);
+    let items = global.item_domain();
+    let mut sim = Simulation::new(cfg, &keys, plans, &items);
+
+    let truth = correct_rules(global, &sim.apriori_cfg());
+    let mut metrics = GlobalMetrics::default();
+    let mut steps = 0;
+    while steps < max_steps {
+        sim.run(sample_every);
+        steps += sample_every;
+        sim.refresh_outputs();
+        let (recall, precision) = sim.global_recall_precision(&truth);
+        metrics.push(Sample {
+            step: sim.step_no(),
+            scans: sim.scans_completed(),
+            recall,
+            precision,
+            msgs: sim.total_msgs,
+        });
+        if recall >= target {
+            return (Some(sim.step_no()), metrics);
+        }
+    }
+    (None, metrics)
+}
+
+/// The Figure 3 harness: a single-itemset vote at the given significance
+/// level. Returns the steps until ≥ 90 % of resources decide the (globally
+/// correct) rule, or `None` within `max_steps`.
+pub fn single_itemset_steps(
+    cfg: SimConfig,
+    local_size: usize,
+    significance: f64,
+    max_steps: u64,
+) -> Option<u64> {
+    assert!(significance > 0.0, "figure 3 measures positive-significance rules");
+    let lambda = cfg.min_freq;
+    let dbs = significance_databases(cfg.n_resources, local_size, lambda, significance, cfg.seed);
+    let plans: Vec<GrowthPlan> = dbs.into_iter().map(GrowthPlan::fixed).collect();
+    let keys = GridKeys::mock(cfg.seed);
+    // Only item 0 is voted on ("these experiments were conducted for the
+    // special case of a single itemset").
+    let mut sim = Simulation::new(cfg, &keys, plans, &[Item(0)]);
+    let truth: RuleSet =
+        [Rule::frequency(gridmine_arm::ItemSet::of(&[0]))].into_iter().collect();
+
+    let mut steps = 0;
+    while steps < max_steps {
+        sim.step();
+        steps += 1;
+        if steps % 2 == 0 {
+            sim.refresh_outputs();
+            if sim.coverage(&truth) >= 0.9 {
+                return Some(steps);
+            }
+        }
+    }
+    None
+}
+
+/// Convenience: a `MockCipher` simulation over an explicit database list
+/// (integration-test helper).
+pub fn simulation_over(
+    cfg: SimConfig,
+    dbs: Vec<Database>,
+    items: &[Item],
+) -> Simulation<MockCipher> {
+    let keys = GridKeys::mock(cfg.seed);
+    let plans = dbs.into_iter().map(GrowthPlan::fixed).collect();
+    Simulation::new(cfg, &keys, plans, items)
+}
+
+/// The significance definition of Figure 3 (for reporting):
+/// `(Σ sum) / (λ · Σ count) − 1`.
+pub fn significance(lambda: Ratio, sum: u64, count: u64) -> f64 {
+    sum as f64 / (lambda.as_f64() * count as f64) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmine_arm::Transaction;
+
+    fn tiny_global() -> Database {
+        Database::from_transactions(
+            (0..400)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        Transaction::of(i, &[3])
+                    } else {
+                        Transaction::of(i, &[1, 2])
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn convergence_run_reaches_high_recall() {
+        let mut cfg = SimConfig::small().with_resources(6).with_k(1);
+        cfg.growth_per_step = 4;
+        cfg.min_freq = Ratio::new(1, 2);
+        let m = run_convergence(cfg, &tiny_global(), 0.3, 5, 60);
+        assert!(m.final_recall() > 0.95, "final recall {}", m.final_recall());
+        assert!(m.final_precision() > 0.95, "final precision {}", m.final_precision());
+        assert!(m.step_at_90_recall.is_some());
+    }
+
+    #[test]
+    fn time_to_recall_reports_steps() {
+        let mut cfg = SimConfig::small().with_resources(6).with_k(1);
+        cfg.growth_per_step = 0;
+        cfg.min_freq = Ratio::new(1, 2);
+        let (steps, m) = time_to_recall(cfg, &tiny_global(), 0.9, 4, 80);
+        assert!(steps.is_some(), "never reached 90% recall: {:?}", m.samples.last());
+    }
+
+    #[test]
+    fn single_itemset_converges_faster_at_higher_significance() {
+        let mut cfg = SimConfig::small().with_resources(12).with_k(2);
+        cfg.growth_per_step = 0;
+        cfg.min_freq = Ratio::new(1, 2);
+        let hi = single_itemset_steps(cfg, 200, 0.5, 400).expect("high significance converges");
+        let lo = single_itemset_steps(cfg, 200, 0.02, 400).unwrap_or(400);
+        assert!(hi <= lo, "high significance ({hi}) must not be slower than low ({lo})");
+    }
+
+    #[test]
+    fn significance_formula() {
+        // 600 of 1000 at λ = 1/2 → 600/(0.5·1000) − 1 = 0.2.
+        assert!((significance(Ratio::new(1, 2), 600, 1000) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Barabási–Albert preferential attachment — the growth model behind
+//! BRITE's router-level topologies (the paper cites both).
+//!
+//! Starting from a small clique, each new node attaches `m` edges to
+//! existing nodes with probability proportional to their current degree,
+//! producing the heavy-tailed degree distribution of real internetworks.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::graph::Graph;
+
+/// Generates a BA graph with `n` nodes and `m` edges per new node.
+///
+/// Uses the standard "repeated-nodes list" trick: maintaining a list where
+/// each node appears once per incident edge makes degree-proportional
+/// sampling O(1).
+///
+/// # Panics
+/// Panics if `n < m + 1` or `m == 0` — the seed clique needs `m + 1` nodes.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment degree must be at least 1");
+    assert!(n > m, "need at least m+1 = {} nodes, got {n}", m + 1);
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+
+    // Seed: a clique over the first m+1 nodes.
+    let mut endpoint_pool: Vec<usize> = Vec::with_capacity(2 * n * m);
+    for u in 0..=m {
+        for v in u + 1..=m {
+            g.add_edge(u, v);
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+
+    for u in m + 1..n {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            if t != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            g.add_edge(u, t);
+            endpoint_pool.push(u);
+            endpoint_pool.push(t);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = barabasi_albert(100, 2, 1);
+        assert_eq!(g.len(), 100);
+        // Clique edges + m per additional node.
+        assert_eq!(g.edge_count(), 3 + 97 * 2);
+    }
+
+    #[test]
+    fn always_connected() {
+        for seed in 0..5 {
+            let g = barabasi_albert(200, 1, seed);
+            assert!(g.is_connected(), "seed {seed} produced a disconnected graph");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(50, 2, 9);
+        let b = barabasi_albert(50, 2, 9);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = barabasi_albert(2_000, 2, 7);
+        let hist = g.degree_histogram();
+        let max_degree = hist.len() - 1;
+        // A random (Erdős–Rényi) graph with the same density would have max
+        // degree ~O(log n); BA hubs are far larger.
+        assert!(max_degree > 30, "expected hubs, max degree {max_degree}");
+        // Minimum degree is m.
+        assert!(hist[..2].iter().all(|&c| c == 0), "no node may have degree < m");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least m+1")]
+    fn too_few_nodes_rejected() {
+        let _ = barabasi_albert(2, 2, 0);
+    }
+}

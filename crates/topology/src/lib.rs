@@ -1,0 +1,24 @@
+//! Overlay topologies for the simulated data grid.
+//!
+//! The paper's evaluation (§6) generates network topologies with BRITE
+//! under the Barabási–Albert preferential-attachment model and connects
+//! resources "via links with different propagation delays as in the real
+//! world", while "an underlying mechanism maintains a communication tree
+//! that spans all the resources" (§3).
+//!
+//! * [`graph`] — undirected graphs with degree statistics;
+//! * [`barabasi`] — the BA preferential-attachment generator (what BRITE
+//!   implements);
+//! * [`spanning`] — BFS spanning-tree extraction plus tree invariants;
+//! * [`overlay`] — the communication tree with per-link delays and dynamic
+//!   membership (resource join/leave).
+
+pub mod barabasi;
+pub mod graph;
+pub mod overlay;
+pub mod spanning;
+
+pub use barabasi::barabasi_albert;
+pub use graph::{Graph, NodeId};
+pub use overlay::{DelayModel, Overlay};
+pub use spanning::{spanning_tree, Tree};

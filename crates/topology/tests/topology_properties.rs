@@ -1,0 +1,108 @@
+//! Property tests for the topology substrate.
+
+use gridmine_topology::{barabasi_albert, spanning_tree, DelayModel, Overlay, Tree};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ba_graphs_are_connected_with_exact_edge_count(
+        n in 3usize..300,
+        m in 1usize..4,
+        seed: u64,
+    ) {
+        prop_assume!(n > m);
+        let g = barabasi_albert(n, m, seed);
+        prop_assert_eq!(g.len(), n);
+        prop_assert!(g.is_connected());
+        // Clique over m+1 nodes plus m edges per later node.
+        let expect = m * (m + 1) / 2 + (n - m - 1) * m;
+        prop_assert_eq!(g.edge_count(), expect);
+        // Minimum degree is m.
+        for u in 0..n {
+            prop_assert!(g.degree(u) >= m, "node {} has degree {}", u, g.degree(u));
+        }
+    }
+
+    #[test]
+    fn spanning_trees_satisfy_tree_invariants(
+        n in 3usize..300,
+        m in 1usize..4,
+        seed: u64,
+        root_pick: usize,
+    ) {
+        prop_assume!(n > m);
+        let g = barabasi_albert(n, m, seed);
+        let root = root_pick % n;
+        let t = spanning_tree(&g, root);
+        prop_assert_eq!(t.len(), n);
+        t.check_invariants();
+        prop_assert!(t.diameter() < n);
+    }
+
+    #[test]
+    fn joins_preserve_invariants(
+        n in 2usize..50,
+        joins in prop::collection::vec(0usize..1000, 1..20),
+        seed: u64,
+    ) {
+        let g = barabasi_albert(n.max(2), 1, seed);
+        let mut t = spanning_tree(&g, 0);
+        for j in joins {
+            let present: Vec<usize> = t.nodes().collect();
+            let parent = present[j % present.len()];
+            let id = t.join(parent);
+            prop_assert!(t.contains(id));
+            t.check_invariants();
+        }
+    }
+
+    #[test]
+    fn leaf_departures_preserve_invariants(
+        n in 3usize..60,
+        seed: u64,
+        kills in prop::collection::vec(0usize..1000, 1..10),
+    ) {
+        let g = barabasi_albert(n, 1, seed);
+        let mut t = spanning_tree(&g, 0);
+        for k in kills {
+            if t.len() <= 1 {
+                break;
+            }
+            let leaves: Vec<usize> = t.nodes().filter(|&u| t.degree(u) == 1).collect();
+            prop_assume!(!leaves.is_empty());
+            t.leave(leaves[k % leaves.len()]);
+            t.check_invariants();
+        }
+    }
+
+    #[test]
+    fn overlay_delays_are_stable_and_bounded(
+        n in 3usize..100,
+        seed: u64,
+        min in 1u64..5,
+        spread in 0u64..10,
+    ) {
+        let o = Overlay::barabasi(n, 2.min(n - 1), DelayModel::Uniform { min, max: min + spread }, seed);
+        for u in o.tree().nodes() {
+            for v in o.neighbors(u) {
+                let d = o.delay(u, v);
+                prop_assert!(d >= min && d <= min + spread);
+                prop_assert_eq!(d, o.delay(v, u), "symmetry");
+                prop_assert_eq!(d, o.delay(u, v), "stability");
+            }
+        }
+    }
+}
+
+#[test]
+fn star_and_path_extremes() {
+    // Degenerate but legal shapes the simulator may build.
+    let p = Tree::path(2);
+    p.check_invariants();
+    assert_eq!(p.diameter(), 1);
+    let s = Tree::star(2);
+    s.check_invariants();
+    assert_eq!(s.diameter(), 1);
+}

@@ -1,0 +1,63 @@
+//! # gridmine
+//!
+//! A complete reproduction of **"Privacy-Preserving Data Mining on Data
+//! Grids in the Presence of Malicious Participants"** (Gilburd, Schuster,
+//! Wolff — HPDC 2004): *Secure-Majority-Rule*, a k-secure, asynchronous,
+//! local distributed association-rule mining algorithm for data grids,
+//! together with every substrate it stands on.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`crypto`] | `gridmine-paillier` | Paillier, slot vectors, authenticated oblivious counters |
+//! | [`arm`] | `gridmine-arm` | itemsets, databases, Apriori ground truth, metrics |
+//! | [`quest`] | `gridmine-quest` | IBM Quest-style synthetic data generator |
+//! | [`topology`] | `gridmine-topology` | Barabási–Albert overlays, spanning trees, delays |
+//! | [`majority`] | `gridmine-majority` | Scalable-Majority + plain Majority-Rule baseline |
+//! | [`secure`] | `gridmine-core` | the paper's contribution: Algorithms 1–4, k-TTP, attacks |
+//! | [`sim`] | `gridmine-sim` | the §6 grid simulator and experiment drivers |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gridmine::prelude::*;
+//!
+//! // A tiny grid of 4 resources mining a shared synthetic database.
+//! let params = QuestParams::t5i2().with_transactions(300).with_items(30).with_patterns(12);
+//! let global = gridmine::quest::generate(&params);
+//!
+//! let mut cfg = SimConfig::small().with_resources(4).with_k(1);
+//! cfg.growth_per_step = 0;
+//! cfg.min_freq = Ratio::from_f64(0.08);
+//!
+//! let metrics = run_convergence(cfg, &global, 0.0, 15, 45);
+//! assert!(metrics.final_recall() > 0.9);
+//! ```
+
+pub use gridmine_arm as arm;
+pub use gridmine_core as secure;
+pub use gridmine_majority as majority;
+pub use gridmine_paillier as crypto;
+pub use gridmine_quest as quest;
+pub use gridmine_sim as sim;
+pub use gridmine_topology as topology;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use gridmine_arm::{
+        correct_rules, frequent_itemsets, AprioriConfig, Database, Item, ItemSet, Ratio, Rule,
+        RuleSet, Transaction,
+    };
+    pub use gridmine_core::{
+        mine_secure, BrokerBehavior, GridKeys, KTtp, MineConfig, SecureResource, Verdict,
+        WireMsg,
+    };
+    pub use gridmine_majority::{CandidateGenerator, MajorityNode, VotePair};
+    pub use gridmine_paillier::{HomCipher, Keypair, MockCipher, PaillierCtx};
+    pub use gridmine_quest::QuestParams;
+    pub use gridmine_sim::{
+        run_convergence, single_itemset_steps, time_to_recall, SimConfig, Simulation,
+    };
+    pub use gridmine_topology::{DelayModel, Overlay, Tree};
+}
