@@ -58,8 +58,12 @@ pub enum ControllerBehavior {
     Honest,
     /// Inverts every output bit it discloses (harms validity only).
     InvertOutputs,
-    /// Answers no queries at all (denial of service; the resource's own
-    /// mining stalls, the rest of the grid routes around it).
+    /// Answers no queries at all (denial of service). The broker spends a
+    /// bounded retry budget against it and then the resource degrades
+    /// ([`crate::chaos::DegradeReason::MuteController`]) — only its own
+    /// mining stalls. The `gridmine-sim` engine then routes the overlay
+    /// around the degraded resource (`Simulation::step`'s liveness pass),
+    /// exactly as it repairs crash faults.
     Mute,
 }
 

@@ -27,6 +27,7 @@
 pub mod accountant;
 pub mod attack;
 pub mod broker;
+pub mod chaos;
 pub mod controller;
 pub mod counter;
 pub mod keyring;
@@ -39,8 +40,9 @@ pub mod shares;
 pub mod threaded;
 
 pub use accountant::Accountant;
-pub use attack::BrokerBehavior;
+pub use attack::{BrokerBehavior, ControllerBehavior};
 pub use broker::{Broker, BrokerMsg};
+pub use chaos::{ChaosReport, DegradeReason, ResourceStatus};
 pub use controller::{Controller, Verdict};
 pub use counter::{CounterLayout, SecureCounter};
 pub use keyring::GridKeys;
@@ -49,4 +51,4 @@ pub use miner::{mine_secure, MineConfig, MiningOutcome};
 pub use packed::PackedCounter;
 pub use resource::{SecureResource, WireMsg};
 pub use sfe::{GateMode, KGate};
-pub use threaded::mine_secure_threaded;
+pub use threaded::{mine_secure_threaded, mine_secure_threaded_faulty, run_threaded};

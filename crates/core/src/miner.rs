@@ -15,6 +15,7 @@ use gridmine_majority::CandidateGenerator;
 use gridmine_paillier::HomCipher;
 use gridmine_topology::Tree;
 
+use crate::chaos::{ChaosReport, ResourceStatus};
 use crate::controller::Verdict;
 use crate::keyring::GridKeys;
 use crate::resource::{wire_grid, SecureResource, WireMsg};
@@ -28,6 +29,21 @@ pub struct MiningOutcome {
     pub verdicts: Vec<Verdict>,
     /// Total protocol messages exchanged.
     pub messages: u64,
+    /// Terminal status per resource (all `Ok` on fault-free runs).
+    pub statuses: Vec<ResourceStatus>,
+    /// What the fault layer did to the run (clean on fault-free runs).
+    pub chaos: ChaosReport,
+}
+
+impl MiningOutcome {
+    /// Interim solutions of the resources that finished healthy, with
+    /// their ids — what a fault-tolerant consumer should read.
+    pub fn surviving_solutions(&self) -> impl Iterator<Item = (usize, &RuleSet)> + '_ {
+        self.solutions
+            .iter()
+            .enumerate()
+            .filter(|&(u, _)| self.statuses.get(u).is_none_or(|s| s.is_ok()))
+    }
 }
 
 /// Configuration of a synchronous run.
@@ -154,10 +170,26 @@ pub fn mine_secure<C: HomCipher>(
     }
 
     let verdicts = resources.iter().filter_map(|r| r.verdict()).collect();
+    let statuses: Vec<ResourceStatus> = resources
+        .iter()
+        .map(|r| r.degraded().map_or(ResourceStatus::Ok, ResourceStatus::Degraded))
+        .collect();
+    let chaos = ChaosReport {
+        retries: resources.iter().map(|r| r.retries_spent()).sum(),
+        degraded: statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_ok())
+            .map(|(u, _)| u)
+            .collect(),
+        ..ChaosReport::default()
+    };
     MiningOutcome {
         solutions: resources.iter().map(|r| r.interim()).collect(),
         verdicts,
         messages,
+        statuses,
+        chaos,
     }
 }
 

@@ -18,6 +18,7 @@ use gridmine_paillier::HomCipher;
 use crate::accountant::Accountant;
 use crate::attack::{BrokerBehavior, ControllerBehavior};
 use crate::broker::{Broker, BrokerMsg};
+use crate::chaos::DegradeReason;
 use crate::controller::{Controller, Verdict};
 use crate::counter::CounterLayout;
 use crate::keyring::GridKeys;
@@ -40,9 +41,22 @@ pub struct SecureResource<C: HomCipher> {
     output_cache: HashMap<CandidateRule, bool>,
     /// Verdict that halted this resource, if any.
     halted: Option<Verdict>,
+    /// Fault that degraded this resource out of the protocol, if any.
+    degraded: Option<DegradeReason>,
+    /// SFE retries spent against an unresponsive controller.
+    retries_spent: u64,
+    /// Retries tolerated before the resource gives up on its controller
+    /// and degrades (bounded retry-with-timeout; the timeout itself is
+    /// the driver's message-delivery granularity).
+    retry_budget: u64,
     /// Controller deviation (validity experiments).
     pub controller_behavior: ControllerBehavior,
 }
+
+/// Default SFE retry budget before a mute controller degrades its
+/// resource. Generous enough that transient hiccups recover, small
+/// enough that a dead controller stalls only its own resource briefly.
+pub const DEFAULT_RETRY_BUDGET: u64 = 16;
 
 impl<C: HomCipher> SecureResource<C> {
     /// Builds a resource with its initial per-item candidates
@@ -72,6 +86,9 @@ impl<C: HomCipher> SecureResource<C> {
             neighbor_layouts: HashMap::new(),
             output_cache: HashMap::new(),
             halted: None,
+            degraded: None,
+            retries_spent: 0,
+            retry_budget: DEFAULT_RETRY_BUDGET,
             controller_behavior: ControllerBehavior::Honest,
         };
         for cand in generator.initial(items) {
@@ -130,6 +147,53 @@ impl<C: HomCipher> SecureResource<C> {
     /// the local controller or delivered by a grid broadcast.
     pub fn verdict(&self) -> Option<Verdict> {
         self.halted.or(self.ctl.verdict())
+    }
+
+    /// The fault that degraded this resource out of the protocol, if any.
+    pub fn degraded(&self) -> Option<DegradeReason> {
+        self.degraded
+    }
+
+    /// Marks this resource degraded (drivers record crashes and thread
+    /// failures here). The first reason wins.
+    pub fn mark_degraded(&mut self, reason: DegradeReason) {
+        if self.degraded.is_none() {
+            self.degraded = Some(reason);
+        }
+    }
+
+    /// Clears a degradation (crash recovery).
+    pub fn clear_degraded(&mut self) {
+        self.degraded = None;
+        self.retries_spent = 0;
+    }
+
+    /// SFE retries this resource has spent against an unresponsive
+    /// controller.
+    pub fn retries_spent(&self) -> u64 {
+        self.retries_spent
+    }
+
+    /// Overrides the SFE retry budget (see [`DEFAULT_RETRY_BUDGET`]).
+    pub fn set_retry_budget(&mut self, budget: u64) {
+        self.retry_budget = budget.max(1);
+    }
+
+    /// True while this resource participates in the protocol.
+    fn is_live(&self) -> bool {
+        self.halted.is_none() && self.degraded.is_none()
+    }
+
+    /// One bounded retry against a controller that refuses SFE service.
+    /// Returns `true` while the budget lasts; once it runs out the
+    /// resource degrades — stalling itself, not the grid.
+    fn retry_controller(&mut self) -> bool {
+        self.retries_spent += 1;
+        if self.retries_spent >= self.retry_budget {
+            self.degraded = Some(DegradeReason::MuteController);
+            return false;
+        }
+        true
     }
 
     /// Grid-broadcast handler: a verdict was announced somewhere; this
@@ -203,14 +267,14 @@ impl<C: HomCipher> SecureResource<C> {
     /// Re-evaluates the send condition for every rule toward every
     /// neighbor (a poke after membership changes).
     pub fn nudge(&mut self) -> Vec<WireMsg<C>> {
-        if self.halted.is_some() {
+        if !self.is_live() {
             return Vec::new();
         }
         let rules: Vec<CandidateRule> = self.output_cache.keys().cloned().collect();
         let mut out = Vec::new();
         for cand in rules {
             out.extend(self.on_change(&cand));
-            if self.halted.is_some() {
+            if !self.is_live() {
                 break;
             }
         }
@@ -242,7 +306,7 @@ impl<C: HomCipher> SecureResource<C> {
     /// (Algorithm 1's "for each v ∈ E: if MajorityCond(v), call
     /// Update(v)").
     fn on_change(&mut self, cand: &CandidateRule) -> Vec<WireMsg<C>> {
-        if self.halted.is_some() {
+        if !self.is_live() {
             return Vec::new();
         }
         let mut out = Vec::new();
@@ -252,6 +316,15 @@ impl<C: HomCipher> SecureResource<C> {
                 // Wiring incomplete (e.g. during joins); skip this edge.
                 continue;
             };
+            // A mute controller never answers the send SFE: the broker
+            // retries (the driver's delivery timeout paces the attempts)
+            // until the budget runs out, then the resource degrades.
+            if self.controller_behavior == ControllerBehavior::Mute {
+                if !self.retry_controller() {
+                    return out;
+                }
+                continue;
+            }
             let full = self.broker.full_aggregate(cand);
             let minus = self.broker.minus_aggregate(cand, v);
             let recv = self.broker.recv_of(cand, v);
@@ -275,7 +348,7 @@ impl<C: HomCipher> SecureResource<C> {
     /// per candidate; changed counters flow to the broker (with the
     /// obfuscation sequence) and trigger send evaluations.
     pub fn step(&mut self, scan_budget: usize) -> Vec<WireMsg<C>> {
-        if self.halted.is_some() {
+        if !self.is_live() {
             return Vec::new();
         }
         let mut out = Vec::new();
@@ -287,7 +360,7 @@ impl<C: HomCipher> SecureResource<C> {
                     out.extend(self.on_change(&cand));
                 }
             }
-            if self.halted.is_some() {
+            if !self.is_live() {
                 break;
             }
         }
@@ -298,7 +371,7 @@ impl<C: HomCipher> SecureResource<C> {
     /// adopted together with their implied union-frequency candidate
     /// (Algorithm 4's receive handler).
     pub fn on_receive(&mut self, msg: &WireMsg<C>) -> Vec<WireMsg<C>> {
-        if self.halted.is_some() {
+        if !self.is_live() {
             return Vec::new();
         }
         // Stale-epoch guard: a message sealed before a membership change
@@ -318,7 +391,7 @@ impl<C: HomCipher> SecureResource<C> {
     /// Refreshes every candidate's `Output()` answer through the
     /// controller SFE.
     pub fn refresh_outputs(&mut self) {
-        if self.halted.is_some() {
+        if !self.is_live() {
             return;
         }
         let rules: Vec<CandidateRule> = self.output_cache.keys().cloned().collect();
@@ -371,7 +444,7 @@ impl<C: HomCipher> SecureResource<C> {
     /// expand the candidate set from the interim solution, start new
     /// voting instances.
     pub fn generate_candidates(&mut self) -> Vec<WireMsg<C>> {
-        if self.halted.is_some() {
+        if !self.is_live() {
             return Vec::new();
         }
         self.refresh_outputs();
@@ -382,7 +455,7 @@ impl<C: HomCipher> SecureResource<C> {
         for cand in fresh {
             self.ensure_candidate(&cand);
             out.extend(self.on_change(&cand));
-            if self.halted.is_some() {
+            if !self.is_live() {
                 break;
             }
         }

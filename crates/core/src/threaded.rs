@@ -12,16 +12,43 @@
 //! processing (its own consequent sends were already counted), so the
 //! counter reads zero iff no message exists anywhere in the system. A
 //! barrier then aligns the threads for the next scan/candidate round.
+//!
+//! # Fault tolerance
+//!
+//! [`mine_secure_threaded_faulty`] threads every send through a
+//! [`FaultyLink`], injecting the deterministic drop/duplication/jitter
+//! and crash schedules of a [`FaultPlan`] (ticks = rounds here). The
+//! driver degrades rather than aborts:
+//!
+//! * a worker panic is caught *inside* the round loop — the thread keeps
+//!   meeting its barriers (so siblings never deadlock on a dead peer)
+//!   but goes quiet, and the resource is reported
+//!   [`ResourceStatus::Degraded`];
+//! * a send to a disconnected peer is dropped, not escalated to a panic;
+//! * a crashed resource discards its inbound traffic (keeping the
+//!   quiescence counter sound) until its scheduled recovery, if any;
+//! * under lossy links every round opens with an anti-entropy pass
+//!   (`reset_edge` + `nudge`), so an aggregate lost to a drop is resent
+//!   instead of being suppressed as a duplicate forever;
+//! * a mute controller exhausts its resource's bounded SFE retry budget
+//!   and degrades only that resource (see
+//!   [`crate::resource::DEFAULT_RETRY_BUDGET`]).
+//!
+//! The injected faults, retries and degradations surface in
+//! [`MiningOutcome::chaos`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use gridmine_arm::{Database, Item};
+use gridmine_arm::{Database, Item, RuleSet};
 use gridmine_majority::CandidateGenerator;
 use gridmine_paillier::HomCipher;
+use gridmine_topology::faults::{FaultPlan, FaultStats, FaultyLink, ResourceFault};
 use gridmine_topology::Tree;
 
+use crate::chaos::{ChaosReport, DegradeReason, ResourceStatus};
 use crate::keyring::GridKeys;
 use crate::miner::{MineConfig, MiningOutcome};
 use crate::resource::{wire_grid, SecureResource, WireMsg};
@@ -32,19 +59,31 @@ use crate::resource::{wire_grid, SecureResource, WireMsg};
 /// the protocol under true concurrency.
 ///
 /// # Panics
-/// Panics if the database count mismatches the tree size, or if a worker
-/// thread panics (the panic is propagated).
+/// Panics if the database count mismatches the tree size.
 pub fn mine_secure_threaded<C: HomCipher + 'static>(
     keys: &GridKeys<C>,
     tree: &Tree,
     dbs: Vec<Database>,
     cfg: MineConfig,
-) -> MiningOutcome
-where
-    C::Ct: Send + Sync,
-{
+) -> MiningOutcome {
+    mine_secure_threaded_faulty(keys, tree, dbs, cfg, FaultPlan::none())
+}
+
+/// [`mine_secure_threaded`] under a fault plan: link faults and crash
+/// schedules are injected (plan ticks = protocol rounds), surviving
+/// resources keep mining, and the damage is accounted in
+/// [`MiningOutcome::chaos`].
+///
+/// # Panics
+/// Panics if the database count mismatches the tree size.
+pub fn mine_secure_threaded_faulty<C: HomCipher + 'static>(
+    keys: &GridKeys<C>,
+    tree: &Tree,
+    dbs: Vec<Database>,
+    cfg: MineConfig,
+    plan: FaultPlan,
+) -> MiningOutcome {
     assert_eq!(dbs.len(), tree.capacity(), "one database per tree node");
-    let n = dbs.len();
     let generator = CandidateGenerator::new(cfg.min_freq, cfg.min_conf);
     let mut items: Vec<Item> = dbs.iter().flat_map(|d| d.item_domain()).collect();
     items.sort_unstable();
@@ -68,6 +107,101 @@ where
         })
         .collect();
     wire_grid(&mut resources);
+    run_threaded(resources, cfg.rounds, plan)
+}
+
+/// Sends `msgs` through the fault layer: dropped messages vanish,
+/// duplicated ones go out twice, jittered ones are parked in `held`
+/// until the next send phase, and sends to disconnected peers (dead
+/// threads) are silently dropped instead of unwinding.
+fn chaos_send<C: HomCipher>(
+    msgs: Vec<WireMsg<C>>,
+    senders: &[Sender<WireMsg<C>>],
+    in_flight: &AtomicI64,
+    link: &mut FaultyLink,
+    held: &mut Vec<WireMsg<C>>,
+) {
+    for m in msgs {
+        let delivery = link.on_send(m.from, m.to);
+        // Links are FIFO streams: while an earlier message on this edge
+        // sits in the jitter buffer, later ones must queue behind it —
+        // overtaking would present the receiver with a Lamport-timestamp
+        // regression and be (correctly) flagged as a replay.
+        let edge_blocked = held.iter().any(|h| h.from == m.from && h.to == m.to);
+        for _ in 0..delivery.copies {
+            let copy = m.clone();
+            if delivery.extra_delay > 0 || edge_blocked {
+                held.push(copy);
+                continue;
+            }
+            in_flight.fetch_add(1, Ordering::SeqCst);
+            if senders[copy.to].send(copy).is_err() {
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Runs `f`, converting a panic into a poisoned flag and a default
+/// result — the worker thread stays alive to keep meeting its barriers.
+fn guarded<T: Default>(poisoned: &mut bool, f: impl FnOnce() -> T) -> T {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(_) => {
+            *poisoned = true;
+            T::default()
+        }
+    }
+}
+
+/// Receives until quiescence. A down (crashed/poisoned) resource
+/// discards its traffic but keeps the in-flight accounting sound.
+#[allow(clippy::too_many_arguments)]
+fn drain<C: HomCipher>(
+    resource: &mut SecureResource<C>,
+    rx: &Receiver<WireMsg<C>>,
+    senders: &[Sender<WireMsg<C>>],
+    in_flight: &AtomicI64,
+    link: &mut FaultyLink,
+    held: &mut Vec<WireMsg<C>>,
+    down: bool,
+    poisoned: &mut bool,
+) {
+    loop {
+        match rx.recv_timeout(std::time::Duration::from_millis(1)) {
+            Ok(msg) => {
+                if !down && !*poisoned {
+                    let outs = guarded(poisoned, || resource.on_receive(&msg));
+                    chaos_send(outs, senders, in_flight, link, held);
+                }
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if in_flight.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// The threaded driver over pre-built (and pre-wired) resources — the
+/// entry point for tests that corrupt resources by hand before running
+/// them under true concurrency.
+///
+/// `plan` ticks are protocol rounds. Resources must be indexed by id
+/// (resource `u` at position `u`) and already wired — see
+/// [`crate::resource::wire_grid`].
+pub fn run_threaded<C: HomCipher + 'static>(
+    resources: Vec<SecureResource<C>>,
+    rounds: usize,
+    plan: FaultPlan,
+) -> MiningOutcome {
+    let n = resources.len();
+    for (u, r) in resources.iter().enumerate() {
+        assert_eq!(r.id(), u, "resources must be indexed by id");
+    }
 
     // One channel per resource; every thread holds senders to all (the
     // tree structure limits who actually writes to whom).
@@ -81,80 +215,164 @@ where
 
     let in_flight = Arc::new(AtomicI64::new(0));
     let barrier = Arc::new(Barrier::new(n));
-    let rounds = cfg.rounds;
+    let has_edge_faults = plan.has_edge_faults();
 
-    let handles: Vec<std::thread::JoinHandle<SecureResource<C>>> = resources
+    type WorkerResult<C> = (SecureResource<C>, FaultStats, bool);
+    let handles: Vec<std::thread::JoinHandle<WorkerResult<C>>> = resources
         .into_iter()
         .zip(receivers)
         .map(|(mut resource, rx)| {
             let senders = senders.clone();
             let in_flight = Arc::clone(&in_flight);
             let barrier = Arc::clone(&barrier);
+            let plan = plan.clone();
             std::thread::spawn(move || {
-                let send_all = |msgs: Vec<WireMsg<C>>, in_flight: &AtomicI64| {
-                    for m in msgs {
-                        in_flight.fetch_add(1, Ordering::SeqCst);
-                        // A send can only fail if the receiver hung up,
-                        // which means a sibling panicked; unwind too.
-                        senders[m.to].send(m).expect("peer thread alive");
-                    }
-                };
-                let drain = |resource: &mut SecureResource<C>,
-                             rx: &Receiver<WireMsg<C>>,
-                             in_flight: &AtomicI64| {
-                    loop {
-                        match rx.recv_timeout(std::time::Duration::from_millis(1)) {
-                            Ok(msg) => {
-                                let outs = resource.on_receive(&msg);
-                                send_all(outs, in_flight);
-                                in_flight.fetch_sub(1, Ordering::SeqCst);
-                            }
-                            Err(RecvTimeoutError::Timeout) => {
-                                if in_flight.load(Ordering::SeqCst) == 0 {
-                                    break;
-                                }
-                            }
-                            Err(RecvTimeoutError::Disconnected) => break,
-                        }
-                    }
-                };
+                let u = resource.id();
+                let mut link = FaultyLink::new(plan.clone());
+                let mut held: Vec<WireMsg<C>> = Vec::new();
+                let mut poisoned = false;
 
-                for _ in 0..rounds {
+                for round in 0..rounds {
+                    let tick = round as u64;
+                    let down = poisoned || plan.down(u, tick);
+
                     // Scan phase. The barrier between send and drain makes
                     // sure every thread's phase sends are counted in
                     // `in_flight` before anyone can observe zero and leave
                     // its drain loop early.
                     barrier.wait();
-                    let outs = resource.step(usize::MAX);
-                    send_all(outs, &in_flight);
+                    if !down {
+                        let mut outs: Vec<WireMsg<C>> = Vec::new();
+                        if has_edge_faults {
+                            // Anti-entropy under lossy links: lift the
+                            // duplicate-send suppressors and resend the
+                            // current aggregates, healing earlier drops.
+                            // Resends carry unchanged Lamport traces, so
+                            // receivers treat them as idempotent, never
+                            // as replays.
+                            let nbrs = resource.layout().neighbors.clone();
+                            for v in nbrs {
+                                resource.reset_edge(v);
+                            }
+                            outs.extend(guarded(&mut poisoned, || resource.nudge()));
+                        }
+                        outs.extend(guarded(&mut poisoned, || resource.step(usize::MAX)));
+                        // Jitter-delayed copies from earlier phases go out
+                        // now — their delay has elapsed.
+                        let delayed = std::mem::take(&mut held);
+                        for m in delayed {
+                            in_flight.fetch_add(1, Ordering::SeqCst);
+                            if senders[m.to].send(m).is_err() {
+                                in_flight.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                        chaos_send(outs, &senders, &in_flight, &mut link, &mut held);
+                    }
                     barrier.wait();
-                    drain(&mut resource, &rx, &in_flight);
+                    drain(
+                        &mut resource,
+                        &rx,
+                        &senders,
+                        &in_flight,
+                        &mut link,
+                        &mut held,
+                        down,
+                        &mut poisoned,
+                    );
 
                     // Candidate-generation phase.
                     barrier.wait();
-                    let outs = resource.generate_candidates();
-                    send_all(outs, &in_flight);
+                    if !down {
+                        let outs = guarded(&mut poisoned, || resource.generate_candidates());
+                        chaos_send(outs, &senders, &in_flight, &mut link, &mut held);
+                    }
                     barrier.wait();
-                    drain(&mut resource, &rx, &in_flight);
+                    drain(
+                        &mut resource,
+                        &rx,
+                        &senders,
+                        &in_flight,
+                        &mut link,
+                        &mut held,
+                        down,
+                        &mut poisoned,
+                    );
                 }
                 barrier.wait();
-                resource.refresh_outputs();
-                resource
+                if !poisoned && !plan.down(u, rounds as u64) {
+                    guarded(&mut poisoned, || resource.refresh_outputs());
+                }
+                (resource, link.stats(), poisoned)
             })
         })
         .collect();
 
-    let finished: Vec<SecureResource<C>> = handles
-        .into_iter()
-        .map(|h| h.join().expect("worker thread panicked"))
-        .collect();
-
-    let verdicts = finished.iter().filter_map(|r| r.verdict()).collect();
-    MiningOutcome {
-        solutions: finished.iter().map(|r| r.interim()).collect(),
-        verdicts,
-        messages: finished.iter().map(|r| r.msgs_sent()).sum(),
+    let rounds_tick = rounds as u64;
+    let mut solutions: Vec<RuleSet> = (0..n).map(|_| RuleSet::new()).collect();
+    let mut statuses: Vec<ResourceStatus> = vec![ResourceStatus::Ok; n];
+    let mut verdicts = Vec::new();
+    let mut messages = 0u64;
+    let mut faults = FaultStats::default();
+    let mut retries = 0u64;
+    for (u, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok((r, stats, poisoned)) => {
+                solutions[u] = r.interim();
+                if let Some(v) = r.verdict() {
+                    verdicts.push(v);
+                }
+                messages += r.msgs_sent();
+                faults.merge(&stats);
+                retries += r.retries_spent();
+                statuses[u] = if poisoned {
+                    ResourceStatus::Degraded(DegradeReason::Panicked)
+                } else if plan.down(u, rounds_tick) {
+                    match plan.fault_of(u) {
+                        Some(ResourceFault::Depart { .. }) => {
+                            ResourceStatus::Degraded(DegradeReason::Departed)
+                        }
+                        _ => ResourceStatus::Degraded(DegradeReason::Crashed),
+                    }
+                } else if let Some(reason) = r.degraded() {
+                    ResourceStatus::Degraded(reason)
+                } else {
+                    ResourceStatus::Ok
+                };
+            }
+            // A worker died outside the guarded sections (should not
+            // happen): report it degraded instead of aborting the mine.
+            Err(_) => statuses[u] = ResourceStatus::Degraded(DegradeReason::Panicked),
+        }
     }
+
+    // Schedule events that actually fired during the run.
+    for u in 0..n {
+        match plan.fault_of(u) {
+            Some(ResourceFault::Crash { at, recover }) if at < rounds_tick => {
+                faults.crashes += 1;
+                if recover.is_some_and(|r| r <= rounds_tick) {
+                    faults.recoveries += 1;
+                }
+            }
+            Some(ResourceFault::Depart { at }) if at < rounds_tick => faults.departures += 1,
+            _ => {}
+        }
+    }
+
+    let chaos = ChaosReport {
+        faults,
+        retries,
+        degraded: statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_ok())
+            .map(|(u, _)| u)
+            .collect(),
+        convergence_delay: plan
+            .onset()
+            .map_or(0, |onset| rounds_tick.saturating_sub(onset)),
+    };
+    MiningOutcome { solutions, verdicts, messages, statuses, chaos }
 }
 
 #[cfg(test)]
@@ -163,6 +381,7 @@ mod tests {
     use crate::miner::mine_secure;
     use gridmine_arm::{correct_rules, AprioriConfig, Ratio, Transaction};
     use gridmine_paillier::MockCipher;
+    use gridmine_topology::faults::EdgeFaults;
 
     fn dbs(n: u64) -> Vec<Database> {
         (0..n)
@@ -183,18 +402,23 @@ mod tests {
             .collect()
     }
 
+    fn truth(n: u64, cfg: &MineConfig) -> RuleSet {
+        correct_rules(
+            &Database::union_of(dbs(n).iter()),
+            &AprioriConfig::new(cfg.min_freq, cfg.min_conf),
+        )
+    }
+
     #[test]
     fn threaded_mining_matches_centralized_truth() {
         let keys = GridKeys::<MockCipher>::mock(11);
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
-        let truth = correct_rules(
-            &Database::union_of(dbs(6).iter()),
-            &AprioriConfig::new(cfg.min_freq, cfg.min_conf),
-        );
         let outcome = mine_secure_threaded(&keys, &Tree::path(6), dbs(6), cfg);
         assert!(outcome.verdicts.is_empty());
+        assert!(outcome.statuses.iter().all(|s| s.is_ok()));
+        assert!(outcome.chaos.is_clean());
         for (u, sol) in outcome.solutions.iter().enumerate() {
-            assert_eq!(sol, &truth, "thread {u} diverged");
+            assert_eq!(sol, &truth(6, &cfg), "thread {u} diverged");
         }
     }
 
@@ -209,14 +433,57 @@ mod tests {
 
     #[test]
     fn threaded_detects_attacks_too() {
-        // Corrupting a broker requires building resources by hand; the
-        // public path is covered — here we just pin that a malicious grid
-        // surfaces a verdict under concurrency by running the sync builder
-        // with the threaded driver's semantics (single round).
+        // Hand-corrupted grids under the threaded driver are covered in
+        // tests/threaded_faults.rs via run_threaded; here we pin that an
+        // honest grid stays clean under concurrency.
         let keys = GridKeys::<MockCipher>::mock(13);
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
         let outcome = mine_secure_threaded(&keys, &Tree::path(4), dbs(4), cfg);
         assert!(outcome.verdicts.is_empty(), "honest grid stays clean under threads");
         assert!(outcome.messages > 0);
+    }
+
+    #[test]
+    fn dropped_messages_are_healed_by_anti_entropy() {
+        let keys = GridKeys::<MockCipher>::mock(14);
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        let plan = FaultPlan::new(99)
+            .with_default_edge(EdgeFaults { drop: 0.2, duplicate: 0.1, jitter: 1 });
+        let outcome = mine_secure_threaded_faulty(&keys, &Tree::path(5), dbs(5), cfg, plan);
+        assert!(outcome.verdicts.is_empty(), "link faults must not look malicious");
+        assert!(outcome.chaos.faults.dropped > 0, "faults must actually fire");
+        for (u, sol) in outcome.surviving_solutions() {
+            assert_eq!(sol, &truth(5, &cfg), "resource {u} diverged under lossy links");
+        }
+    }
+
+    #[test]
+    fn crashed_resource_degrades_without_stalling_the_grid() {
+        let keys = GridKeys::<MockCipher>::mock(15);
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        // Resource 4 (a path leaf) crashes from round 2 onward.
+        let plan = FaultPlan::new(1).with_crash(4, 2, None);
+        let outcome = mine_secure_threaded_faulty(&keys, &Tree::path(5), dbs(5), cfg, plan);
+        assert_eq!(outcome.statuses[4], ResourceStatus::Degraded(DegradeReason::Crashed));
+        assert!(outcome.statuses[..4].iter().all(|s| s.is_ok()));
+        assert_eq!(outcome.chaos.faults.crashes, 1);
+        assert_eq!(outcome.chaos.degraded, vec![4]);
+        for (u, sol) in outcome.surviving_solutions() {
+            assert_eq!(sol, &truth(5, &cfg), "survivor {u} diverged");
+        }
+    }
+
+    #[test]
+    fn crash_and_recovery_rejoins_the_round_loop() {
+        let keys = GridKeys::<MockCipher>::mock(16);
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        let plan = FaultPlan::new(2).with_crash(2, 1, Some(3));
+        let outcome = mine_secure_threaded_faulty(&keys, &Tree::path(5), dbs(5), cfg, plan);
+        assert!(
+            outcome.statuses.iter().all(|s| s.is_ok()),
+            "a recovered resource is not degraded: {:?}",
+            outcome.statuses
+        );
+        assert_eq!(outcome.chaos.faults.recoveries, 1);
     }
 }

@@ -12,14 +12,20 @@ use std::collections::BTreeMap;
 
 use gridmine_arm::{Database, Item, Ratio, RuleSet};
 use gridmine_core::resource::{wire_grid, wire_pair};
-use gridmine_core::{BrokerBehavior, GridKeys, SecureResource, Verdict, WireMsg};
+use gridmine_core::{
+    BrokerBehavior, ChaosReport, DegradeReason, GridKeys, SecureResource, Verdict, WireMsg,
+};
 use gridmine_majority::CandidateGenerator;
 use gridmine_paillier::HomCipher;
+use gridmine_topology::faults::{Delivery, FaultPlan, FaultyLink, ResourceFault};
 use gridmine_topology::Overlay;
 use rayon::prelude::*;
 
 use crate::config::SimConfig;
 use crate::workload::GrowthPlan;
+
+/// Steps between anti-entropy resend passes when link faults are armed.
+const ANTI_ENTROPY_EVERY: u64 = 5;
 
 /// A running simulation.
 pub struct Simulation<C: HomCipher> {
@@ -31,6 +37,15 @@ pub struct Simulation<C: HomCipher> {
     plans: Vec<GrowthPlan>,
     inflight: BTreeMap<u64, Vec<WireMsg<C>>>,
     departed: Vec<bool>,
+    /// Fault injection, when armed via [`Simulation::inject_faults`].
+    link: Option<FaultyLink>,
+    /// Last scheduled arrival per directed edge — under jitter the links
+    /// stay FIFO streams (a later message never overtakes a delayed one;
+    /// overtaking would read as a timestamp regression, i.e. a replay).
+    edge_clock: BTreeMap<(usize, usize), u64>,
+    /// Where a crashed resource should re-attach on recovery (the hub its
+    /// neighborhood was bridged through when it was routed around).
+    crash_parent: Vec<Option<usize>>,
     step_no: u64,
     /// Total protocol messages put on the wire.
     pub total_msgs: u64,
@@ -93,6 +108,9 @@ where
             plans,
             inflight: BTreeMap::new(),
             departed: vec![false; cfg.n_resources],
+            link: None,
+            edge_clock: BTreeMap::new(),
+            crash_parent: vec![None; cfg.n_resources],
             step_no: 0,
             total_msgs: 0,
             total_bytes: 0,
@@ -138,6 +156,20 @@ where
         self.resources[u].set_broker_behavior(behavior);
     }
 
+    /// Arms deterministic fault injection: every subsequent send goes
+    /// through the plan's drop/duplication/jitter decisions and the
+    /// crash/recover/depart schedules fire at their ticks (plan ticks =
+    /// simulation steps). Same plan + same config ⇒ byte-identical
+    /// [`Simulation::chaos_report`].
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.link = Some(FaultyLink::new(plan));
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.link.as_ref().map(|l| l.plan())
+    }
+
     /// A new resource joins the grid under `parent` (dynamic membership).
     ///
     /// The parent rewires (regenerated shares, remapped audit state —
@@ -165,6 +197,7 @@ where
         self.resources.push(newcomer);
         self.plans.push(plan);
         self.departed.push(false);
+        self.crash_parent.push(None);
         if self.cfg.relaxed_gate {
             self.resources[id].set_gate_mode(gridmine_core::GateMode::TransactionsOnly);
         }
@@ -236,12 +269,188 @@ where
         self.schedule(msgs);
     }
 
-    fn schedule(&mut self, msgs: Vec<WireMsg<C>>) {
+    fn schedule(&mut self, mut msgs: Vec<WireMsg<C>>) {
+        if self.link.is_some() {
+            // Resources iterate hash maps internally, so the order of a
+            // batch varies run-to-run — but the per-edge fault decisions
+            // are sequence-numbered, so replayable chaos needs a canonical
+            // order. The sort is stable and keys on the rule, preserving
+            // the per-edge-per-rule FIFO the timestamp traces rely on.
+            msgs.sort_by_cached_key(|m| (m.from, m.to, m.cand.to_string()));
+        }
         for m in msgs {
             let delay = self.overlay.delay(m.from, m.to).max(1);
             self.total_msgs += 1;
             self.total_bytes += m.counter.wire_bytes() as u64;
-            self.inflight.entry(self.step_no + delay).or_default().push(m);
+            let delivery = match &mut self.link {
+                Some(link) => link.on_send(m.from, m.to),
+                None => Delivery::clean(),
+            };
+            if delivery.is_dropped() {
+                continue;
+            }
+            let mut at = self.step_no + delay + delivery.extra_delay;
+            if self.link.is_some() {
+                // FIFO links: jitter delays the stream, it never reorders
+                // it (see `edge_clock`).
+                let clock = self.edge_clock.entry((m.from, m.to)).or_insert(0);
+                at = at.max(*clock);
+                *clock = at;
+            }
+            for _ in 0..delivery.copies {
+                self.inflight.entry(at).or_default().push(m.clone());
+            }
+        }
+    }
+
+    /// Removes resource `u` from the live grid: the overlay routes around
+    /// it (bridging its orphaned neighbors through a hub), the affected
+    /// neighborhood rewires into a fresh share epoch, and the resource is
+    /// marked degraded. Used for scheduled crashes/departures and for
+    /// liveness-driven isolation of self-degraded (e.g. mute-controller)
+    /// resources.
+    fn quarantine(&mut self, u: usize, reason: DegradeReason) {
+        let nbrs: Vec<usize> = self.overlay.neighbors(u).collect();
+        self.overlay.route_around(u);
+        self.departed[u] = true;
+        self.resources[u].mark_degraded(reason);
+        let Some(&first) = nbrs.first() else { return };
+        // The hub is the former neighbor now adjacent to all the others
+        // (route_around bridges every orphan through it). Rewire it last,
+        // so its closing nudges reach the whole repaired neighborhood
+        // under final layouts.
+        let hub = nbrs
+            .iter()
+            .copied()
+            .find(|&v| {
+                nbrs.iter().all(|&w| w == v || self.overlay.neighbors(v).any(|x| x == w))
+            })
+            .unwrap_or(first);
+        self.crash_parent[u] = Some(hub);
+        // Pre-pass: adopt the repaired neighbor sets everywhere before any
+        // share exchange. `wire_pair` needs *both* endpoints' layouts to
+        // contain the edge, and route_around creates brand-new orphan↔hub
+        // edges, so a one-at-a-time rewire would ask a not-yet-rewired hub
+        // for a share toward an orphan it never knew.
+        let epoch = self
+            .step_no
+            .wrapping_mul(0x9E37)
+            .wrapping_add(self.resources.len() as u64);
+        for &v in &nbrs {
+            let nv: Vec<usize> = self.overlay.neighbors(v).collect();
+            self.resources[v].rewire(nv, epoch);
+        }
+        for &v in &nbrs {
+            if v != hub {
+                self.rewire_around(v);
+            }
+        }
+        self.rewire_around(hub);
+    }
+
+    /// Re-admits a recovered resource as a leaf under the hub it was
+    /// bridged through (falling back to any live resource if the hub has
+    /// itself gone down since).
+    fn recover(&mut self, u: usize) {
+        if !self.departed[u] {
+            return;
+        }
+        let anchor = self
+            .crash_parent[u]
+            .filter(|&p| !self.departed[p])
+            .or_else(|| (0..self.departed.len()).find(|&v| v != u && !self.departed[v]));
+        let Some(anchor) = anchor else { return };
+        self.overlay.rejoin(u, anchor);
+        self.departed[u] = false;
+        self.resources[u].clear_degraded();
+        let epoch = self
+            .step_no
+            .wrapping_mul(0x9E37)
+            .wrapping_add(self.resources.len() as u64)
+            ^ 0xC0DE;
+        self.resources[u].rewire(vec![anchor], epoch);
+        self.rewire_around(anchor);
+    }
+
+    /// Fires the fault plan's crash/recover/depart events scheduled for
+    /// the current step.
+    fn apply_fault_schedule(&mut self) {
+        let Some(link) = &mut self.link else { return };
+        let t = self.step_no;
+        let started = link.plan().outages_at(t);
+        let recovered = link.plan().recoveries_at(t);
+        for &u in &started {
+            if self.departed[u] {
+                continue;
+            }
+            match link.plan().fault_of(u) {
+                Some(ResourceFault::Depart { .. }) => link.stats_mut().departures += 1,
+                _ => link.stats_mut().crashes += 1,
+            }
+        }
+        for &u in &recovered {
+            if self.departed[u] {
+                link.stats_mut().recoveries += 1;
+            }
+        }
+        let reasons: Vec<(usize, DegradeReason)> = started
+            .into_iter()
+            .filter(|&u| !self.departed[u])
+            .map(|u| {
+                let reason = match self.link.as_ref().unwrap().plan().fault_of(u) {
+                    Some(ResourceFault::Depart { .. }) => DegradeReason::Departed,
+                    _ => DegradeReason::Crashed,
+                };
+                (u, reason)
+            })
+            .collect();
+        for (u, reason) in reasons {
+            self.quarantine(u, reason);
+        }
+        for u in recovered {
+            self.recover(u);
+        }
+    }
+
+    /// Liveness pass: a resource that degraded on its own (mute
+    /// controller, audit halt against its own broker) stops serving its
+    /// subtree — route the overlay around it so the rest of the grid
+    /// keeps converging.
+    fn route_around_degraded(&mut self) {
+        let stuck: Vec<(usize, DegradeReason)> = self
+            .resources
+            .iter()
+            .enumerate()
+            .filter(|(u, r)| !self.departed[*u] && r.degraded().is_some())
+            .map(|(u, r)| (u, r.degraded().expect("filtered on degraded")))
+            .collect();
+        for (u, reason) in stuck {
+            self.quarantine(u, reason);
+        }
+    }
+
+    /// What the fault layer did so far: injected faults, SFE retries spent
+    /// against mute controllers, resources degraded, and the number of
+    /// steps convergence was exposed to faults. Deterministic per plan
+    /// seed.
+    pub fn chaos_report(&self) -> ChaosReport {
+        let faults = self.link.as_ref().map(|l| l.stats()).unwrap_or_default();
+        let degraded: Vec<usize> = self
+            .resources
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.degraded().is_some())
+            .map(|(u, _)| u)
+            .collect();
+        ChaosReport {
+            faults,
+            retries: self.resources.iter().map(|r| r.retries_spent()).sum(),
+            degraded,
+            convergence_delay: self
+                .link
+                .as_ref()
+                .and_then(|l| l.plan().onset())
+                .map_or(0, |onset| self.step_no.saturating_sub(onset)),
         }
     }
 
@@ -268,6 +477,9 @@ where
     pub fn step(&mut self) {
         self.step_no += 1;
         let t = self.step_no;
+
+        // Phase 0: scheduled faults fire before anything else this step.
+        self.apply_fault_schedule();
 
         // Phase 1: deliver messages scheduled for this step, in parallel
         // per receiver.
@@ -330,6 +542,27 @@ where
             self.schedule(out);
         }
 
+        // Phase 3b: anti-entropy under lossy links — periodically lift the
+        // duplicate-send suppressors and resend current aggregates, so a
+        // dropped message is healed instead of being suppressed forever.
+        // Resends carry unchanged Lamport traces (idempotent, not replays).
+        if t.is_multiple_of(ANTI_ENTROPY_EVERY)
+            && self.link.as_ref().is_some_and(|l| l.plan().has_edge_faults())
+        {
+            let mut msgs = Vec::new();
+            for u in 0..self.resources.len() {
+                if self.departed[u] {
+                    continue;
+                }
+                let nbrs: Vec<usize> = self.overlay.neighbors(u).collect();
+                for v in nbrs {
+                    self.resources[u].reset_edge(v);
+                }
+                msgs.extend(self.resources[u].nudge());
+            }
+            self.schedule(msgs);
+        }
+
         // Phase 4: candidate generation every few cycles.
         if t.is_multiple_of(self.cfg.candidate_every) {
             let outs: Vec<Vec<WireMsg<C>>> =
@@ -338,6 +571,10 @@ where
                 self.schedule(out);
             }
         }
+
+        // Phase 5: liveness — isolate resources that degraded on their own
+        // (e.g. a mute controller exhausted its broker's retry budget).
+        self.route_around_degraded();
 
         self.collect_new_verdicts();
     }

@@ -22,5 +22,5 @@ pub mod workload;
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use metrics::{GlobalMetrics, Sample};
-pub use runner::{run_convergence, single_itemset_steps, time_to_recall};
+pub use runner::{run_convergence, run_convergence_faulty, single_itemset_steps, time_to_recall};
 pub use workload::{significance_databases, split_growth, GrowthPlan};

@@ -1,5 +1,6 @@
 //! Measurement types for the experiment harness.
 
+use gridmine_core::ChaosReport;
 use serde::{Deserialize, Serialize};
 
 /// One time-series sample of a convergence run (Figure 2's data points).
@@ -28,6 +29,9 @@ pub struct GlobalMetrics {
     pub scans_at_90_recall: Option<f64>,
     /// Total messages at the end of the run.
     pub total_msgs: u64,
+    /// Fault-layer accounting, when the run had fault injection armed
+    /// (`None` on fault-free runs).
+    pub chaos: Option<ChaosReport>,
 }
 
 impl GlobalMetrics {

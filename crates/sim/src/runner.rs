@@ -3,6 +3,7 @@
 use gridmine_arm::{correct_rules, Database, Item, Ratio, Rule, RuleSet};
 use gridmine_core::GridKeys;
 use gridmine_paillier::MockCipher;
+use gridmine_topology::faults::FaultPlan;
 
 use crate::config::SimConfig;
 use crate::engine::Simulation;
@@ -20,10 +21,37 @@ pub fn run_convergence(
     sample_every: u64,
     max_steps: u64,
 ) -> GlobalMetrics {
+    convergence_inner(cfg, global, growth_fraction, sample_every, max_steps, None)
+}
+
+/// [`run_convergence`] with deterministic fault injection armed: the
+/// returned metrics carry the run's [`gridmine_core::ChaosReport`].
+pub fn run_convergence_faulty(
+    cfg: SimConfig,
+    global: &Database,
+    growth_fraction: f64,
+    sample_every: u64,
+    max_steps: u64,
+    plan: FaultPlan,
+) -> GlobalMetrics {
+    convergence_inner(cfg, global, growth_fraction, sample_every, max_steps, Some(plan))
+}
+
+fn convergence_inner(
+    cfg: SimConfig,
+    global: &Database,
+    growth_fraction: f64,
+    sample_every: u64,
+    max_steps: u64,
+    plan: Option<FaultPlan>,
+) -> GlobalMetrics {
     let keys = GridKeys::mock(cfg.seed);
     let plans = split_growth(global, cfg.n_resources, growth_fraction, cfg.seed ^ 0xF00D);
     let items = global.item_domain();
     let mut sim = Simulation::new(cfg, &keys, plans, &items);
+    if let Some(plan) = plan {
+        sim.inject_faults(plan);
+    }
 
     let mut metrics = GlobalMetrics::default();
     let mut truth_cache: Option<(usize, RuleSet)> = None;
@@ -53,6 +81,9 @@ pub fn run_convergence(
             precision,
             msgs: sim.total_msgs,
         });
+    }
+    if sim.fault_plan().is_some() {
+        metrics.chaos = Some(sim.chaos_report());
     }
     metrics
 }

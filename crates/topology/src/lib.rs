@@ -11,14 +11,19 @@
 //!   implements);
 //! * [`spanning`] — BFS spanning-tree extraction plus tree invariants;
 //! * [`overlay`] — the communication tree with per-link delays and dynamic
-//!   membership (resource join/leave).
+//!   membership (resource join/leave);
+//! * [`faults`] — seeded, deterministic fault injection (message drop /
+//!   duplication / jitter, resource crash / recover / depart) for chaos
+//!   runs against the protocol's tolerance machinery.
 
 pub mod barabasi;
+pub mod faults;
 pub mod graph;
 pub mod overlay;
 pub mod spanning;
 
 pub use barabasi::barabasi_albert;
+pub use faults::{Delivery, EdgeFaults, FaultPlan, FaultStats, FaultyLink, ResourceFault};
 pub use graph::{Graph, NodeId};
 pub use overlay::{DelayModel, Overlay};
 pub use spanning::{spanning_tree, Tree};

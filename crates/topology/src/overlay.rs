@@ -108,6 +108,27 @@ impl Overlay {
         self.tree.leave(u);
     }
 
+    /// Routes around a dead resource (crash repair, see
+    /// [`Tree::route_around`]): removes it and bridges its orphaned
+    /// neighbors, sampling fresh delays for the bridge links. Returns the
+    /// new edges.
+    pub fn route_around(&mut self, u: NodeId) -> Vec<(NodeId, NodeId)> {
+        let new_edges = self.tree.route_around(u);
+        for &(a, b) in &new_edges {
+            let d = self.delay_model.sample(&mut self.rng);
+            self.delays.insert((a, b), d);
+        }
+        new_edges
+    }
+
+    /// Re-attaches a recovered resource as a leaf under `parent` with a
+    /// freshly sampled link delay (see [`Tree::rejoin`]).
+    pub fn rejoin(&mut self, u: NodeId, parent: NodeId) {
+        self.tree.rejoin(u, parent);
+        let d = self.delay_model.sample(&mut self.rng);
+        self.delays.insert((parent.min(u), parent.max(u)), d);
+    }
+
     /// Maximum link delay (for convergence-bound estimates).
     pub fn max_delay(&self) -> u64 {
         self.delays.values().copied().max().unwrap_or(0)
@@ -151,6 +172,26 @@ mod tests {
         o.leave(2);
         assert_eq!(o.len(), 3);
         assert!(o.neighbors(0).all(|v| v != 2));
+    }
+
+    #[test]
+    fn route_around_assigns_delays_to_bridge_links() {
+        let mut o = Overlay::from_tree(Tree::path(5), DelayModel::Uniform { min: 2, max: 9 }, 7);
+        let new_edges = o.route_around(2);
+        assert_eq!(new_edges, vec![(1, 3)]);
+        assert!((2..=9).contains(&o.delay(1, 3)));
+        o.tree().check_invariants();
+    }
+
+    #[test]
+    fn rejoin_after_route_around_restores_membership() {
+        let mut o = Overlay::from_tree(Tree::path(4), DelayModel::Constant(2), 0);
+        o.route_around(1);
+        assert_eq!(o.len(), 3);
+        o.rejoin(1, 3);
+        assert_eq!(o.len(), 4);
+        assert_eq!(o.delay(1, 3), 2);
+        o.tree().check_invariants();
     }
 
     #[test]

@@ -137,6 +137,67 @@ impl Tree {
         self.present[u] = false;
     }
 
+    /// Removes a node that died *without* a clean departure, bridging its
+    /// orphaned neighbors so the surviving tree stays connected: the
+    /// dead node's tree parent (or, for a dead root, its first child)
+    /// becomes the hub the other neighbors re-attach to. Returns the new
+    /// edges created, as sorted pairs — callers assign link metadata
+    /// (delays) to them.
+    ///
+    /// This is the repair half of §3's "underlying mechanism maintains a
+    /// communication tree": leaf crashes degenerate to [`Tree::leave`]
+    /// (no new edges), interior crashes re-route around the hole.
+    ///
+    /// # Panics
+    /// Panics if `u` is absent.
+    pub fn route_around(&mut self, u: NodeId) -> Vec<(NodeId, NodeId)> {
+        assert!(self.contains(u), "node must be present to route around");
+        let nbrs: Vec<NodeId> = self.neighbors(u).collect();
+        self.present[u] = false;
+        if nbrs.len() <= 1 {
+            return Vec::new();
+        }
+        let hub = if self.parent[u] != u && nbrs.contains(&self.parent[u]) {
+            self.parent[u]
+        } else {
+            nbrs[0]
+        };
+        if self.root == u {
+            self.root = hub;
+            self.parent[hub] = hub;
+        }
+        let mut new_edges = Vec::new();
+        for &v in &nbrs {
+            if v == hub {
+                continue;
+            }
+            self.adj[hub].push(v);
+            self.adj[v].push(hub);
+            self.parent[v] = hub;
+            new_edges.push((hub.min(v), hub.max(v)));
+        }
+        new_edges
+    }
+
+    /// Re-attaches a previously departed node as a fresh leaf under
+    /// `parent` (crash recovery). Stale adjacency from before the outage
+    /// is purged; the node keeps its id but starts with a single edge.
+    ///
+    /// # Panics
+    /// Panics if `u` is still present or `parent` is not.
+    pub fn rejoin(&mut self, u: NodeId, parent: NodeId) {
+        assert!(u < self.adj.len() && !self.present[u], "rejoin is for departed nodes");
+        assert!(self.contains(parent), "rejoin parent must be present");
+        let stale: Vec<NodeId> = std::mem::take(&mut self.adj[u]);
+        for v in stale {
+            self.adj[v].retain(|&w| w != u);
+        }
+        self.adj[u].push(parent);
+        self.adj[parent].push(u);
+        self.parent[u] = parent;
+        self.present[u] = true;
+    }
+
     /// Verifies the tree invariants: connected and acyclic over present
     /// nodes (edge count = node count − 1 plus reachability).
     pub fn check_invariants(&self) {
@@ -254,6 +315,45 @@ mod tests {
     fn disconnected_graph_rejected() {
         let g = Graph::with_nodes(3);
         let _ = spanning_tree(&g, 0);
+    }
+
+    #[test]
+    fn route_around_interior_node_bridges_neighbors() {
+        let mut t = Tree::path(5); // 0-1-2-3-4
+        let new_edges = t.route_around(2);
+        assert_eq!(t.len(), 4);
+        assert!(!t.contains(2));
+        t.check_invariants();
+        // Node 2's parent (1) became the hub; 3 re-attached to it.
+        assert_eq!(new_edges, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn route_around_star_center_keeps_survivors_connected() {
+        let mut t = Tree::star(5);
+        let new_edges = t.route_around(0);
+        assert_eq!(t.len(), 4);
+        t.check_invariants();
+        assert_eq!(new_edges.len(), 3, "three leaves re-attach to the hub");
+    }
+
+    #[test]
+    fn route_around_leaf_is_a_plain_leave() {
+        let mut t = Tree::path(4);
+        assert!(t.route_around(3).is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn rejoin_restores_a_crashed_node_as_leaf() {
+        let mut t = Tree::path(5);
+        t.route_around(2);
+        t.rejoin(2, 4);
+        assert_eq!(t.len(), 5);
+        t.check_invariants();
+        let n: Vec<_> = t.neighbors(2).collect();
+        assert_eq!(n, vec![4], "rejoined node is a fresh leaf under its new parent");
+        assert!(t.neighbors(1).all(|v| v != 2), "stale pre-crash edges are purged");
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Offline stand-in for the `num-integer` crate: the [`Integer`] trait
+//! subset the workspace uses (gcd / lcm / extended gcd / parity). The
+//! big-integer impls live in the sibling `num-bigint` shim.
+
+/// Result of the extended Euclidean algorithm:
+/// `gcd = x·a + y·b` for `a.extended_gcd(&b)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtendedGcd<T> {
+    /// The greatest common divisor.
+    pub gcd: T,
+    /// Bézout coefficient of `self`.
+    pub x: T,
+    /// Bézout coefficient of `other`.
+    pub y: T,
+}
+
+/// Integer-specific arithmetic.
+pub trait Integer: Sized {
+    /// Greatest common divisor.
+    fn gcd(&self, other: &Self) -> Self;
+    /// Least common multiple.
+    fn lcm(&self, other: &Self) -> Self;
+    /// Extended Euclidean algorithm.
+    fn extended_gcd(&self, other: &Self) -> ExtendedGcd<Self>;
+    /// True if divisible by two.
+    fn is_even(&self) -> bool;
+    /// True if not divisible by two.
+    fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+}
+
+macro_rules! impl_integer_signed {
+    ($($t:ty),*) => {$(
+        impl Integer for $t {
+            fn gcd(&self, other: &Self) -> Self {
+                let (mut a, mut b) = (self.unsigned_abs(), other.unsigned_abs());
+                while b != 0 {
+                    let r = a % b;
+                    a = b;
+                    b = r;
+                }
+                a as $t
+            }
+            fn lcm(&self, other: &Self) -> Self {
+                if *self == 0 || *other == 0 {
+                    return 0;
+                }
+                (self / self.gcd(other) * other).abs()
+            }
+            fn extended_gcd(&self, other: &Self) -> ExtendedGcd<Self> {
+                let (mut old_r, mut r) = (*self, *other);
+                let (mut old_x, mut x) = (1, 0);
+                let (mut old_y, mut y) = (0, 1);
+                while r != 0 {
+                    let q = old_r / r;
+                    (old_r, r) = (r, old_r - q * r);
+                    (old_x, x) = (x, old_x - q * x);
+                    (old_y, y) = (y, old_y - q * y);
+                }
+                if old_r < 0 {
+                    ExtendedGcd { gcd: -old_r, x: -old_x, y: -old_y }
+                } else {
+                    ExtendedGcd { gcd: old_r, x: old_x, y: old_y }
+                }
+            }
+            fn is_even(&self) -> bool { self % 2 == 0 }
+        }
+    )*};
+}
+
+macro_rules! impl_integer_unsigned {
+    ($($t:ty),*) => {$(
+        impl Integer for $t {
+            fn gcd(&self, other: &Self) -> Self {
+                let (mut a, mut b) = (*self, *other);
+                while b != 0 {
+                    let r = a % b;
+                    a = b;
+                    b = r;
+                }
+                a
+            }
+            fn lcm(&self, other: &Self) -> Self {
+                if *self == 0 || *other == 0 {
+                    return 0;
+                }
+                self / self.gcd(other) * other
+            }
+            fn extended_gcd(&self, other: &Self) -> ExtendedGcd<Self> {
+                // Unsigned extended gcd: coefficients reduced into range.
+                let g = self.gcd(other);
+                // Run the signed algorithm in i128 space for safety.
+                let e = (*self as i128).extended_gcd(&(*other as i128));
+                let x = e.x.rem_euclid(if *other == 0 { 1 } else { *other as i128 });
+                let y = e.y.rem_euclid(if *self == 0 { 1 } else { *self as i128 });
+                ExtendedGcd { gcd: g, x: x as $t, y: y as $t }
+            }
+            fn is_even(&self) -> bool { self % 2 == 0 }
+        }
+    )*};
+}
+
+impl_integer_signed!(i8, i16, i32, i64, isize, i128);
+impl_integer_unsigned!(u8, u16, u32, u64, usize, u128);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(12u64.gcd(&18), 6);
+        assert_eq!(4u32.lcm(&6), 12);
+        assert_eq!((-12i64).gcd(&18), 6);
+    }
+
+    #[test]
+    fn bezout() {
+        let e = 240i64.extended_gcd(&46);
+        assert_eq!(e.gcd, 2);
+        assert_eq!(240 * e.x + 46 * e.y, 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `num-traits` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the *subset* of the num-traits API that gridmine actually exercises:
+//! [`Zero`], [`One`] and [`ToPrimitive`]. The trait contracts match the
+//! upstream crate so swapping the real dependency back in is a one-line
+//! `Cargo.toml` change.
+
+/// Additive identity.
+pub trait Zero: Sized {
+    /// Returns the additive identity.
+    fn zero() -> Self;
+    /// True if `self` is the additive identity.
+    fn is_zero(&self) -> bool;
+}
+
+/// Multiplicative identity.
+pub trait One: Sized {
+    /// Returns the multiplicative identity.
+    fn one() -> Self;
+    /// True if `self` is the multiplicative identity.
+    fn is_one(&self) -> bool;
+}
+
+/// Lossy-checked narrowing conversions.
+pub trait ToPrimitive {
+    /// Converts to `u64` if the value fits.
+    fn to_u64(&self) -> Option<u64>;
+    /// Converts to `i64` if the value fits.
+    fn to_i64(&self) -> Option<i64>;
+    /// Converts to `f64` (always possible, possibly lossy).
+    fn to_f64(&self) -> Option<f64>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            fn zero() -> Self { 0 }
+            fn is_zero(&self) -> bool { *self == 0 }
+        }
+        impl One for $t {
+            fn one() -> Self { 1 }
+            fn is_one(&self) -> bool { *self == 1 }
+        }
+        impl ToPrimitive for $t {
+            fn to_u64(&self) -> Option<u64> { u64::try_from(*self).ok() }
+            fn to_i64(&self) -> Option<i64> { i64::try_from(*self).ok() }
+            fn to_f64(&self) -> Option<f64> { Some(*self as f64) }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, u128, i8, i16, i32, i64, isize, i128);
+
+impl Zero for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+}
+
+impl One for f64 {
+    fn one() -> Self {
+        1.0
+    }
+    fn is_one(&self) -> bool {
+        *self == 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert!(u64::zero().is_zero());
+        assert!(u32::one().is_one());
+        assert_eq!(300u64.to_i64(), Some(300));
+        assert_eq!((-1i64).to_u64(), None);
+    }
+}

@@ -1,0 +1,602 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Re-implements the slice of the proptest API the workspace's property
+//! tests use: the [`proptest!`] macro (mixed `name in strategy` and
+//! `name: type` parameters, `#![proptest_config(...)]`), the
+//! [`strategy::Strategy`] trait with ranges / [`strategy::Just`] /
+//! `any::<T>()` / tuples / `prop::collection::vec` / `prop_map` /
+//! `prop_oneof!`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: cases are
+//! random samples (deterministic per test, seeded from the test name)
+//! with **no shrinking** — a failure reports the offending inputs via
+//! the assertion message instead of a minimized counterexample.
+
+/// Test-runner support types.
+pub mod test_runner {
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — skipped, not failed.
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail<S: Into<String>>(msg: S) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject<S: Into<String>>(msg: S) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG driving the samples (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub u64);
+
+    impl TestRng {
+        /// Seeds from an arbitrary string (e.g. the test name).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(h)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)` (`bound > 0`).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Strategies: how to generate values of a type.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of `Self::Value` from a [`TestRng`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe sampling, used for type-erased strategies.
+    trait StrategyObj<T> {
+        fn sample_obj(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> StrategyObj<S::Value> for S {
+        fn sample_obj(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn StrategyObj<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_obj(rng)
+        }
+    }
+
+    /// Strategy yielding one fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty alternative list.
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].sample(rng)
+        }
+    }
+
+    macro_rules! range_strategy_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 as u128 + 1;
+                    lo + ((rng.next_u64() as u128 * span) >> 64) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + ((rng.next_u64() as u128 * span) >> 64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy_int!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// The `prop::` module namespace tests reach through the prelude.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Anything usable as a size specification for [`vec`].
+        pub trait IntoSizeRange {
+            /// Lower and inclusive upper bound.
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self)
+            }
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty size range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl IntoSizeRange for RangeInclusive<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+
+        /// Strategy for vectors of `element` with lengths in `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// Builds a [`VecStrategy`].
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { element, min, max }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.max - self.min) as u64 + 1;
+                let len = self.min + rng.below(span) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test file imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(concat!("assume failed: ", stringify!($cond))),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    __l, __r, format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left != right`\n  both: `{:?}`", __l),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Binds one test parameter then recurses; terminal rule runs the body
+/// inside a `Result`-returning closure so `prop_assert*` can early-out.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident; $body:block; $name:pat in $strategy:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_case!($rng; $body;);
+    };
+    ($rng:ident; $body:block; $name:pat in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_case!($rng; $body; $($rest)*);
+    };
+    ($rng:ident; $body:block; $name:ident: $ty:ty) => {
+        let $name: $ty = $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_case!($rng; $body;);
+    };
+    ($rng:ident; $body:block; $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_case!($rng; $body; $($rest)*);
+    };
+    ($rng:ident; $body:block;) => {
+        let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+            (|| {
+                $body
+                ::core::result::Result::Ok(())
+            })();
+        match __result {
+            ::core::result::Result::Ok(()) => {}
+            ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+            ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                panic!("{}", __msg);
+            }
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                let mut __case_rng = $crate::test_runner::TestRng(__rng.next_u64());
+                $crate::__proptest_run_one!(__case_rng; $body; $($params)*);
+            }
+        }
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+}
+
+/// Indirection so the parameter tokens can be re-parsed per case.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run_one {
+    ($rng:ident; $body:block; $($params:tt)*) => {
+        $crate::__proptest_case!($rng; $body; $($params)*);
+    };
+}
+
+/// The proptest entry macro: wraps each contained `fn` in a sampling
+/// loop. Supports an optional leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            <$crate::test_runner::Config as ::core::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u64..10, b in -5i64..=5, c: u64, v in prop::collection::vec(0u32..4, 1..6)) {
+            let _ = c;
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn mapped_strategy(e in even()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1u8), Just(3), Just(5)]) {
+            prop_assert!(x == 1 || x == 3 || x == 5);
+        }
+
+        #[test]
+        fn tuples_and_assume((a, b) in (0u32..10, 0u32..10)) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::test_runner::TestRng::from_name("x");
+        let mut r2 = crate::test_runner::TestRng::from_name("x");
+        for _ in 0..16 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha12 block function
+//! driving a deterministic, cloneable RNG. Keyed by a 32-byte seed via
+//! [`rand::SeedableRng`]; streams are deterministic per seed (which is
+//! all the workspace relies on), though word order is not guaranteed to
+//! be bit-identical to upstream `rand_chacha`.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 12 rounds, used as a deterministic RNG.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    /// Key + counter + nonce state in ChaCha matrix layout.
+    state: [u32; 16],
+    /// Buffered output block.
+    block: [u32; 16],
+    /// Next unread word index in `block` (16 = exhausted).
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..6 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (i, w) in working.iter().enumerate() {
+            self.block[i] = w.wrapping_add(self.state[i]);
+        }
+        // 64-bit block counter in words 12..13.
+        let counter = (self.state[12] as u64 | (self.state[13] as u64) << 32).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+            state[4 + i] = u32::from_le_bytes(buf);
+        }
+        // Counter and nonce start at zero.
+        ChaCha12Rng { state, block: [0; 16], index: 16 }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | hi << 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(1234);
+        let mut b = ChaCha12Rng::seed_from_u64(1234);
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha12Rng::seed_from_u64(1);
+        let mut b = ChaCha12Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut a = ChaCha12Rng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..40 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn works_with_rng_helpers() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = rng.gen_range(3u64..9);
+            assert!((3..9).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Offline stand-in for `rayon`: the parallel-iterator API surface the
+//! workspace uses, executed sequentially. The adapter type mirrors
+//! rayon's combinator signatures — notably `fold(identity, f)` and
+//! `reduce(identity, op)` take an identity *closure*, unlike std — so
+//! call sites compile unchanged and the real crate can be swapped back
+//! in for actual parallelism.
+
+/// Sequential adapter standing in for rayon's parallel iterators.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each element.
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter { inner: self.inner.map(f) }
+    }
+
+    /// Keeps elements matching the predicate.
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter { inner: self.inner.filter(f) }
+    }
+
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter { inner: self.inner.enumerate() }
+    }
+
+    /// Zips with anything convertible to a "parallel" iterator.
+    pub fn zip<J: IntoParallelIterator>(
+        self,
+        other: J,
+    ) -> ParIter<std::iter::Zip<I, J::Inner>> {
+        ParIter { inner: self.inner.zip(other.into_par_iter().inner) }
+    }
+
+    /// Rayon-style fold: `identity` builds per-split accumulators (one
+    /// split here), yielding an iterator of accumulators for `reduce`.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter { inner: std::iter::once(self.inner.fold(identity(), fold_op)) }
+    }
+
+    /// Rayon-style reduce with an identity closure.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Sums the elements.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Counts the elements.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// Runs `f` on each element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+
+    /// Collects into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+}
+
+/// Conversion into a (sequentially executed) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying iterator type.
+    type Inner: Iterator<Item = Self::Item>;
+
+    /// Consumes `self` into the adapter.
+    fn into_par_iter(self) -> ParIter<Self::Inner>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Inner = std::vec::IntoIter<T>;
+
+    fn into_par_iter(self) -> ParIter<Self::Inner> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Inner = std::slice::Iter<'a, T>;
+
+    fn into_par_iter(self) -> ParIter<Self::Inner> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Inner = std::slice::Iter<'a, T>;
+
+    fn into_par_iter(self) -> ParIter<Self::Inner> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Inner = std::slice::IterMut<'a, T>;
+
+    fn into_par_iter(self) -> ParIter<Self::Inner> {
+        ParIter { inner: self.iter_mut() }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Inner = std::slice::IterMut<'a, T>;
+
+    fn into_par_iter(self) -> ParIter<Self::Inner> {
+        ParIter { inner: self.iter_mut() }
+    }
+}
+
+/// `par_iter()` by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Underlying iterator type.
+    type Inner: Iterator<Item = Self::Item>;
+
+    /// Borrows `self` into the adapter.
+    fn par_iter(&'a self) -> ParIter<Self::Inner>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Inner = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<Self::Inner> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Inner = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<Self::Inner> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// `par_iter_mut()` by exclusive reference.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Underlying iterator type.
+    type Inner: Iterator<Item = Self::Item>;
+
+    /// Mutably borrows `self` into the adapter.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Inner>;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Inner = std::slice::IterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Inner> {
+        ParIter { inner: self.iter_mut() }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Inner = std::slice::IterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Inner> {
+        ParIter { inner: self.iter_mut() }
+    }
+}
+
+/// The traits call sites import with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_filter_collect() {
+        let v = vec![1u64, 2, 3, 4, 5];
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).filter(|x| *x > 4).collect();
+        assert_eq!(out, vec![6, 8, 10]);
+    }
+
+    #[test]
+    fn fold_then_reduce_rayon_shape() {
+        let v = vec![(1i64, 10i64), (2, 20), (3, 30)];
+        let (a, b) = v
+            .par_iter()
+            .fold(|| (0i64, 0i64), |acc, t| (acc.0 + t.0, acc.1 + t.1))
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!((a, b), (6, 60));
+    }
+
+    #[test]
+    fn par_iter_mut_zip_enumerate() {
+        let mut v = vec![0u32; 4];
+        let adds = vec![10u32, 20, 30, 40];
+        let outs: Vec<u32> = v
+            .par_iter_mut()
+            .zip(adds)
+            .enumerate()
+            .map(|(i, (slot, add))| {
+                *slot = add + i as u32;
+                *slot
+            })
+            .collect();
+        assert_eq!(outs, vec![10, 21, 32, 43]);
+        assert_eq!(v, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn sum_and_count() {
+        let v = vec![1i64, -2, 3];
+        let s: i64 = v.par_iter().map(|x| *x).sum();
+        assert_eq!(s, 2);
+        assert_eq!(v.par_iter().filter(|x| **x > 0).count(), 2);
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let v = vec![1u8, 2, 3];
+        let out: Vec<u8> = v.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,449 @@
+//! Offline stand-in for `serde`.
+//!
+//! Keeps the real crate's trait *shapes* — `Serialize::serialize<S:
+//! Serializer>`, `Deserialize::deserialize<D: Deserializer<'de>>`,
+//! `ser::Error::custom`, `de::Error::custom` — so the workspace's manual
+//! impls and derive sites compile unchanged, but funnels everything
+//! through a concrete [`Value`] tree instead of serde's visitor
+//! machinery. `serde_json` (the sibling shim) renders/parses that tree.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory data model every (de)serialization passes through.
+///
+/// Object fields keep insertion order so output is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative (or any signed) integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Array(Vec<Value>),
+    /// A map with string keys, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// The error produced when converting to/from [`Value`] trees.
+#[derive(Clone, Debug)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// Serialization-side error support (mirrors `serde::ser`).
+pub mod ser {
+    /// Trait for serialization errors, exposing [`Error::custom`].
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::ValueError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            super::ValueError(msg.to_string())
+        }
+    }
+}
+
+/// Deserialization-side error support (mirrors `serde::de`).
+pub mod de {
+    /// Trait for deserialization errors, exposing [`Error::custom`].
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::ValueError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            super::ValueError(msg.to_string())
+        }
+    }
+
+    /// `Deserialize` without borrowed data (all our deserialization is
+    /// owned, so this is a plain alias-style supertrait).
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// A data format that can consume a [`Value`].
+pub trait Serializer: Sized {
+    /// Output on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consumes a fully-built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce a [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Produces the full value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can write itself into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can read itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The identity serializer: captures the value tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+impl<'de> Deserializer<'de> for Value {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self)
+    }
+}
+
+/// Serializes `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes a `T` out of a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(value)
+}
+
+/// Support items used by `serde_derive`-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::Value;
+
+    /// Removes and returns the field `name` from an object's field list.
+    pub fn take(fields: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+        let idx = fields.iter().position(|(k, _)| k == name)?;
+        Some(fields.remove(idx).1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types the workspace serializes.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    serializer.serialize_value(Value::U64(v as u64))
+                } else {
+                    serializer.serialize_value(Value::I64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+fn collect_seq<S: Serializer, T: Serialize>(
+    items: impl Iterator<Item = T>,
+    serializer: S,
+) -> Result<S::Ok, S::Error> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(to_value(&item).map_err(<S::Error as ser::Error>::custom)?);
+    }
+    serializer.serialize_value(Value::Array(out))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let a = to_value(&self.0).map_err(<S::Error as ser::Error>::custom)?;
+        let b = to_value(&self.1).map_err(<S::Error as ser::Error>::custom)?;
+        serializer.serialize_value(Value::Array(vec![a, b]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls, with integer/float coercion matching JSON's one
+// number type.
+// ---------------------------------------------------------------------------
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::U64(_) | Value::I64(_) => "integer",
+        Value::F64(_) => "float",
+        Value::Str(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+fn as_u64<E: de::Error>(v: Value) -> Result<u64, E> {
+    match v {
+        Value::U64(x) => Ok(x),
+        Value::I64(x) if x >= 0 => Ok(x as u64),
+        other => Err(E::custom(format!("expected unsigned integer, got {}", type_name(&other)))),
+    }
+}
+
+fn as_i64<E: de::Error>(v: Value) -> Result<i64, E> {
+    match v {
+        Value::I64(x) => Ok(x),
+        Value::U64(x) if x <= i64::MAX as u64 => Ok(x as i64),
+        other => Err(E::custom(format!("expected integer, got {}", type_name(&other)))),
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let x = as_u64::<D::Error>(d.deserialize_value()?)?;
+                <$t>::try_from(x).map_err(|_| {
+                    <D::Error as de::Error>::custom(format!(
+                        "integer {} out of range for {}", x, stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let x = as_i64::<D::Error>(d.deserialize_value()?)?;
+                <$t>::try_from(x).map_err(|_| {
+                    <D::Error as de::Error>::custom(format!(
+                        "integer {} out of range for {}", x, stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::F64(x) => Ok(x),
+            Value::U64(x) => Ok(x as f64),
+            Value::I64(x) => Ok(x as f64),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected number, got {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected bool, got {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected string, got {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| T::deserialize(v).map_err(<D::Error as de::Error>::custom))
+                .collect(),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected array, got {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            v => T::deserialize(v).map(Some).map_err(<D::Error as de::Error>::custom),
+        }
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Array(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = A::deserialize(it.next().unwrap())
+                    .map_err(<D::Error as de::Error>::custom)?;
+                let b = B::deserialize(it.next().unwrap())
+                    .map_err(<D::Error as de::Error>::custom)?;
+                Ok((a, b))
+            }
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected 2-element array, got {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(to_value(&42u32).unwrap(), Value::U64(42));
+        assert_eq!(to_value(&-3i64).unwrap(), Value::I64(-3));
+        assert_eq!(to_value(&3i64).unwrap(), Value::U64(3));
+        assert_eq!(from_value::<u32>(Value::U64(7)).unwrap(), 7);
+        assert_eq!(from_value::<i64>(Value::U64(7)).unwrap(), 7);
+        assert!(from_value::<u8>(Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn vec_and_option() {
+        let v = vec![1u8, 2, 3];
+        let val = to_value(&v).unwrap();
+        assert_eq!(val, Value::Array(vec![Value::U64(1), Value::U64(2), Value::U64(3)]));
+        assert_eq!(from_value::<Vec<u8>>(val).unwrap(), v);
+
+        assert_eq!(to_value(&Option::<u64>::None).unwrap(), Value::Null);
+        assert_eq!(from_value::<Option<u64>>(Value::Null).unwrap(), None);
+        assert_eq!(from_value::<Option<u64>>(Value::U64(5)).unwrap(), Some(5));
+    }
+}

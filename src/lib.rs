@@ -50,14 +50,17 @@ pub mod prelude {
         RuleSet, Transaction,
     };
     pub use gridmine_core::{
-        mine_secure, BrokerBehavior, GridKeys, KTtp, MineConfig, SecureResource, Verdict,
-        WireMsg,
+        mine_secure, mine_secure_threaded, mine_secure_threaded_faulty, BrokerBehavior,
+        ChaosReport, ControllerBehavior, DegradeReason, GridKeys, KTtp, MineConfig,
+        ResourceStatus, SecureResource, Verdict, WireMsg,
     };
     pub use gridmine_majority::{CandidateGenerator, MajorityNode, VotePair};
     pub use gridmine_paillier::{HomCipher, Keypair, MockCipher, PaillierCtx};
     pub use gridmine_quest::QuestParams;
     pub use gridmine_sim::{
-        run_convergence, single_itemset_steps, time_to_recall, SimConfig, Simulation,
+        run_convergence, run_convergence_faulty, single_itemset_steps, time_to_recall,
+        SimConfig, Simulation,
     };
+    pub use gridmine_topology::faults::{EdgeFaults, FaultPlan, FaultStats, ResourceFault};
     pub use gridmine_topology::{DelayModel, Overlay, Tree};
 }
