@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use gridmine_arm::CandidateRule;
-use gridmine_paillier::HomCipher;
+use gridmine_paillier::{CipherError, HomCipher};
 use rand::Rng;
 
 use crate::attack::BrokerBehavior;
@@ -111,6 +111,19 @@ impl<C: HomCipher> Broker<C> {
         self.rules.clear();
     }
 
+    /// Key-free well-formedness screen for a wire-received counter: every
+    /// field and the tag must support the full homomorphic algebra. Lets
+    /// the resource reject malformed counters at the door and blame the
+    /// sender, instead of hitting an undefined `A−`/scalar mid-aggregate.
+    pub fn counter_is_wellformed(&self, counter: &SecureCounter<C>) -> bool {
+        counter
+            .msg
+            .fields
+            .iter()
+            .chain(std::iter::once(&counter.msg.tag))
+            .all(|c| self.cipher.is_wellformed(c))
+    }
+
     /// The stored share for messages toward `v`.
     ///
     /// # Panics
@@ -208,17 +221,22 @@ impl<C: HomCipher> Broker<C> {
     /// controller: the sign survives (`ρ > 0`), the magnitude does not.
     /// A malicious broker blinding a *different* value can only flip its
     /// own decisions (validity, not privacy — it holds no keys).
-    pub fn blinded_delta(&self, cand: &CandidateRule) -> C::Ct {
+    ///
+    /// Fallible: the aggregate mixes wire-received ciphertexts, and a
+    /// hostile peer can mail a non-unit value (e.g. a multiple of a prime
+    /// factor of `n`) on which `A−`/scalar are undefined. That surfaces
+    /// here as a [`CipherError`], never a panic.
+    pub fn blinded_delta(&self, cand: &CandidateRule) -> Result<C::Ct, CipherError> {
         let agg = self.full_aggregate(cand);
         let sum = &agg.msg.fields[crate::counter::F_SUM];
         let count = &agg.msg.fields[crate::counter::F_COUNT];
         let lambda = cand.lambda;
-        let delta = self.cipher.sub(
-            &self.cipher.scalar(lambda.den() as i64, sum),
-            &self.cipher.scalar(lambda.num() as i64, count),
-        );
+        let delta = self.cipher.try_sub(
+            &self.cipher.try_scalar(lambda.den() as i64, sum)?,
+            &self.cipher.try_scalar(lambda.num() as i64, count)?,
+        )?;
         let rho = rand::thread_rng().gen_range(1i64..1 << 16);
-        self.cipher.scalar(rho, &delta)
+        self.cipher.try_scalar(rho, &delta)
     }
 
     /// The aggregate without neighbor `v`'s contribution (the `Update(v)`

@@ -381,6 +381,15 @@ impl<C: HomCipher> SecureResource<C> {
         if msg.counter.layout != self.layout || !self.layout.neighbors.contains(&msg.from) {
             return Vec::new();
         }
+        // Malformed-ciphertext screen: every field of a wire counter must
+        // support the full homomorphic algebra (a hostile peer can mail a
+        // non-unit value mod n² that later makes A−/scalar undefined).
+        // The check is key-free, so the sender is blamed at the door
+        // instead of panicking mid-aggregate.
+        if !self.broker.counter_is_wellformed(&msg.counter) {
+            self.halted = Some(Verdict::MaliciousResource(msg.from));
+            return Vec::new();
+        }
         for implied in self.generator.from_received(&msg.cand) {
             self.ensure_candidate(&implied);
         }
@@ -400,7 +409,17 @@ impl<C: HomCipher> SecureResource<C> {
                 continue;
             }
             let full = self.broker.full_aggregate(&cand);
-            let blinded = self.broker.blinded_delta(&cand);
+            // Defense in depth: the door screen in `on_receive` should have
+            // rejected any counter on which the delta algebra is undefined;
+            // if one slipped through, the co-resident broker state is
+            // corrupt and this resource's own output can't be trusted.
+            let blinded = match self.broker.blinded_delta(&cand) {
+                Ok(b) => b,
+                Err(_) => {
+                    self.halted = Some(Verdict::MaliciousBroker(self.id));
+                    return;
+                }
+            };
             match self.ctl.output_query(&cand, &full, &blinded) {
                 Ok(answer) => {
                     let answer = if self.controller_behavior == ControllerBehavior::InvertOutputs {

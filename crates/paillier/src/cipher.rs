@@ -8,13 +8,53 @@
 
 use std::sync::{Arc, Mutex};
 
-use num_bigint::{BigInt, BigUint, RandBigInt, Sign};
+use num_bigint::{BigInt, BigUint, MontgomeryCtx, RandBigInt, Sign};
 use num_traits::One;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
 use crate::keys::{mod_inverse, PrivateKey, PublicKey};
-use crate::HomCipher;
+use crate::{CipherError, HomCipher};
+
+/// Cap on how many noise factors (`rⁿ mod n²`) one refill precomputes.
+/// Refills start at a single factor and double per refill, so a handle
+/// that encrypts once pays for one exponentiation while heavy users
+/// quickly amortize whole batches through one warm Montgomery context.
+const NOISE_BATCH: usize = 32;
+
+/// The shared pool of precomputed encryption noise plus its adaptive
+/// refill size.
+#[derive(Debug, Default)]
+struct NoisePool {
+    ready: Vec<BigUint>,
+    refills: u32,
+}
+
+/// Montgomery contexts derived once per handle from the key material, so
+/// the hot-path exponentiations (`encrypt_residue`, CRT decryption,
+/// `scalar_raw`, noise refills) stop re-deriving `n'` and `R² mod n` per
+/// call. Kept outside [`PublicKey`] (which is `Eq`) and shared across
+/// clones of the handle.
+#[derive(Debug)]
+struct MontCache {
+    /// Context for the ciphertext modulus `n²` (always odd: `p`, `q` odd).
+    n2: Option<MontgomeryCtx>,
+    /// Context for `p²` (CRT decryption), when the private key carries it.
+    p2: Option<MontgomeryCtx>,
+    /// Context for `q²` (CRT decryption), when the private key carries it.
+    q2: Option<MontgomeryCtx>,
+}
+
+impl MontCache {
+    fn build(pk: &PublicKey, sk: Option<&PrivateKey>) -> Self {
+        let crt = sk.and_then(|sk| sk.crt.as_ref());
+        MontCache {
+            n2: MontgomeryCtx::new(&pk.n2),
+            p2: crt.and_then(|c| MontgomeryCtx::new(&c.p2)),
+            q2: crt.and_then(|c| MontgomeryCtx::new(&c.q2)),
+        }
+    }
+}
 
 /// A Paillier ciphertext: an element of `Z_{n²}`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -39,6 +79,15 @@ impl Ciphertext {
         &self.0
     }
 
+    /// Decodes wire bytes into a ciphertext — the same thing the serde
+    /// path does. Performs **no** validation: any big-endian byte string
+    /// is accepted, exactly as an honest peer must accept whatever a
+    /// hostile one mails. Screen with [`HomCipher::is_wellformed`] before
+    /// trusting the result.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        Ciphertext(BigUint::from_bytes_be(bytes))
+    }
+
     /// Serialized size in bytes (used by the simulator's bandwidth model).
     pub fn byte_len(&self) -> usize {
         (self.0.bits() as usize).div_ceil(8)
@@ -60,15 +109,56 @@ pub struct PaillierCtx {
     pk: Arc<PublicKey>,
     sk: Option<Arc<PrivateKey>>,
     rng: Arc<Mutex<ChaCha12Rng>>,
+    mont: Arc<MontCache>,
+    /// Precomputed encryption noise factors `rⁿ mod n²`, refilled in
+    /// batches so `encrypt_residue` / `rerandomize` are a single modular
+    /// multiply on the hot path. Shared across clones (like the RNG).
+    noise: Arc<Mutex<NoisePool>>,
 }
 
 impl PaillierCtx {
     pub(crate) fn new(pk: PublicKey, sk: Option<PrivateKey>, seed: u64) -> Self {
+        let mont = MontCache::build(&pk, sk.as_ref());
         PaillierCtx {
             pk: Arc::new(pk),
             sk: sk.map(Arc::new),
             rng: Arc::new(Mutex::new(ChaCha12Rng::seed_from_u64(seed))),
+            mont: Arc::new(mont),
+            noise: Arc::new(Mutex::new(NoisePool::default())),
         }
+    }
+
+    /// `base^exp mod n²` through the cached Montgomery context.
+    fn powmod_n2(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        match &self.mont.n2 {
+            Some(ctx) => ctx.modpow(base, exp),
+            None => base.modpow(exp, &self.pk.n2),
+        }
+    }
+
+    /// Pops a precomputed noise factor `rⁿ mod n²`, refilling the shared
+    /// pool in batch when it runs dry.
+    fn next_noise(&self) -> BigUint {
+        let batch_size = {
+            let mut pool = self.noise.lock().expect("noise pool poisoned");
+            if let Some(rn) = pool.ready.pop() {
+                return rn;
+            }
+            let size = (1usize << pool.refills.min(16)).min(NOISE_BATCH);
+            pool.refills += 1;
+            size
+        };
+        // Refill outside the pool lock: sample_unit takes the RNG lock and
+        // the exponentiations dominate. Two racing clones just overfill.
+        let mut batch: Vec<BigUint> = (0..batch_size)
+            .map(|_| {
+                let r = self.sample_unit();
+                self.powmod_n2(&r, &self.pk.n)
+            })
+            .collect();
+        let out = batch.pop().expect("batch is non-empty");
+        self.noise.lock().expect("noise pool poisoned").ready.extend(batch);
+        out
     }
 
     /// The public key this handle operates under.
@@ -87,17 +177,27 @@ impl PaillierCtx {
 
     /// Decode a `Z_n` residue back to a signed integer.
     ///
-    /// # Panics
-    /// Panics if the residue does not fit an `i64` after sign adjustment —
-    /// which in the protocol means a corrupted or overflowed counter.
+    /// Total, even on hostile inputs: a magnitude that does not fit an
+    /// `i64` (a corrupted or overflowed counter — honest counters are far
+    /// below 2⁶³) folds deterministically to its low 63 bits instead of
+    /// panicking, so the caller's tag check rejects it as malicious rather
+    /// than the decrypting process aborting.
     fn decode(&self, m: BigUint) -> i64 {
         use num_traits::ToPrimitive;
+        fn fold(m: &BigUint) -> i64 {
+            m.to_i64().unwrap_or_else(|| {
+                let bytes = m.to_bytes_be();
+                let mut buf = [0u8; 8];
+                let tail = &bytes[bytes.len().saturating_sub(8)..];
+                buf[8 - tail.len()..].copy_from_slice(tail);
+                (u64::from_be_bytes(buf) >> 1) as i64
+            })
+        }
         if m > self.pk.half_n {
             let neg = &self.pk.n - m;
-            let v = neg.to_i64().expect("decoded magnitude exceeds i64");
-            -v
+            -fold(&neg)
         } else {
-            m.to_i64().expect("decoded magnitude exceeds i64")
+            fold(&m)
         }
     }
 
@@ -114,14 +214,32 @@ impl PaillierCtx {
     }
 
     /// Encrypts an arbitrary `Z_n` residue (used by the slot-vector layer,
-    /// whose packed plaintexts exceed 64 bits).
+    /// whose packed plaintexts exceed 64 bits). An unreduced input is
+    /// reduced mod `n` explicitly — a `debug_assert!` here used to let
+    /// release builds silently wrap to the wrong residue; callers that
+    /// want out-of-range inputs rejected use
+    /// [`PaillierCtx::try_encrypt_residue`].
     pub fn encrypt_residue(&self, m: &BigUint) -> Ciphertext {
-        debug_assert!(m < &self.pk.n, "plaintext must be reduced mod n");
-        let r = self.sample_unit();
-        // (1 + m·n) · rⁿ mod n²  — the g = n+1 shortcut.
+        let reduced;
+        let m = if m < &self.pk.n {
+            m
+        } else {
+            reduced = m % &self.pk.n;
+            &reduced
+        };
+        // (1 + m·n) · rⁿ mod n²  — the g = n+1 shortcut, with the noise
+        // factor rⁿ drawn precomputed from the pool.
         let gm = (BigUint::one() + m * &self.pk.n) % &self.pk.n2;
-        let rn = r.modpow(&self.pk.n, &self.pk.n2);
-        Ciphertext(gm * rn % &self.pk.n2)
+        Ciphertext(gm * self.next_noise() % &self.pk.n2)
+    }
+
+    /// Strict variant of [`PaillierCtx::encrypt_residue`]: errors on a
+    /// plaintext not already reduced below `n` instead of reducing it.
+    pub fn try_encrypt_residue(&self, m: &BigUint) -> Result<Ciphertext, CipherError> {
+        if m >= &self.pk.n {
+            return Err(CipherError::PlaintextOutOfRange);
+        }
+        Ok(self.encrypt_residue(m))
     }
 
     /// Decrypts to the raw `Z_n` residue. Uses CRT (mod p² and q²
@@ -136,9 +254,16 @@ impl PaillierCtx {
             .as_ref()
             .expect("this handle has no decryption capability (broker/accountant side)");
         if let Some(crt) = &sk.crt {
-            // m mod p = L_p(c^{p−1} mod p²) · hp mod p; likewise mod q.
-            let cp = (&c.0 % &crt.p2).modpow(&(&crt.p - 1u32), &crt.p2);
-            let cq = (&c.0 % &crt.q2).modpow(&(&crt.q - 1u32), &crt.q2);
+            // m mod p = L_p(c^{p−1} mod p²) · hp mod p; likewise mod q,
+            // each exponentiation through its cached Montgomery context.
+            let cp = match &self.mont.p2 {
+                Some(ctx) => ctx.modpow(&c.0, &(&crt.p - 1u32)),
+                None => (&c.0 % &crt.p2).modpow(&(&crt.p - 1u32), &crt.p2),
+            };
+            let cq = match &self.mont.q2 {
+                Some(ctx) => ctx.modpow(&c.0, &(&crt.q - 1u32)),
+                None => (&c.0 % &crt.q2).modpow(&(&crt.q - 1u32), &crt.q2),
+            };
             let mp = ((cp - BigUint::one()) / &crt.p) % &crt.p * &crt.hp % &crt.p;
             let mq = ((cq - BigUint::one()) / &crt.q) % &crt.q * &crt.hq % &crt.q;
             // Garner recombination: m = mp + p·((mq − mp)·p⁻¹ mod q).
@@ -146,7 +271,7 @@ impl PaillierCtx {
             let t = diff % &crt.q * &crt.p_inv_q % &crt.q;
             (mp + &crt.p * t) % &self.pk.n
         } else {
-            let u = c.0.modpow(&sk.lambda, &self.pk.n2);
+            let u = self.powmod_n2(&c.0, &sk.lambda);
             // L(u) = (u - 1) / n
             let l = (u - BigUint::one()) / &self.pk.n;
             l * &sk.mu % &self.pk.n
@@ -171,22 +296,26 @@ impl PaillierCtx {
     }
 
     /// Homomorphic negation: modular inverse mod n².
-    pub fn neg_raw(&self, a: &Ciphertext) -> Ciphertext {
-        let inv = mod_inverse(&a.0, &self.pk.n2)
-            .expect("ciphertext is a unit mod n² (gcd(c, n) = 1 for honest ciphertexts)");
-        Ciphertext(inv)
+    ///
+    /// Errors with [`CipherError::NotAUnit`] when the input has no inverse
+    /// — under the malicious-participant model a hostile peer can mail
+    /// such a "ciphertext" (any multiple of `n` serializes fine), and an
+    /// `expect` here let it crash honest processes.
+    pub fn neg_raw(&self, a: &Ciphertext) -> Result<Ciphertext, CipherError> {
+        mod_inverse(&a.0, &self.pk.n2).map(Ciphertext).ok_or(CipherError::NotAUnit)
     }
 
     /// Homomorphic scalar multiplication by an arbitrary-precision signed
-    /// scalar: `c^k mod n²` (inverse first for negative `k`).
-    pub fn scalar_raw(&self, k: &BigInt, c: &Ciphertext) -> Ciphertext {
+    /// scalar: `c^k mod n²` (inverse first for negative `k`). Errors only
+    /// on a malformed (non-unit) ciphertext with a negative scalar.
+    pub fn scalar_raw(&self, k: &BigInt, c: &Ciphertext) -> Result<Ciphertext, CipherError> {
         let (sign, mag) = k.clone().into_parts();
         let base = if sign == Sign::Minus {
-            self.neg_raw(c).0
+            self.neg_raw(c)?.0
         } else {
             c.0.clone()
         };
-        Ciphertext(base.modpow(&mag, &self.pk.n2))
+        Ok(Ciphertext(self.powmod_n2(&base, &mag)))
     }
 }
 
@@ -208,17 +337,31 @@ impl HomCipher for PaillierCtx {
     }
 
     fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        self.add_raw(a, &self.neg_raw(b))
+        self.try_sub(a, b).expect("ciphertext is a unit mod n² (honest ciphertexts always are)")
+    }
+
+    fn try_sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CipherError> {
+        Ok(self.add_raw(a, &self.neg_raw(b)?))
     }
 
     fn scalar(&self, m: i64, c: &Ciphertext) -> Ciphertext {
+        self.try_scalar(m, c)
+            .expect("ciphertext is a unit mod n² (honest ciphertexts always are)")
+    }
+
+    fn try_scalar(&self, m: i64, c: &Ciphertext) -> Result<Ciphertext, CipherError> {
         self.scalar_raw(&BigInt::from(m), c)
     }
 
+    fn is_wellformed(&self, c: &Ciphertext) -> bool {
+        use num_integer::Integer;
+        // A valid ciphertext is a reduced unit of Z_{n²}*; equivalently
+        // gcd(c mod n, n) = 1 — one gcd, no key material needed.
+        c.0 < self.pk.n2 && (&c.0 % &self.pk.n).gcd(&self.pk.n).is_one()
+    }
+
     fn rerandomize(&self, c: &Ciphertext) -> Ciphertext {
-        let r = self.sample_unit();
-        let rn = r.modpow(&self.pk.n, &self.pk.n2);
-        Ciphertext(&c.0 * rn % &self.pk.n2)
+        Ciphertext(&c.0 * self.next_noise() % &self.pk.n2)
     }
 
     fn can_decrypt(&self) -> bool {
@@ -306,6 +449,67 @@ mod tests {
             let c = e.encrypt_residue(&m);
             assert_eq!(d.decrypt_residue(&c), d.decrypt_residue_slow(&c));
             assert_eq!(d.decrypt_residue(&c), m);
+        }
+    }
+
+    #[test]
+    fn non_unit_ciphertext_is_an_error_not_a_panic() {
+        let kp = small_keys();
+        let e = kp.encryptor();
+        // c = n is publicly craftable and gcd(n, n²) = n ≠ 1.
+        let evil = Ciphertext::from_bytes_be(&e.public_key().modulus().to_bytes_be());
+        assert_eq!(e.neg_raw(&evil), Err(crate::CipherError::NotAUnit));
+        let honest = e.encrypt_i64(1);
+        assert_eq!(e.try_sub(&honest, &evil), Err(crate::CipherError::NotAUnit));
+        assert_eq!(e.try_scalar(-2, &evil), Err(crate::CipherError::NotAUnit));
+        // Non-negative scalars never invert, so they stay defined.
+        assert!(e.try_scalar(2, &evil).is_ok());
+        assert!(!e.is_wellformed(&evil));
+        assert!(e.is_wellformed(&honest));
+        // Unreduced residue (≥ n²) is malformed even when it is a unit.
+        let unreduced = Ciphertext(honest.0.clone() + e.public_key().modulus_sq());
+        assert!(!e.is_wellformed(&unreduced));
+    }
+
+    #[test]
+    fn encrypt_residue_reduces_instead_of_wrapping() {
+        let kp = small_keys();
+        let (e, d) = (kp.encryptor(), kp.decryptor());
+        let n = e.public_key().modulus().clone();
+        let big = &n * BigUint::from(3u8) + BigUint::from(17u8); // ≡ 17 mod n
+        let c = e.encrypt_residue(&big);
+        assert_eq!(d.decrypt_residue(&c), BigUint::from(17u8));
+        // The strict path refuses instead.
+        assert_eq!(e.try_encrypt_residue(&big), Err(crate::CipherError::PlaintextOutOfRange));
+        assert_eq!(e.try_encrypt_residue(&n), Err(crate::CipherError::PlaintextOutOfRange));
+        let ok = e.try_encrypt_residue(&BigUint::from(17u8)).expect("in range");
+        assert_eq!(d.decrypt_residue(&ok), BigUint::from(17u8));
+    }
+
+    #[test]
+    fn decode_is_total_on_garbage_plaintexts() {
+        // A unit ciphertext a hostile peer made up decrypts to a huge
+        // residue; decode must fold it deterministically, not panic, so
+        // the tag check gets to reject it.
+        let kp = small_keys();
+        let d = kp.decryptor();
+        let evil = Ciphertext::from_bytes_be(&[0x7F; 60]); // some unit w.h.p.
+        assert!(d.is_wellformed(&evil), "test premise: crafted value is a unit");
+        let v1 = d.decrypt_i64(&evil);
+        let v2 = d.decrypt_i64(&evil);
+        assert_eq!(v1, v2, "fold is deterministic");
+    }
+
+    #[test]
+    fn noise_pool_refills_across_clones() {
+        let kp = small_keys();
+        let e = kp.encryptor();
+        let e2 = e.clone();
+        // Drain more than one batch through two handles sharing the pool.
+        let d = kp.decryptor();
+        for i in 0..(2 * super::NOISE_BATCH as i64 + 3) {
+            let c = if i % 2 == 0 { e.encrypt_i64(i) } else { e2.encrypt_i64(i) };
+            assert_eq!(d.decrypt_i64(&c), i);
         }
     }
 

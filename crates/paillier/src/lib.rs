@@ -45,6 +45,34 @@ pub use mock::{MockCipher, MockCt};
 pub use oblivious::{CounterMsg, ObliviousError, TagKey};
 pub use slots::{SlotLayout, SlotVector};
 
+/// A ciphertext-space operation failed because an input was malformed.
+///
+/// Under the paper's malicious-participant model these are *protocol*
+/// events, not programming errors: a hostile peer can mail bytes that
+/// decode to a perfectly representable ciphertext value which is
+/// nevertheless outside the honest ciphertext space (e.g. a multiple of
+/// `n`, which is not a unit mod `n²` and therefore has no `A−` inverse).
+/// Callers account these as malicious behaviour instead of aborting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CipherError {
+    /// The ciphertext is not a unit mod `n²` (`gcd(c, n) ≠ 1`), so it has
+    /// no modular inverse. Honest encryptions are always units.
+    NotAUnit,
+    /// A plaintext residue was not reduced below the plaintext modulus.
+    PlaintextOutOfRange,
+}
+
+impl std::fmt::Display for CipherError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CipherError::NotAUnit => write!(f, "ciphertext is not a unit mod n²"),
+            CipherError::PlaintextOutOfRange => write!(f, "plaintext residue not reduced mod n"),
+        }
+    }
+}
+
+impl std::error::Error for CipherError {}
+
 /// The additively homomorphic probabilistic cipher abstraction.
 ///
 /// All protocol code in `gridmine-core` is generic over this trait, so the
@@ -74,11 +102,37 @@ pub trait HomCipher: Clone + Send + Sync {
     fn add(&self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct;
 
     /// Homomorphic subtraction (`A−`): `D(sub(E(x), E(y))) == x - y`.
+    ///
+    /// Panics when `b` is malformed (not invertible); protocol code that
+    /// handles adversarial inputs uses [`HomCipher::try_sub`] instead.
     fn sub(&self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct;
+
+    /// Fallible `A−` for wire-received ciphertexts: a hostile peer can
+    /// mail a value with no inverse mod `n²`, which must surface as a
+    /// protocol error (malicious behaviour), not a process abort.
+    fn try_sub(&self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct, CipherError> {
+        Ok(self.sub(a, b))
+    }
 
     /// Iterated `A+`: `D(scalar(m, E(x))) == m * x`, with `m` possibly
     /// negative.
     fn scalar(&self, m: i64, c: &Self::Ct) -> Self::Ct;
+
+    /// Fallible scalar multiplication, for the same reason as
+    /// [`HomCipher::try_sub`] (negative scalars invert the ciphertext).
+    fn try_scalar(&self, m: i64, c: &Self::Ct) -> Result<Self::Ct, CipherError> {
+        Ok(self.scalar(m, c))
+    }
+
+    /// Cheap key-free well-formedness screen for wire-received
+    /// ciphertexts: `true` iff every ciphertext-space operation (add, sub,
+    /// scalar, rerandomize, decrypt) is defined on `c`. Needs no key
+    /// material, so brokers and resources can reject malformed counters at
+    /// the door and blame the sender.
+    fn is_wellformed(&self, c: &Self::Ct) -> bool {
+        let _ = c;
+        true
+    }
 
     /// Rerandomize: a different ciphertext of the same plaintext, unlinkable
     /// to the input without the key.

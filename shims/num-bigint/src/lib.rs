@@ -5,9 +5,13 @@
 //! every reference combination the code uses, Knuth Algorithm-D division,
 //! `modpow`, bit manipulation, big-endian byte codecs, the
 //! `num-integer::Integer` impls (gcd / lcm / extended gcd) and the
-//! [`RandBigInt`] sampling extension. Semantics match upstream; only
-//! performance-oriented extras (Montgomery ladders, Karatsuba) are
-//! omitted — schoolbook arithmetic is plenty for test-scale keys.
+//! [`RandBigInt`] sampling extension. Semantics match upstream.
+//!
+//! `modpow` dispatches to a Montgomery-form CIOS kernel with fixed-window
+//! exponentiation for odd moduli ([`MontgomeryCtx`]); even moduli take the
+//! legacy division-per-step ladder. Karatsuba multiplication is still
+//! omitted — schoolbook arithmetic is plenty at Paillier test-key sizes
+//! once the per-step divisions are gone.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -15,6 +19,10 @@ use std::fmt;
 use num_integer::{ExtendedGcd, Integer};
 use num_traits::{One, ToPrimitive, Zero};
 use rand::Rng;
+
+mod montgomery;
+
+pub use montgomery::MontgomeryCtx;
 
 const BASE_BITS: u32 = 64;
 
@@ -112,9 +120,18 @@ impl BigUint {
     }
 
     /// Magnitude subtraction; panics if `other > self` (same as upstream's
-    /// unsigned subtraction overflow).
+    /// unsigned subtraction overflow). The underflow check is a hard
+    /// `assert!` so release builds cannot return a wrapped magnitude.
     fn sub_mag(&self, other: &BigUint) -> BigUint {
-        assert!(self >= other, "BigUint subtraction overflow");
+        self.checked_sub(other).expect("BigUint subtraction overflow")
+    }
+
+    /// Subtraction returning `None` on underflow instead of panicking
+    /// (mirrors upstream's `CheckedSub`).
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if other.limbs.len() > self.limbs.len() {
+            return None;
+        }
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0i128;
         for i in 0..self.limbs.len() {
@@ -127,8 +144,10 @@ impl BigUint {
                 borrow = 0;
             }
         }
-        debug_assert_eq!(borrow, 0);
-        BigUint::from_limbs(out)
+        if borrow != 0 {
+            return None;
+        }
+        Some(BigUint::from_limbs(out))
     }
 
     fn mul_mag(&self, other: &BigUint) -> BigUint {
@@ -281,8 +300,23 @@ impl BigUint {
         (BigUint::from_limbs(q), r)
     }
 
-    /// Modular exponentiation by square-and-multiply.
+    /// Modular exponentiation. Odd moduli take the Montgomery fixed-window
+    /// kernel ([`MontgomeryCtx`]); even moduli fall back to
+    /// [`BigUint::modpow_legacy`]. Callers that exponentiate repeatedly
+    /// under one modulus should build a [`MontgomeryCtx`] themselves to
+    /// amortize the context setup.
     pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.limbs.is_empty(), "modpow with zero modulus");
+        if let Some(ctx) = MontgomeryCtx::new(modulus) {
+            return ctx.modpow(self, exp);
+        }
+        self.modpow_legacy(exp, modulus)
+    }
+
+    /// Modular exponentiation by square-and-multiply with a full division
+    /// per step — the pre-Montgomery path, kept for even moduli and as the
+    /// differential-test reference.
+    pub fn modpow_legacy(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.limbs.is_empty(), "modpow with zero modulus");
         if modulus.is_one() {
             return BigUint::default();
