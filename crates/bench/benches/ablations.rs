@@ -11,6 +11,7 @@
 
 use gridmine_arm::{correct_rules, Database, Ratio};
 use gridmine_bench::{hr, write_json};
+use gridmine_obs::Table;
 use gridmine_quest::QuestParams;
 use gridmine_sim::{run_convergence, SimConfig};
 use serde::Serialize;
@@ -41,15 +42,26 @@ fn workload() -> Database {
     )
 }
 
-fn run(name: &str, variant: &str, cfg: SimConfig, global: &Database, rows: &mut Vec<AblationRow>) {
+fn ablation_table() -> Table {
+    Table::new(["variant", "steps to 90%", "recall", "precision", "messages"])
+}
+
+fn run(
+    name: &str,
+    variant: &str,
+    cfg: SimConfig,
+    global: &Database,
+    rows: &mut Vec<AblationRow>,
+    table: &mut Table,
+) {
     let m = run_convergence(cfg, global, 0.2, 10, 90);
-    println!(
-        "{variant:>28} | {:>12} | {:>7.3} | {:>9.3} | {:>10}",
+    table.row([
+        variant.to_string(),
         m.step_at_90_recall.map(|s| s.to_string()).unwrap_or_else(|| ">max".into()),
-        m.final_recall(),
-        m.final_precision(),
-        m.total_msgs
-    );
+        format!("{:.3}", m.final_recall()),
+        format!("{:.3}", m.final_precision()),
+        m.total_msgs.to_string(),
+    ]);
     rows.push(AblationRow {
         ablation: name.into(),
         variant: variant.into(),
@@ -65,37 +77,31 @@ fn main() {
     let mut rows = Vec::new();
 
     hr("Ablation 1: obfuscation padding (Algorithm 1's ±1 sequence)");
-    println!(
-        "{:>28} | {:>12} | {:>7} | {:>9} | {:>10}",
-        "variant", "steps to 90%", "recall", "precision", "messages"
-    );
+    let mut table = ablation_table();
     let mut on = base_cfg();
     on.obfuscate = true;
-    run("obfuscation", "padding on (paper regime)", on, &global, &mut rows);
-    run("obfuscation", "padding off", base_cfg(), &global, &mut rows);
+    run("obfuscation", "padding on (paper regime)", on, &global, &mut rows, &mut table);
+    run("obfuscation", "padding off", base_cfg(), &global, &mut rows, &mut table);
+    print!("{table}");
     println!(
         "(the padding multiplies traffic without changing the trajectory —\n\
          its purpose is data-independence of the message pattern, not speed)"
     );
 
     hr("Ablation 2: privacy-gate mode under database growth");
-    println!(
-        "{:>28} | {:>12} | {:>7} | {:>9} | {:>10}",
-        "variant", "steps to 90%", "recall", "precision", "messages"
-    );
-    run("gate", "literal (k new resources)", base_cfg(), &global, &mut rows);
+    let mut table = ablation_table();
+    run("gate", "literal (k new resources)", base_cfg(), &global, &mut rows, &mut table);
     let mut relaxed = base_cfg();
     relaxed.relaxed_gate = true;
-    run("gate", "relaxed (k new tx only)", relaxed, &global, &mut rows);
+    run("gate", "relaxed (k new tx only)", relaxed, &global, &mut rows, &mut table);
+    print!("{table}");
 
     hr("Ablation 3: message volume vs. k");
-    println!(
-        "{:>28} | {:>12} | {:>7} | {:>9} | {:>10}",
-        "variant", "steps to 90%", "recall", "precision", "messages"
-    );
+    let mut table = ablation_table();
     for k in [1i64, 4, 8] {
-        run("k-volume", &format!("k = {k}"), base_cfg().with_k(k), &global, &mut rows);
+        run("k-volume", &format!("k = {k}"), base_cfg().with_k(k), &global, &mut rows, &mut table);
     }
+    print!("{table}");
 
     // Consistency pin: ablations must not change the final ground truth.
     let truth = correct_rules(

@@ -13,6 +13,7 @@
 
 use gridmine_arm::Ratio;
 use gridmine_bench::{hr, scale, write_json, Scale};
+use gridmine_obs::Table;
 use gridmine_quest::QuestParams;
 use gridmine_sim::{run_convergence, SimConfig};
 use serde::Serialize;
@@ -67,16 +68,20 @@ fn main() {
 
         let name = params.name();
         hr(&format!("workload {name}"));
-        println!("{:>6} {:>8} {:>8} {:>10} {:>14}", "step", "scans", "recall", "precision", "messages");
 
         let global = gridmine_quest::generate(&params);
         let metrics = run_convergence(cfg, &global, growth_frac, sample_every, max_steps);
+        let mut table = Table::new(["step", "scans", "recall", "precision", "messages"]);
         for s in &metrics.samples {
-            println!(
-                "{:>6} {:>8.2} {:>8.3} {:>10.3} {:>14}",
-                s.step, s.scans, s.recall, s.precision, s.msgs
-            );
+            table.row([
+                s.step.to_string(),
+                format!("{:.2}", s.scans),
+                format!("{:.3}", s.recall),
+                format!("{:.3}", s.precision),
+                s.msgs.to_string(),
+            ]);
         }
+        print!("{table}");
         match metrics.scans_at_90_recall {
             Some(scans) => println!(
                 "→ {name}: 90% recall after {scans:.2} local scans (paper: ≈3 scans)"

@@ -28,6 +28,7 @@
 use std::collections::HashMap;
 
 use gridmine_arm::CandidateRule;
+use gridmine_obs::{emit, Event, SfeKind, SharedRecorder, VerdictKind};
 use gridmine_paillier::HomCipher;
 
 use crate::counter::{CounterLayout, PlainCounter, SecureCounter};
@@ -50,6 +51,25 @@ impl std::fmt::Display for Verdict {
         match self {
             Verdict::MaliciousBroker(u) => write!(f, "broker of resource {u} is malicious"),
             Verdict::MaliciousResource(u) => write!(f, "resource {u} is malicious"),
+        }
+    }
+}
+
+impl Verdict {
+    /// The observability event announcing this verdict, as issued at
+    /// resource `at`.
+    pub fn to_event(self, at: usize) -> Event {
+        match self {
+            Verdict::MaliciousBroker(u) => Event::VerdictIssued {
+                resource: at as u64,
+                verdict: VerdictKind::Broker,
+                culprit: u as u64,
+            },
+            Verdict::MaliciousResource(u) => Event::VerdictIssued {
+                resource: at as u64,
+                verdict: VerdictKind::Resource,
+                culprit: u as u64,
+            },
         }
     }
 }
@@ -93,6 +113,8 @@ pub struct Controller<C: HomCipher> {
     halted: Option<Verdict>,
     /// SFE queries served (protocol-cost accounting).
     pub queries_served: u64,
+    /// Observability sink (`NullRecorder` by default).
+    rec: SharedRecorder,
 }
 
 impl<C: HomCipher> Controller<C> {
@@ -113,7 +135,14 @@ impl<C: HomCipher> Controller<C> {
             rules: HashMap::new(),
             halted: None,
             queries_served: 0,
+            rec: gridmine_obs::null(),
         }
+    }
+
+    /// Attaches an observability recorder; SFE queries, answers, output
+    /// decisions and verdicts are reported through it.
+    pub fn set_recorder(&mut self, rec: SharedRecorder) {
+        self.rec = rec;
     }
 
     /// The verdict that halted this controller, if any.
@@ -170,6 +199,7 @@ impl<C: HomCipher> Controller<C> {
 
     fn raise(&mut self, v: Verdict) -> Verdict {
         self.halted = Some(v);
+        emit(&self.rec, || v.to_event(self.id));
         v
     }
 
@@ -230,22 +260,28 @@ impl<C: HomCipher> Controller<C> {
             return Err(v);
         }
         self.queries_served += 1;
+        emit(&self.rec, || Event::SfeQuery {
+            resource: self.id as u64,
+            kind: SfeKind::Output,
+            rule: rule.to_string(),
+        });
         let p = self.audit_full(rule, full)?;
         let sign_nonneg = self.cipher.decrypt_i64(blinded_delta) >= 0;
         let id = self.id;
         let audit = self.audit_state(rule);
         let ans = audit.output_gate.disclose(p.count, p.num, || sign_nonneg);
-        if std::env::var("GRIDMINE_DEBUG_OUTPUT").is_ok() && id < 3 {
-            eprintln!(
-                "[dbg] r{} output: count={} num={} sign={} reg={:?} -> {}",
-                id,
-                p.count,
-                p.num,
-                sign_nonneg,
-                audit.output_gate.last_population(),
-                ans
-            );
-        }
+        emit(&self.rec, || Event::OutputDecision {
+            resource: id as u64,
+            rule: rule.to_string(),
+            count: p.count,
+            num: p.num,
+            answer: ans,
+        });
+        emit(&self.rec, || Event::SfeAnswer {
+            resource: id as u64,
+            kind: SfeKind::Output,
+            answer: ans,
+        });
         Ok(ans)
     }
 
@@ -270,6 +306,34 @@ impl<C: HomCipher> Controller<C> {
         if let Some(verdict) = self.halted {
             return Err(verdict);
         }
+        emit(&self.rec, || Event::SfeQuery {
+            resource: self.id as u64,
+            kind: SfeKind::Send,
+            rule: rule.to_string(),
+        });
+        let out =
+            self.send_query_inner(rule, v, receiver_layout, full, minus_v, recv_v, share_for_me);
+        if let Ok(ref decision) = out {
+            emit(&self.rec, || Event::SfeAnswer {
+                resource: self.id as u64,
+                kind: SfeKind::Send,
+                answer: decision.is_some(),
+            });
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_query_inner(
+        &mut self,
+        rule: &CandidateRule,
+        v: usize,
+        receiver_layout: &CounterLayout,
+        full: &SecureCounter<C>,
+        minus_v: &SecureCounter<C>,
+        recv_v: &SecureCounter<C>,
+        share_for_me: &C::Ct,
+    ) -> Result<Option<SecureCounter<C>>, Verdict> {
         self.queries_served += 1;
         let p_full = self.audit_full(rule, full)?;
         let p_minus = self.open_checked(minus_v)?;

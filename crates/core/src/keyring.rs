@@ -10,7 +10,8 @@
 //! derived per message arity from a grid-wide master seed shared by
 //! accountants and controllers.
 
-use gridmine_paillier::{Keypair, MockCipher, PaillierCtx, TagKey};
+use gridmine_obs::SharedRecorder;
+use gridmine_paillier::{HomCipher, Keypair, MockCipher, PaillierCtx, TagKey};
 
 /// Derives per-arity tag keys from a master seed. All accountants and
 /// controllers of one grid share the same keyring.
@@ -43,6 +44,20 @@ pub struct GridKeys<C> {
     pub pub_ops: C,
     /// Shared tag keyring.
     pub tags: TagKeyring,
+}
+
+impl<C: HomCipher> GridKeys<C> {
+    /// Attach an observability recorder to every role handle, so ciphers
+    /// that time key operations ([`PaillierCtx`]) report them. A no-op
+    /// for ciphers that ignore recorders ([`MockCipher`]).
+    pub fn with_recorder(self, rec: &SharedRecorder) -> Self {
+        GridKeys {
+            enc: self.enc.with_recorder(rec.clone()),
+            dec: self.dec.with_recorder(rec.clone()),
+            pub_ops: self.pub_ops.with_recorder(rec.clone()),
+            tags: self.tags,
+        }
+    }
 }
 
 impl GridKeys<PaillierCtx> {

@@ -23,6 +23,11 @@
 //! All protocol code is generic over
 //! [`gridmine_paillier::HomCipher`], so the same state machines run under
 //! real Paillier and under the plaintext mock used at simulation scale.
+//!
+//! The driving API is [`session::MineSession`]: a builder covering the
+//! synchronous driver, the threaded driver, fault injection and
+//! structured observability (`gridmine-obs` recorders). The older
+//! `mine_secure*` free functions remain as deprecated shims.
 
 pub mod accountant;
 pub mod attack;
@@ -35,6 +40,7 @@ pub mod kttp;
 pub mod miner;
 pub mod packed;
 pub mod resource;
+pub mod session;
 pub mod sfe;
 pub mod shares;
 pub mod threaded;
@@ -47,8 +53,13 @@ pub use controller::{Controller, Verdict};
 pub use counter::{CounterLayout, SecureCounter};
 pub use keyring::GridKeys;
 pub use kttp::KTtp;
-pub use miner::{mine_secure, MineConfig, MiningOutcome};
+#[allow(deprecated)]
+pub use miner::mine_secure;
+pub use miner::{MineConfig, MiningOutcome};
 pub use packed::PackedCounter;
 pub use resource::{SecureResource, WireMsg};
+pub use session::{MineSession, SessionCipher};
 pub use sfe::{GateMode, KGate};
-pub use threaded::{mine_secure_threaded, mine_secure_threaded_faulty, run_threaded};
+#[allow(deprecated)]
+pub use threaded::{mine_secure_threaded, mine_secure_threaded_faulty};
+pub use threaded::{run_threaded, run_threaded_with};

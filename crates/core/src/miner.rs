@@ -1,24 +1,21 @@
-//! One-call synchronous mining — the library's front door.
+//! Synchronous mining outcome/config types and the deprecated
+//! [`mine_secure`] shim.
 //!
-//! [`mine_secure`] builds a grid over a communication tree, runs
-//! Secure-Majority-Rule to a fixpoint with FIFO message delivery, and
-//! returns every resource's interim solution. It is the secure
-//! counterpart of `gridmine_majority::rule::run_plain_mining` and the
-//! API most downstream users want; the discrete-event simulator in
-//! `gridmine-sim` is the scalable alternative when link delays, dynamic
-//! data or step-resolution metrics matter.
+//! The library's front door is now [`crate::session::MineSession`]: one
+//! builder covering the synchronous driver, the threaded driver and
+//! fault injection, with observability via `gridmine-obs` recorders.
+//! [`mine_secure`] remains as a thin deprecated wrapper so existing
+//! callers keep compiling.
 
-use std::collections::VecDeque;
-
-use gridmine_arm::{Database, Item, Ratio, RuleSet};
-use gridmine_majority::CandidateGenerator;
+use gridmine_arm::{Database, Ratio, RuleSet};
+use gridmine_obs::MetricsSnapshot;
 use gridmine_paillier::HomCipher;
 use gridmine_topology::Tree;
 
 use crate::chaos::{ChaosReport, ResourceStatus};
 use crate::controller::Verdict;
 use crate::keyring::GridKeys;
-use crate::resource::{wire_grid, SecureResource, WireMsg};
+use crate::session::MineSession;
 
 /// Outcome of a synchronous mining run.
 #[derive(Debug)]
@@ -33,6 +30,9 @@ pub struct MiningOutcome {
     pub statuses: Vec<ResourceStatus>,
     /// What the fault layer did to the run (clean on fault-free runs).
     pub chaos: ChaosReport,
+    /// Event-derived metrics (all-zero unless a recorder was attached
+    /// via [`MineSession::with_recorder`]).
+    pub metrics: MetricsSnapshot,
 }
 
 impl MiningOutcome {
@@ -82,6 +82,7 @@ impl MineConfig {
 /// deployment every resource knows the shared item catalog.
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use gridmine_arm::{Database, Ratio, Transaction};
 /// use gridmine_core::{mine_secure, GridKeys, MineConfig};
 /// use gridmine_paillier::MockCipher;
@@ -103,101 +104,28 @@ impl MineConfig {
 ///
 /// # Panics
 /// Panics if the database count mismatches the tree size.
-pub fn mine_secure<C: HomCipher>(
+#[deprecated(note = "use MineSession")]
+pub fn mine_secure<C: HomCipher + 'static>(
     keys: &GridKeys<C>,
     tree: &Tree,
     dbs: Vec<Database>,
     cfg: MineConfig,
 ) -> MiningOutcome {
-    assert_eq!(dbs.len(), tree.capacity(), "one database per tree node");
-    let generator = CandidateGenerator::new(cfg.min_freq, cfg.min_conf);
-    let mut items: Vec<Item> = dbs.iter().flat_map(|d| d.item_domain()).collect();
-    items.sort_unstable();
-    items.dedup();
-
-    let mut resources: Vec<SecureResource<C>> = dbs
-        .into_iter()
-        .enumerate()
-        .map(|(u, db)| {
-            let neighbors: Vec<usize> = tree.neighbors(u).collect();
-            SecureResource::new(
-                u,
-                keys,
-                neighbors,
-                db,
-                cfg.k,
-                generator,
-                &items,
-                cfg.seed ^ (u as u64).wrapping_mul(0x9E37_79B9),
-            )
-        })
-        .collect();
-    wire_grid(&mut resources);
-
-    let mut messages = 0u64;
-    let deliver = |resources: &mut Vec<SecureResource<C>>,
-                       queue: &mut VecDeque<WireMsg<C>>,
-                       messages: &mut u64| {
-        let mut hops = 0u64;
-        while let Some(msg) = queue.pop_front() {
-            hops += 1;
-            assert!(hops < 10_000_000, "secure mining failed to quiesce");
-            *messages += 1;
-            let to = msg.to;
-            queue.extend(resources[to].on_receive(&msg));
-        }
-    };
-
-    for _ in 0..cfg.rounds {
-        let mut queue: VecDeque<WireMsg<C>> = VecDeque::new();
-        for r in resources.iter_mut() {
-            queue.extend(r.step(usize::MAX));
-        }
-        deliver(&mut resources, &mut queue, &mut messages);
-
-        let mut queue: VecDeque<WireMsg<C>> = VecDeque::new();
-        for r in resources.iter_mut() {
-            queue.extend(r.generate_candidates());
-        }
-        deliver(&mut resources, &mut queue, &mut messages);
-
-        if resources.iter().any(|r| r.verdict().is_some()) {
-            break;
-        }
-    }
-    for r in resources.iter_mut() {
-        r.refresh_outputs();
-    }
-
-    let verdicts = resources.iter().filter_map(|r| r.verdict()).collect();
-    let statuses: Vec<ResourceStatus> = resources
-        .iter()
-        .map(|r| r.degraded().map_or(ResourceStatus::Ok, ResourceStatus::Degraded))
-        .collect();
-    let chaos = ChaosReport {
-        retries: resources.iter().map(|r| r.retries_spent()).sum(),
-        degraded: statuses
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.is_ok())
-            .map(|(u, _)| u)
-            .collect(),
-        ..ChaosReport::default()
-    };
-    MiningOutcome {
-        solutions: resources.iter().map(|r| r.interim()).collect(),
-        verdicts,
-        messages,
-        statuses,
-        chaos,
-    }
+    MineSession::over(cfg, keys.clone())
+        .with_topology(tree.clone())
+        .with_databases(dbs)
+        .run()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until removal
 mod tests {
     use super::*;
+    use crate::resource::{wire_grid, SecureResource, WireMsg};
     use gridmine_arm::{correct_rules, AprioriConfig, Transaction};
+    use gridmine_majority::CandidateGenerator;
     use gridmine_paillier::MockCipher;
+    use std::collections::VecDeque;
 
     fn dbs() -> Vec<Database> {
         (0..4u64)

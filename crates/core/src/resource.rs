@@ -13,6 +13,7 @@ use std::collections::{HashMap, HashSet};
 
 use gridmine_arm::{CandidateRule, Database, Item, Rule, RuleSet};
 use gridmine_majority::CandidateGenerator;
+use gridmine_obs::{emit, Event, SharedRecorder};
 use gridmine_paillier::HomCipher;
 
 use crate::accountant::Accountant;
@@ -51,6 +52,8 @@ pub struct SecureResource<C: HomCipher> {
     retry_budget: u64,
     /// Controller deviation (validity experiments).
     pub controller_behavior: ControllerBehavior,
+    /// Observability sink (`NullRecorder` by default).
+    rec: SharedRecorder,
 }
 
 /// Default SFE retry budget before a mute controller degrades its
@@ -90,11 +93,20 @@ impl<C: HomCipher> SecureResource<C> {
             retries_spent: 0,
             retry_budget: DEFAULT_RETRY_BUDGET,
             controller_behavior: ControllerBehavior::Honest,
+            rec: gridmine_obs::null(),
         };
         for cand in generator.initial(items) {
             r.ensure_candidate(&cand);
         }
         r
+    }
+
+    /// Attaches an observability recorder to this resource (and its
+    /// controller): counters on the wire, SFE traffic, verdicts and
+    /// degradations are reported through it from then on.
+    pub fn set_recorder(&mut self, rec: SharedRecorder) {
+        self.ctl.set_recorder(rec.clone());
+        self.rec = rec;
     }
 
     /// Resource id.
@@ -159,6 +171,10 @@ impl<C: HomCipher> SecureResource<C> {
     pub fn mark_degraded(&mut self, reason: DegradeReason) {
         if self.degraded.is_none() {
             self.degraded = Some(reason);
+            emit(&self.rec, || Event::ResourceDegraded {
+                resource: self.id as u64,
+                reason: format!("{reason:?}"),
+            });
         }
     }
 
@@ -189,8 +205,12 @@ impl<C: HomCipher> SecureResource<C> {
     /// resource degrades — stalling itself, not the grid.
     fn retry_controller(&mut self) -> bool {
         self.retries_spent += 1;
+        emit(&self.rec, || Event::SfeRetry {
+            resource: self.id as u64,
+            spent: self.retries_spent,
+        });
         if self.retries_spent >= self.retry_budget {
-            self.degraded = Some(DegradeReason::MuteController);
+            self.mark_degraded(DegradeReason::MuteController);
             return false;
         }
         true
@@ -332,6 +352,12 @@ impl<C: HomCipher> SecureResource<C> {
             match self.ctl.send_query(cand, v, &receiver_layout, &full, &minus, &recv, &share) {
                 Ok(Some(counter)) => {
                     self.broker.msgs_sent += 1;
+                    emit(&self.rec, || Event::CounterSent {
+                        from: self.id as u64,
+                        to: v as u64,
+                        rule: cand.to_string(),
+                        bytes: counter.wire_bytes() as u64,
+                    });
                     out.push(BrokerMsg { from: self.id, to: v, cand: cand.clone(), counter });
                 }
                 Ok(None) => {}
@@ -387,9 +413,20 @@ impl<C: HomCipher> SecureResource<C> {
         // The check is key-free, so the sender is blamed at the door
         // instead of panicking mid-aggregate.
         if !self.broker.counter_is_wellformed(&msg.counter) {
-            self.halted = Some(Verdict::MaliciousResource(msg.from));
+            let verdict = Verdict::MaliciousResource(msg.from);
+            self.halted = Some(verdict);
+            emit(&self.rec, || Event::WellformednessRejected {
+                at: self.id as u64,
+                from: msg.from as u64,
+            });
+            emit(&self.rec, || verdict.to_event(self.id));
             return Vec::new();
         }
+        emit(&self.rec, || Event::CounterReceived {
+            at: self.id as u64,
+            from: msg.from as u64,
+            rule: msg.cand.to_string(),
+        });
         for implied in self.generator.from_received(&msg.cand) {
             self.ensure_candidate(&implied);
         }
@@ -416,7 +453,9 @@ impl<C: HomCipher> SecureResource<C> {
             let blinded = match self.broker.blinded_delta(&cand) {
                 Ok(b) => b,
                 Err(_) => {
-                    self.halted = Some(Verdict::MaliciousBroker(self.id));
+                    let verdict = Verdict::MaliciousBroker(self.id);
+                    self.halted = Some(verdict);
+                    emit(&self.rec, || verdict.to_event(self.id));
                     return;
                 }
             };

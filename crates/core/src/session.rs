@@ -1,0 +1,403 @@
+//! [`MineSession`]: the one builder that drives every mining mode.
+//!
+//! The library grew three parallel front doors — `mine_secure`
+//! (synchronous), `mine_secure_threaded` (one OS thread per resource)
+//! and `mine_secure_threaded_faulty` (threads + fault injection) — each
+//! with its own positional-argument signature and no way to observe a
+//! run. `MineSession` subsumes all three behind one builder:
+//!
+//! ```
+//! use gridmine_arm::{Database, Ratio, Transaction};
+//! use gridmine_core::{MineConfig, MineSession};
+//!
+//! let dbs: Vec<Database> = (0..3u64)
+//!     .map(|u| Database::from_transactions(
+//!         (0..10).map(|j| Transaction::of(u * 10 + j, &[1, 2])).collect(),
+//!     ))
+//!     .collect();
+//! let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+//! let outcome = MineSession::new(cfg).with_databases(dbs).run();
+//! assert!(outcome.verdicts.is_empty());
+//! ```
+//!
+//! The old entry points remain as thin `#[deprecated]` shims over this
+//! type. A session defaults to the plaintext [`MockCipher`], a path
+//! topology over the databases, no faults and the zero-cost
+//! `NullRecorder`; every default has a `with_*` override. Attaching a
+//! real recorder also arms the [`Metrics`] registry, whose snapshot
+//! lands in [`MiningOutcome::metrics`].
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use gridmine_arm::{Database, Item};
+use gridmine_majority::CandidateGenerator;
+use gridmine_obs::{emit, Event, FanoutRecorder, Metrics, SharedRecorder};
+use gridmine_paillier::{HomCipher, MockCipher, PaillierCtx};
+use gridmine_topology::faults::FaultPlan;
+use gridmine_topology::Tree;
+
+use crate::chaos::{ChaosReport, ResourceStatus};
+use crate::keyring::GridKeys;
+use crate::miner::{MineConfig, MiningOutcome};
+use crate::resource::{wire_grid, SecureResource, WireMsg};
+use crate::threaded::run_threaded_with;
+
+/// Default Paillier modulus size (bits) when a session selects the real
+/// cipher without supplying key material.
+pub const DEFAULT_PAILLIER_BITS: u64 = 512;
+
+/// A cipher a [`MineSession`] can generate default key material for.
+pub trait SessionCipher: HomCipher + 'static {
+    /// Grid-wide key material derived from the session seed.
+    fn session_keys(seed: u64) -> GridKeys<Self>;
+}
+
+impl SessionCipher for MockCipher {
+    fn session_keys(seed: u64) -> GridKeys<Self> {
+        GridKeys::mock(seed)
+    }
+}
+
+impl SessionCipher for PaillierCtx {
+    fn session_keys(seed: u64) -> GridKeys<Self> {
+        GridKeys::paillier(DEFAULT_PAILLIER_BITS, seed)
+    }
+}
+
+/// Builder for one Secure-Majority-Rule mining run. See the module docs
+/// for the default stack and [`MineSession::run`] /
+/// [`MineSession::run_threaded`] for the two execution modes.
+pub struct MineSession<C: HomCipher + 'static> {
+    cfg: MineConfig,
+    keys: GridKeys<C>,
+    tree: Option<Tree>,
+    dbs: Vec<Database>,
+    plan: FaultPlan,
+    rec: SharedRecorder,
+}
+
+impl MineSession<MockCipher> {
+    /// A session over the plaintext mock cipher (swap with
+    /// [`MineSession::with_cipher`] or [`MineSession::with_keys`]).
+    pub fn new(cfg: MineConfig) -> Self {
+        MineSession::over(cfg, GridKeys::mock(cfg.seed))
+    }
+}
+
+impl<C: HomCipher + 'static> MineSession<C> {
+    /// A session over explicit key material.
+    pub fn over(cfg: MineConfig, keys: GridKeys<C>) -> Self {
+        MineSession {
+            cfg,
+            keys,
+            tree: None,
+            dbs: Vec::new(),
+            plan: FaultPlan::none(),
+            rec: gridmine_obs::null(),
+        }
+    }
+
+    /// Switches the cipher, generating default key material for it from
+    /// the session seed (`GridKeys::paillier(512, seed)` for
+    /// [`PaillierCtx`]). Topology, databases, faults and recorder carry
+    /// over.
+    pub fn with_cipher<D: SessionCipher>(self) -> MineSession<D> {
+        MineSession {
+            cfg: self.cfg,
+            keys: D::session_keys(self.cfg.seed),
+            tree: self.tree,
+            dbs: self.dbs,
+            plan: self.plan,
+            rec: self.rec,
+        }
+    }
+
+    /// Replaces the key material (and with it, possibly, the cipher).
+    pub fn with_keys<D: HomCipher + 'static>(self, keys: GridKeys<D>) -> MineSession<D> {
+        MineSession {
+            cfg: self.cfg,
+            keys,
+            tree: self.tree,
+            dbs: self.dbs,
+            plan: self.plan,
+            rec: self.rec,
+        }
+    }
+
+    /// Sets the communication tree (default: a path over the databases).
+    pub fn with_topology(mut self, tree: Tree) -> Self {
+        self.tree = Some(tree);
+        self
+    }
+
+    /// Sets the database partitions, one per tree node.
+    pub fn with_databases(mut self, dbs: Vec<Database>) -> Self {
+        self.dbs = dbs;
+        self
+    }
+
+    /// Arms a fault plan (honored by [`MineSession::run_threaded`];
+    /// the synchronous [`MineSession::run`] refuses non-quiet plans).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Attaches an observability recorder. Protocol events flow to it
+    /// from every resource, and the [`Metrics`] registry is armed so
+    /// [`MiningOutcome::metrics`] carries a real snapshot.
+    pub fn with_recorder(mut self, rec: SharedRecorder) -> Self {
+        self.rec = rec;
+        self
+    }
+
+    /// The effective recorder for the run plus the metrics registry that
+    /// shadows it. With the default `NullRecorder` both stay off so the
+    /// run pays nothing.
+    fn arm_recorder(&self) -> (SharedRecorder, Option<Arc<Metrics>>) {
+        if self.rec.enabled() {
+            let metrics = Metrics::shared();
+            let fan: SharedRecorder =
+                Arc::new(FanoutRecorder::new(vec![self.rec.clone(), metrics.clone()]));
+            (fan, Some(metrics))
+        } else {
+            (gridmine_obs::null(), None)
+        }
+    }
+
+    /// Builds the wired resource grid.
+    fn build(&self, rec: &SharedRecorder) -> Vec<SecureResource<C>> {
+        let tree = match &self.tree {
+            Some(t) => t.clone(),
+            None => Tree::path(self.dbs.len()),
+        };
+        assert_eq!(self.dbs.len(), tree.capacity(), "one database per tree node");
+        assert!(!self.dbs.is_empty(), "a session needs at least one database");
+        let cfg = self.cfg;
+        let keys = self.keys.clone().with_recorder(rec);
+        let generator = CandidateGenerator::new(cfg.min_freq, cfg.min_conf);
+        let mut items: Vec<Item> = self.dbs.iter().flat_map(|d| d.item_domain()).collect();
+        items.sort_unstable();
+        items.dedup();
+
+        let mut resources: Vec<SecureResource<C>> = self
+            .dbs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(u, db)| {
+                let neighbors: Vec<usize> = tree.neighbors(u).collect();
+                let mut r = SecureResource::new(
+                    u,
+                    &keys,
+                    neighbors,
+                    db,
+                    cfg.k,
+                    generator,
+                    &items,
+                    cfg.seed ^ (u as u64).wrapping_mul(0x9E37_79B9),
+                );
+                r.set_recorder(rec.clone());
+                r
+            })
+            .collect();
+        wire_grid(&mut resources);
+        resources
+    }
+
+    /// Runs the synchronous driver: rounds of scan → FIFO delivery to
+    /// quiescence → candidate generation → delivery, halting early on
+    /// any verdict. Equivalent to the deprecated `mine_secure`.
+    ///
+    /// # Panics
+    /// Panics if a non-quiet fault plan is armed (the synchronous driver
+    /// has no fault model — use [`MineSession::run_threaded`]) or if the
+    /// database count mismatches the topology.
+    pub fn run(self) -> MiningOutcome {
+        assert!(
+            self.plan.is_quiet(),
+            "the synchronous driver injects no faults; use run_threaded() for fault plans"
+        );
+        let (rec, metrics) = self.arm_recorder();
+        let mut resources = self.build(&rec);
+        let cfg = self.cfg;
+
+        let mut messages = 0u64;
+        let deliver = |resources: &mut Vec<SecureResource<C>>,
+                       queue: &mut VecDeque<WireMsg<C>>,
+                       messages: &mut u64| {
+            let mut hops = 0u64;
+            while let Some(msg) = queue.pop_front() {
+                hops += 1;
+                assert!(hops < 10_000_000, "secure mining failed to quiesce");
+                *messages += 1;
+                let to = msg.to;
+                queue.extend(resources[to].on_receive(&msg));
+            }
+        };
+
+        for round in 0..cfg.rounds {
+            emit(&rec, || Event::RoundAdvanced { tick: round as u64 });
+            let mut queue: VecDeque<WireMsg<C>> = VecDeque::new();
+            for r in resources.iter_mut() {
+                queue.extend(r.step(usize::MAX));
+            }
+            deliver(&mut resources, &mut queue, &mut messages);
+
+            let mut queue: VecDeque<WireMsg<C>> = VecDeque::new();
+            for r in resources.iter_mut() {
+                queue.extend(r.generate_candidates());
+            }
+            deliver(&mut resources, &mut queue, &mut messages);
+
+            if resources.iter().any(|r| r.verdict().is_some()) {
+                break;
+            }
+        }
+        for r in resources.iter_mut() {
+            r.refresh_outputs();
+        }
+
+        let verdicts = resources.iter().filter_map(|r| r.verdict()).collect();
+        let statuses: Vec<ResourceStatus> = resources
+            .iter()
+            .map(|r| r.degraded().map_or(ResourceStatus::Ok, ResourceStatus::Degraded))
+            .collect();
+        let chaos = ChaosReport {
+            retries: resources.iter().map(|r| r.retries_spent()).sum(),
+            degraded: statuses
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.is_ok())
+                .map(|(u, _)| u)
+                .collect(),
+            ..ChaosReport::default()
+        };
+        let outcome = MiningOutcome {
+            solutions: resources.iter().map(|r| r.interim()).collect(),
+            verdicts,
+            messages,
+            statuses,
+            chaos,
+            metrics: metrics.map(|m| m.snapshot()).unwrap_or_default(),
+        };
+        rec.flush();
+        outcome
+    }
+
+    /// Runs the threaded driver — one OS thread per resource, channel
+    /// links, and the armed fault plan injected (plan ticks = protocol
+    /// rounds). Equivalent to the deprecated `mine_secure_threaded` /
+    /// `mine_secure_threaded_faulty`.
+    ///
+    /// # Panics
+    /// Panics if the database count mismatches the topology.
+    pub fn run_threaded(self) -> MiningOutcome {
+        let (rec, metrics) = self.arm_recorder();
+        let resources = self.build(&rec);
+        let mut outcome = run_threaded_with(resources, self.cfg.rounds, self.plan, rec.clone());
+        if let Some(m) = metrics {
+            outcome.metrics = m.snapshot();
+        }
+        rec.flush();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmine_arm::{Ratio, Transaction};
+    use gridmine_obs::{EventKind, MemoryRecorder};
+
+    fn dbs(n: u64) -> Vec<Database> {
+        (0..n)
+            .map(|u| {
+                Database::from_transactions(
+                    (0..20)
+                        .map(|j| {
+                            let id = u * 20 + j;
+                            if j % 4 == 0 {
+                                Transaction::of(id, &[3])
+                            } else {
+                                Transaction::of(id, &[1, 2])
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn session_matches_deprecated_mine_secure() {
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        let keys = GridKeys::mock(cfg.seed);
+        let old = crate::miner::mine_secure(&keys, &Tree::path(4), dbs(4), cfg);
+        let new = MineSession::new(cfg).with_topology(Tree::path(4)).with_databases(dbs(4)).run();
+        assert_eq!(old.solutions, new.solutions);
+        assert_eq!(old.messages, new.messages);
+        assert_eq!(old.verdicts, new.verdicts);
+    }
+
+    #[test]
+    fn default_topology_is_a_path() {
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        let explicit =
+            MineSession::new(cfg).with_topology(Tree::path(3)).with_databases(dbs(3)).run();
+        let implicit = MineSession::new(cfg).with_databases(dbs(3)).run();
+        assert_eq!(explicit.solutions, implicit.solutions);
+    }
+
+    #[test]
+    fn recorder_arms_metrics_snapshot() {
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        let mem = MemoryRecorder::shared();
+        let outcome =
+            MineSession::new(cfg).with_databases(dbs(3)).with_recorder(mem.clone()).run();
+        assert!(!outcome.metrics.is_zero(), "an armed recorder must fill metrics");
+        assert_eq!(
+            outcome.metrics.msgs_sent(),
+            outcome.messages,
+            "CounterSent tally must equal the outcome's message count"
+        );
+        assert_eq!(
+            mem.count_of(EventKind::CounterSent) as u64,
+            outcome.messages,
+            "the user recorder sees the same events as the metrics registry"
+        );
+        assert!(outcome.metrics.bytes_on_wire > 0);
+        assert_eq!(outcome.metrics.of(EventKind::RoundAdvanced), cfg.rounds as u64);
+    }
+
+    #[test]
+    fn null_recorder_leaves_metrics_zero() {
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        let outcome = MineSession::new(cfg).with_databases(dbs(3)).run();
+        assert!(outcome.metrics.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "synchronous driver injects no faults")]
+    fn sync_run_refuses_fault_plans() {
+        use gridmine_topology::faults::EdgeFaults;
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        let plan = FaultPlan::new(1).with_default_edge(EdgeFaults::dropping(0.5));
+        let _ = MineSession::new(cfg).with_databases(dbs(3)).with_faults(plan).run();
+    }
+
+    #[test]
+    fn threaded_session_with_recorder_matches_outcome_counts() {
+        let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+        let mem = MemoryRecorder::shared();
+        let outcome = MineSession::new(cfg)
+            .with_databases(dbs(4))
+            .with_recorder(mem.clone())
+            .run_threaded();
+        assert!(outcome.verdicts.is_empty());
+        assert_eq!(mem.count_of(EventKind::CounterSent) as u64, outcome.messages);
+        assert_eq!(outcome.metrics.msgs_sent(), outcome.messages);
+    }
+}

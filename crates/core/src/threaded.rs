@@ -42,8 +42,8 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use gridmine_arm::{Database, Item, RuleSet};
-use gridmine_majority::CandidateGenerator;
+use gridmine_arm::{Database, RuleSet};
+use gridmine_obs::{emit, Event, SharedRecorder};
 use gridmine_paillier::HomCipher;
 use gridmine_topology::faults::{FaultPlan, FaultStats, FaultyLink, ResourceFault};
 use gridmine_topology::Tree;
@@ -51,7 +51,8 @@ use gridmine_topology::Tree;
 use crate::chaos::{ChaosReport, DegradeReason, ResourceStatus};
 use crate::keyring::GridKeys;
 use crate::miner::{MineConfig, MiningOutcome};
-use crate::resource::{wire_grid, SecureResource, WireMsg};
+use crate::resource::{SecureResource, WireMsg};
+use crate::session::MineSession;
 
 /// Runs Secure-Majority-Rule with one thread per resource and channel
 /// links. Functionally equivalent to [`crate::miner::mine_secure`] — an
@@ -60,13 +61,17 @@ use crate::resource::{wire_grid, SecureResource, WireMsg};
 ///
 /// # Panics
 /// Panics if the database count mismatches the tree size.
+#[deprecated(note = "use MineSession")]
 pub fn mine_secure_threaded<C: HomCipher + 'static>(
     keys: &GridKeys<C>,
     tree: &Tree,
     dbs: Vec<Database>,
     cfg: MineConfig,
 ) -> MiningOutcome {
-    mine_secure_threaded_faulty(keys, tree, dbs, cfg, FaultPlan::none())
+    MineSession::over(cfg, keys.clone())
+        .with_topology(tree.clone())
+        .with_databases(dbs)
+        .run_threaded()
 }
 
 /// [`mine_secure_threaded`] under a fault plan: link faults and crash
@@ -76,6 +81,7 @@ pub fn mine_secure_threaded<C: HomCipher + 'static>(
 ///
 /// # Panics
 /// Panics if the database count mismatches the tree size.
+#[deprecated(note = "use MineSession")]
 pub fn mine_secure_threaded_faulty<C: HomCipher + 'static>(
     keys: &GridKeys<C>,
     tree: &Tree,
@@ -83,46 +89,48 @@ pub fn mine_secure_threaded_faulty<C: HomCipher + 'static>(
     cfg: MineConfig,
     plan: FaultPlan,
 ) -> MiningOutcome {
-    assert_eq!(dbs.len(), tree.capacity(), "one database per tree node");
-    let generator = CandidateGenerator::new(cfg.min_freq, cfg.min_conf);
-    let mut items: Vec<Item> = dbs.iter().flat_map(|d| d.item_domain()).collect();
-    items.sort_unstable();
-    items.dedup();
-
-    let mut resources: Vec<SecureResource<C>> = dbs
-        .into_iter()
-        .enumerate()
-        .map(|(u, db)| {
-            let neighbors: Vec<usize> = tree.neighbors(u).collect();
-            SecureResource::new(
-                u,
-                keys,
-                neighbors,
-                db,
-                cfg.k,
-                generator,
-                &items,
-                cfg.seed ^ (u as u64).wrapping_mul(0x9E37_79B9),
-            )
-        })
-        .collect();
-    wire_grid(&mut resources);
-    run_threaded(resources, cfg.rounds, plan)
+    MineSession::over(cfg, keys.clone())
+        .with_topology(tree.clone())
+        .with_databases(dbs)
+        .with_faults(plan)
+        .run_threaded()
 }
 
 /// Sends `msgs` through the fault layer: dropped messages vanish,
 /// duplicated ones go out twice, jittered ones are parked in `held`
 /// until the next send phase, and sends to disconnected peers (dead
 /// threads) are silently dropped instead of unwinding.
+#[allow(clippy::too_many_arguments)]
 fn chaos_send<C: HomCipher>(
     msgs: Vec<WireMsg<C>>,
     senders: &[Sender<WireMsg<C>>],
     in_flight: &AtomicI64,
     link: &mut FaultyLink,
     held: &mut Vec<WireMsg<C>>,
+    rec: &SharedRecorder,
 ) {
     for m in msgs {
         let delivery = link.on_send(m.from, m.to);
+        // Mirror FaultStats exactly: dropped iff copies == 0, duplicated
+        // iff copies > 1, delayed iff extra jitter was added — so an event
+        // log's per-type counts always agree with `ChaosReport::faults`.
+        if delivery.is_dropped() {
+            emit(rec, || Event::MessageDropped { from: m.from as u64, to: m.to as u64 });
+        }
+        if delivery.copies > 1 {
+            emit(rec, || Event::MessageDuplicated {
+                from: m.from as u64,
+                to: m.to as u64,
+                copies: u64::from(delivery.copies),
+            });
+        }
+        if delivery.extra_delay > 0 {
+            emit(rec, || Event::MessageDelayed {
+                from: m.from as u64,
+                to: m.to as u64,
+                ticks: delivery.extra_delay,
+            });
+        }
         // Links are FIFO streams: while an earlier message on this edge
         // sits in the jitter buffer, later ones must queue behind it —
         // overtaking would present the receiver with a Lamport-timestamp
@@ -166,13 +174,14 @@ fn drain<C: HomCipher>(
     held: &mut Vec<WireMsg<C>>,
     down: bool,
     poisoned: &mut bool,
+    rec: &SharedRecorder,
 ) {
     loop {
         match rx.recv_timeout(std::time::Duration::from_millis(1)) {
             Ok(msg) => {
                 if !down && !*poisoned {
                     let outs = guarded(poisoned, || resource.on_receive(&msg));
-                    chaos_send(outs, senders, in_flight, link, held);
+                    chaos_send(outs, senders, in_flight, link, held, rec);
                 }
                 in_flight.fetch_sub(1, Ordering::SeqCst);
             }
@@ -198,6 +207,21 @@ pub fn run_threaded<C: HomCipher + 'static>(
     rounds: usize,
     plan: FaultPlan,
 ) -> MiningOutcome {
+    run_threaded_with(resources, rounds, plan, gridmine_obs::null())
+}
+
+/// [`run_threaded`] with an event recorder: every resource is attached to
+/// `rec` before the threads start, the fault layer mirrors its stats as
+/// events, and worker 0 marks round boundaries.
+pub fn run_threaded_with<C: HomCipher + 'static>(
+    mut resources: Vec<SecureResource<C>>,
+    rounds: usize,
+    plan: FaultPlan,
+    rec: SharedRecorder,
+) -> MiningOutcome {
+    for r in resources.iter_mut() {
+        r.set_recorder(rec.clone());
+    }
     let n = resources.len();
     for (u, r) in resources.iter().enumerate() {
         assert_eq!(r.id(), u, "resources must be indexed by id");
@@ -226,6 +250,7 @@ pub fn run_threaded<C: HomCipher + 'static>(
             let in_flight = Arc::clone(&in_flight);
             let barrier = Arc::clone(&barrier);
             let plan = plan.clone();
+            let rec = rec.clone();
             std::thread::spawn(move || {
                 let u = resource.id();
                 let mut link = FaultyLink::new(plan.clone());
@@ -235,6 +260,11 @@ pub fn run_threaded<C: HomCipher + 'static>(
                 for round in 0..rounds {
                     let tick = round as u64;
                     let down = poisoned || plan.down(u, tick);
+                    if u == 0 {
+                        // Exactly one thread marks round boundaries, so the
+                        // log carries `rounds` RoundAdvanced events total.
+                        emit(&rec, || Event::RoundAdvanced { tick });
+                    }
 
                     // Scan phase. The barrier between send and drain makes
                     // sure every thread's phase sends are counted in
@@ -266,7 +296,7 @@ pub fn run_threaded<C: HomCipher + 'static>(
                                 in_flight.fetch_sub(1, Ordering::SeqCst);
                             }
                         }
-                        chaos_send(outs, &senders, &in_flight, &mut link, &mut held);
+                        chaos_send(outs, &senders, &in_flight, &mut link, &mut held, &rec);
                     }
                     barrier.wait();
                     drain(
@@ -278,13 +308,14 @@ pub fn run_threaded<C: HomCipher + 'static>(
                         &mut held,
                         down,
                         &mut poisoned,
+                        &rec,
                     );
 
                     // Candidate-generation phase.
                     barrier.wait();
                     if !down {
                         let outs = guarded(&mut poisoned, || resource.generate_candidates());
-                        chaos_send(outs, &senders, &in_flight, &mut link, &mut held);
+                        chaos_send(outs, &senders, &in_flight, &mut link, &mut held, &rec);
                     }
                     barrier.wait();
                     drain(
@@ -296,6 +327,7 @@ pub fn run_threaded<C: HomCipher + 'static>(
                         &mut held,
                         down,
                         &mut poisoned,
+                        &rec,
                     );
                 }
                 barrier.wait();
@@ -345,16 +377,23 @@ pub fn run_threaded<C: HomCipher + 'static>(
         }
     }
 
-    // Schedule events that actually fired during the run.
+    // Schedule events that actually fired during the run. Emitted here,
+    // on the main thread, so event counts deterministically equal the
+    // `FaultStats` crash/recovery/departure tallies.
     for u in 0..n {
         match plan.fault_of(u) {
             Some(ResourceFault::Crash { at, recover }) if at < rounds_tick => {
                 faults.crashes += 1;
-                if recover.is_some_and(|r| r <= rounds_tick) {
+                emit(&rec, || Event::ResourceCrashed { resource: u as u64, tick: at });
+                if let Some(r) = recover.filter(|&r| r <= rounds_tick) {
                     faults.recoveries += 1;
+                    emit(&rec, || Event::ResourceRecovered { resource: u as u64, tick: r });
                 }
             }
-            Some(ResourceFault::Depart { at }) if at < rounds_tick => faults.departures += 1,
+            Some(ResourceFault::Depart { at }) if at < rounds_tick => {
+                faults.departures += 1;
+                emit(&rec, || Event::ResourceDeparted { resource: u as u64, tick: at });
+            }
             _ => {}
         }
     }
@@ -372,10 +411,18 @@ pub fn run_threaded<C: HomCipher + 'static>(
             .onset()
             .map_or(0, |onset| rounds_tick.saturating_sub(onset)),
     };
-    MiningOutcome { solutions, verdicts, messages, statuses, chaos }
+    MiningOutcome {
+        solutions,
+        verdicts,
+        messages,
+        statuses,
+        chaos,
+        metrics: gridmine_obs::MetricsSnapshot::default(),
+    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until removal
 mod tests {
     use super::*;
     use crate::miner::mine_secure;

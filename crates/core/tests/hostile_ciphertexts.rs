@@ -17,6 +17,7 @@ use gridmine_core::counter::{CounterLayout, SecureCounter, F_COUNT, F_SUM};
 use gridmine_core::resource::wire_grid;
 use gridmine_core::{Accountant, Broker, GridKeys, SecureResource, Verdict, WireMsg};
 use gridmine_majority::CandidateGenerator;
+use gridmine_obs::{Event, EventKind, MemoryRecorder, VerdictKind};
 use gridmine_paillier::{Ciphertext, PaillierCtx};
 
 /// A non-unit "ciphertext": the public modulus `n` itself, which shares
@@ -63,15 +64,34 @@ fn non_unit_ciphertext_from_peer_convicts_sender_without_panic() {
     let mut msg = msgs.into_iter().find(|m| m.to == 1).expect("some message toward resource 1");
     msg.counter.msg.fields[F_SUM] = evil_ciphertext(&keys);
 
+    // Watch the victim through the event layer: the rejection must show
+    // up as exactly one wellformedness event and exactly one verdict.
+    let mem = MemoryRecorder::shared();
+    rs[1].set_recorder(mem.clone());
+
     let from = msg.from;
     let replies = rs[1].on_receive(&msg);
     assert!(replies.is_empty(), "poisoned message must be dropped, not relayed");
     assert_eq!(rs[1].verdict(), Some(Verdict::MaliciousResource(from)));
+    assert_eq!(mem.count_of(EventKind::WellformednessRejected), 1);
+    assert_eq!(mem.count_of(EventKind::VerdictIssued), 1);
+    assert!(
+        mem.snapshot().contains(&Event::VerdictIssued {
+            resource: 1,
+            verdict: VerdictKind::Resource,
+            culprit: from as u64,
+        }),
+        "verdict event names the hostile sender: {:?}",
+        mem.snapshot()
+    );
 
     // The halted resource stays inert but alive; refreshing outputs must
-    // not touch the poisoned state (and must not panic).
+    // not touch the poisoned state (and must not panic) — and must not
+    // double-report the verdict.
     rs[1].refresh_outputs();
     assert_eq!(rs[1].verdict(), Some(Verdict::MaliciousResource(from)));
+    assert_eq!(mem.count_of(EventKind::WellformednessRejected), 1);
+    assert_eq!(mem.count_of(EventKind::VerdictIssued), 1, "halted state must not re-emit");
 }
 
 /// A poisoned *tag* (rather than field) is caught by the same screen.

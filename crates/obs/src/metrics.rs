@@ -1,0 +1,193 @@
+//! Lightweight counters and histograms, fed by events.
+//!
+//! [`Metrics`] implements [`Recorder`], so the drivers install it behind
+//! a [`crate::FanoutRecorder`] next to the caller's sink and snapshot it
+//! into `MiningOutcome` / `GlobalMetrics` when the run ends. Everything
+//! is atomic; there are no locks on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::event::{Event, EventKind, KeyOpKind};
+use crate::recorder::Recorder;
+
+/// Number of log₂ latency buckets: bucket `i` holds samples with
+/// `nanos.ilog2() == i` (bucket 0 also takes `nanos == 0`), and the last
+/// bucket takes everything ≥ 2⁶³ ns.
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// Atomic event tallies; install as a [`Recorder`].
+#[derive(Debug)]
+pub struct Metrics {
+    by_kind: [AtomicU64; EventKind::COUNT],
+    bytes_on_wire: AtomicU64,
+    sfe_roundtrips: AtomicU64,
+    modpow_count: AtomicU64,
+    modpow_total_nanos: AtomicU64,
+    modpow_buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
+            bytes_on_wire: AtomicU64::new(0),
+            sfe_roundtrips: AtomicU64::new(0),
+            modpow_count: AtomicU64::new(0),
+            modpow_total_nanos: AtomicU64::new(0),
+            modpow_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A ready-to-share handle (the common driver spelling).
+    pub fn shared() -> Arc<Metrics> {
+        Arc::new(Self::new())
+    }
+
+    /// Freeze the current tallies into a plain, cloneable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            by_kind: EventKind::ALL
+                .into_iter()
+                .map(|k| (k.name(), self.by_kind[k as usize].load(Ordering::Relaxed)))
+                .collect(),
+            bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
+            sfe_roundtrips: self.sfe_roundtrips.load(Ordering::Relaxed),
+            modpow: LatencyStats {
+                count: self.modpow_count.load(Ordering::Relaxed),
+                total_nanos: self.modpow_total_nanos.load(Ordering::Relaxed),
+                buckets: self
+                    .modpow_buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+            },
+        }
+    }
+}
+
+impl Recorder for Metrics {
+    fn record(&self, event: &Event) {
+        self.by_kind[event.kind() as usize].fetch_add(1, Ordering::Relaxed);
+        match event {
+            Event::CounterSent { bytes, .. } => {
+                self.bytes_on_wire.fetch_add(*bytes, Ordering::Relaxed);
+            }
+            Event::SfeAnswer { .. } => {
+                self.sfe_roundtrips.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::KeyOp { op: KeyOpKind::Modpow, nanos } => {
+                self.modpow_count.fetch_add(1, Ordering::Relaxed);
+                self.modpow_total_nanos.fetch_add(*nanos, Ordering::Relaxed);
+                let bucket = if *nanos == 0 { 0 } else { nanos.ilog2() as usize };
+                self.modpow_buckets[bucket.min(LATENCY_BUCKETS - 1)]
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Log₂-bucketed latency histogram plus count/total.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    pub count: u64,
+    pub total_nanos: u64,
+    /// `buckets[i]` = samples whose latency satisfies `ilog2(ns) == i`.
+    pub buckets: Vec<u64>,
+}
+
+impl LatencyStats {
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.count as f64
+        }
+    }
+}
+
+/// A frozen [`Metrics`] tally; travels inside `MiningOutcome` and
+/// `GlobalMetrics`. `Default` is all-zero (the `NullRecorder` path).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(kind name, count)` in [`EventKind::ALL`] order.
+    pub by_kind: Vec<(&'static str, u64)>,
+    /// Σ bytes over every `CounterSent`.
+    pub bytes_on_wire: u64,
+    /// Completed SFE query→answer round-trips.
+    pub sfe_roundtrips: u64,
+    /// Montgomery-kernel modpow latency distribution.
+    pub modpow: LatencyStats,
+}
+
+impl MetricsSnapshot {
+    /// Count for one event kind (0 if the snapshot is empty/default).
+    pub fn of(&self, kind: EventKind) -> u64 {
+        self.by_kind
+            .iter()
+            .find(|(name, _)| *name == kind.name())
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Counters mailed between resources.
+    pub fn msgs_sent(&self) -> u64 {
+        self.of(EventKind::CounterSent)
+    }
+
+    /// Whether anything at all was recorded.
+    pub fn is_zero(&self) -> bool {
+        self.by_kind.iter().all(|(_, n)| *n == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SfeKind;
+
+    #[test]
+    fn metrics_tally_by_kind_bytes_and_latency() {
+        let m = Metrics::new();
+        m.record(&Event::CounterSent { from: 0, to: 1, rule: "r".into(), bytes: 100 });
+        m.record(&Event::CounterSent { from: 1, to: 0, rule: "r".into(), bytes: 28 });
+        m.record(&Event::SfeQuery { resource: 0, kind: SfeKind::Output, rule: "r".into() });
+        m.record(&Event::SfeAnswer { resource: 0, kind: SfeKind::Output, answer: true });
+        m.record(&Event::KeyOp { op: KeyOpKind::Modpow, nanos: 1024 });
+        m.record(&Event::KeyOp { op: KeyOpKind::Modpow, nanos: 1500 });
+        m.record(&Event::KeyOp { op: KeyOpKind::Encrypt, nanos: 9 });
+
+        let snap = m.snapshot();
+        assert_eq!(snap.of(EventKind::CounterSent), 2);
+        assert_eq!(snap.msgs_sent(), 2);
+        assert_eq!(snap.bytes_on_wire, 128);
+        assert_eq!(snap.sfe_roundtrips, 1);
+        assert_eq!(snap.of(EventKind::KeyOp), 3, "all key ops counted by kind");
+        assert_eq!(snap.modpow.count, 2, "only modpow feeds the latency histogram");
+        assert_eq!(snap.modpow.total_nanos, 2524);
+        assert_eq!(snap.modpow.buckets[10], 2, "1024 and 1500 both land in bucket 10");
+        assert!(!snap.is_zero());
+    }
+
+    #[test]
+    fn default_snapshot_is_zero() {
+        let snap = MetricsSnapshot::default();
+        assert!(snap.is_zero());
+        assert_eq!(snap.of(EventKind::CounterSent), 0);
+        assert_eq!(snap.modpow.mean_nanos(), 0.0);
+    }
+
+    #[test]
+    fn zero_nanos_sample_lands_in_bucket_zero() {
+        let m = Metrics::new();
+        m.record(&Event::KeyOp { op: KeyOpKind::Modpow, nanos: 0 });
+        assert_eq!(m.snapshot().modpow.buckets[0], 1);
+    }
+}

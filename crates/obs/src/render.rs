@@ -1,0 +1,104 @@
+//! Plain-text table rendering for benches and reports.
+//!
+//! The experiment harness used to hand-roll `println!` format strings
+//! per bench; this tiny builder gives them (and any event consumer) one
+//! shared output path: collect rows, then [`Table::to_string`].
+
+use std::fmt;
+
+/// A fixed-width text table: left-aligned first column, right-aligned
+/// numeric columns, computed column widths.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; cells beyond the header count are dropped, missing
+    /// cells render empty.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.truncate(self.headers.len());
+        self.rows.push(row);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            if i == 0 {
+                write!(f, "{h:<w$}", w = widths[i])?;
+            } else {
+                write!(f, "{h:>w$}", w = widths[i])?;
+            }
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            for (i, width) in widths.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    write!(f, "{cell:<width$}")?;
+                } else {
+                    write!(f, "{cell:>width$}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["n", "msgs", "recall"]);
+        t.row(["3", "120", "1.00"]);
+        t.row(["12", "9", "0.95"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "n   msgs  recall");
+        assert_eq!(lines[1], "3    120    1.00");
+        assert_eq!(lines[2], "12     9    0.95");
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3"]);
+        let s = t.to_string();
+        assert_eq!(s.lines().count(), 3);
+        assert!(!t.is_empty());
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use gridmine_obs::{Event, KeyOpKind, SharedRecorder};
 use num_bigint::{BigInt, BigUint, MontgomeryCtx, RandBigInt, Sign};
 use num_traits::One;
 use rand::SeedableRng;
@@ -53,6 +54,24 @@ impl MontCache {
             p2: crt.and_then(|c| MontgomeryCtx::new(&c.p2)),
             q2: crt.and_then(|c| MontgomeryCtx::new(&c.q2)),
         }
+    }
+}
+
+/// The handle's observability sink. `Arc<dyn Recorder>` is neither
+/// `Debug` nor comparable, so it lives behind this newtype to keep
+/// `PaillierCtx`'s derives.
+#[derive(Clone)]
+struct RecorderHandle(SharedRecorder);
+
+impl std::fmt::Debug for RecorderHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RecorderHandle(enabled: {})", self.0.enabled())
+    }
+}
+
+impl Default for RecorderHandle {
+    fn default() -> Self {
+        RecorderHandle(gridmine_obs::null())
     }
 }
 
@@ -114,6 +133,9 @@ pub struct PaillierCtx {
     /// batches so `encrypt_residue` / `rerandomize` are a single modular
     /// multiply on the hot path. Shared across clones (like the RNG).
     noise: Arc<Mutex<NoisePool>>,
+    /// Observability sink for `Event::KeyOp` timings; `NullRecorder` by
+    /// default, in which case the timing instrumentation is skipped.
+    rec: RecorderHandle,
 }
 
 impl PaillierCtx {
@@ -125,15 +147,30 @@ impl PaillierCtx {
             rng: Arc::new(Mutex::new(ChaCha12Rng::seed_from_u64(seed))),
             mont: Arc::new(mont),
             noise: Arc::new(Mutex::new(NoisePool::default())),
+            rec: RecorderHandle::default(),
         }
+    }
+
+    /// Run `f` under a `KeyOp` timing when a recorder is attached; with
+    /// the default `NullRecorder` this is one branch, no clock read.
+    #[inline]
+    fn timed<T>(&self, op: KeyOpKind, f: impl FnOnce() -> T) -> T {
+        if !self.rec.0.enabled() {
+            return f();
+        }
+        let start = std::time::Instant::now();
+        let out = f();
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.rec.0.record(&Event::KeyOp { op, nanos });
+        out
     }
 
     /// `base^exp mod n²` through the cached Montgomery context.
     fn powmod_n2(&self, base: &BigUint, exp: &BigUint) -> BigUint {
-        match &self.mont.n2 {
+        self.timed(KeyOpKind::Modpow, || match &self.mont.n2 {
             Some(ctx) => ctx.modpow(base, exp),
             None => base.modpow(exp, &self.pk.n2),
-        }
+        })
     }
 
     /// Pops a precomputed noise factor `rⁿ mod n²`, refilling the shared
@@ -220,17 +257,19 @@ impl PaillierCtx {
     /// want out-of-range inputs rejected use
     /// [`PaillierCtx::try_encrypt_residue`].
     pub fn encrypt_residue(&self, m: &BigUint) -> Ciphertext {
-        let reduced;
-        let m = if m < &self.pk.n {
-            m
-        } else {
-            reduced = m % &self.pk.n;
-            &reduced
-        };
-        // (1 + m·n) · rⁿ mod n²  — the g = n+1 shortcut, with the noise
-        // factor rⁿ drawn precomputed from the pool.
-        let gm = (BigUint::one() + m * &self.pk.n) % &self.pk.n2;
-        Ciphertext(gm * self.next_noise() % &self.pk.n2)
+        self.timed(KeyOpKind::Encrypt, || {
+            let reduced;
+            let m = if m < &self.pk.n {
+                m
+            } else {
+                reduced = m % &self.pk.n;
+                &reduced
+            };
+            // (1 + m·n) · rⁿ mod n²  — the g = n+1 shortcut, with the noise
+            // factor rⁿ drawn precomputed from the pool.
+            let gm = (BigUint::one() + m * &self.pk.n) % &self.pk.n2;
+            Ciphertext(gm * self.next_noise() % &self.pk.n2)
+        })
     }
 
     /// Strict variant of [`PaillierCtx::encrypt_residue`]: errors on a
@@ -249,6 +288,10 @@ impl PaillierCtx {
     /// # Panics
     /// Panics if this handle has no private key.
     pub fn decrypt_residue(&self, c: &Ciphertext) -> BigUint {
+        self.timed(KeyOpKind::Decrypt, || self.decrypt_residue_inner(c))
+    }
+
+    fn decrypt_residue_inner(&self, c: &Ciphertext) -> BigUint {
         let sk = self
             .sk
             .as_ref()
@@ -361,11 +404,18 @@ impl HomCipher for PaillierCtx {
     }
 
     fn rerandomize(&self, c: &Ciphertext) -> Ciphertext {
-        Ciphertext(&c.0 * self.next_noise() % &self.pk.n2)
+        self.timed(KeyOpKind::Rerandomize, || {
+            Ciphertext(&c.0 * self.next_noise() % &self.pk.n2)
+        })
     }
 
     fn can_decrypt(&self) -> bool {
         self.sk.is_some()
+    }
+
+    fn with_recorder(mut self, rec: SharedRecorder) -> Self {
+        self.rec = RecorderHandle(rec);
+        self
     }
 
     fn ct_bytes(c: &Ciphertext) -> usize {
@@ -511,6 +561,32 @@ mod tests {
             let c = if i % 2 == 0 { e.encrypt_i64(i) } else { e2.encrypt_i64(i) };
             assert_eq!(d.decrypt_i64(&c), i);
         }
+    }
+
+    #[test]
+    fn attached_recorder_sees_timed_key_ops() {
+        use gridmine_obs::{EventKind, MemoryRecorder};
+        let kp = small_keys();
+        let mem = MemoryRecorder::shared();
+        let e = kp.encryptor().with_recorder(mem.clone());
+        let d = kp.decryptor().with_recorder(mem.clone());
+        let c = e.encrypt_i64(5);
+        let r = e.rerandomize(&c);
+        assert_eq!(d.decrypt_i64(&r), 5);
+        let events = mem.snapshot();
+        let count = |op: KeyOpKind| {
+            events
+                .iter()
+                .filter(|ev| matches!(ev, Event::KeyOp { op: o, .. } if *o == op))
+                .count()
+        };
+        assert_eq!(count(KeyOpKind::Encrypt), 1);
+        assert_eq!(count(KeyOpKind::Rerandomize), 1);
+        assert_eq!(count(KeyOpKind::Decrypt), 1);
+        // The noise refill inside encrypt runs r^n through the Montgomery
+        // kernel, so at least one modpow timing must have been captured.
+        assert!(mem.count_of(EventKind::KeyOp) >= 4);
+        assert!(count(KeyOpKind::Modpow) >= 1);
     }
 
     #[test]

@@ -146,6 +146,15 @@ pub trait HomCipher: Clone + Send + Sync {
     /// Whether this handle can decrypt (controller-side handles only).
     fn can_decrypt(&self) -> bool;
 
+    /// Attach an observability recorder to this handle: implementations
+    /// that time their key operations (see [`PaillierCtx`]) emit
+    /// `Event::KeyOp` through it. The default is a no-op so plaintext
+    /// ciphers ([`MockCipher`]) pay nothing.
+    fn with_recorder(self, rec: gridmine_obs::SharedRecorder) -> Self {
+        let _ = rec;
+        self
+    }
+
     /// Serialized size of a ciphertext in bytes (the simulator's
     /// bandwidth model).
     fn ct_bytes(c: &Self::Ct) -> usize;

@@ -1,0 +1,60 @@
+//! CLI regression tests for the `questgen` binary: bad invocations must
+//! exit non-zero with usage on stderr (a silent success here once let a
+//! typo'd flag generate the default workload instead of failing).
+
+use std::process::Command;
+
+fn questgen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_questgen"))
+}
+
+#[test]
+fn unknown_argument_exits_nonzero_with_usage() {
+    let out = questgen().arg("--bogus-flag").output().expect("spawn questgen");
+    assert!(!out.status.success(), "unknown argument must fail, got {:?}", out.status);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument: --bogus-flag"), "stderr: {stderr}");
+    assert!(stderr.contains("usage: questgen"), "stderr must show usage: {stderr}");
+}
+
+#[test]
+fn unknown_workload_exits_nonzero_with_usage() {
+    let out = questgen()
+        .args(["--workload", "nope", "--transactions", "10"])
+        .output()
+        .expect("spawn questgen");
+    assert!(!out.status.success(), "unknown workload must fail, got {:?}", out.status);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown workload 'nope'"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_flag_value_exits_nonzero() {
+    // `--workload` with no value must not fall through to the default.
+    let out = questgen().arg("--workload").output().expect("spawn questgen");
+    assert!(!out.status.success(), "dangling flag must fail, got {:?}", out.status);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = questgen().arg("--help").output().expect("spawn questgen");
+    assert!(out.status.success(), "--help is not an error, got {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: questgen"), "stderr: {stderr}");
+}
+
+#[test]
+fn tiny_generation_round_trips_through_stdout() {
+    let out = questgen()
+        .args(["--workload", "t5i2", "--transactions", "25", "--items", "12", "--patterns", "4"])
+        .output()
+        .expect("spawn questgen");
+    assert!(out.status.success(), "valid invocation must succeed: {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let db: gridmine_arm::Database =
+        serde_json::from_str(&stdout).expect("stdout is a JSON database");
+    assert_eq!(db.len(), 25);
+}

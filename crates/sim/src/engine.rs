@@ -16,6 +16,7 @@ use gridmine_core::{
     BrokerBehavior, ChaosReport, DegradeReason, GridKeys, SecureResource, Verdict, WireMsg,
 };
 use gridmine_majority::CandidateGenerator;
+use gridmine_obs::{emit, Event, SharedRecorder};
 use gridmine_paillier::HomCipher;
 use gridmine_topology::faults::{Delivery, FaultPlan, FaultyLink, ResourceFault};
 use gridmine_topology::Overlay;
@@ -46,6 +47,8 @@ pub struct Simulation<C: HomCipher> {
     /// Where a crashed resource should re-attach on recovery (the hub its
     /// neighborhood was bridged through when it was routed around).
     crash_parent: Vec<Option<usize>>,
+    /// Structured-event sink ([`gridmine_obs::null`] unless armed).
+    rec: SharedRecorder,
     step_no: u64,
     /// Total protocol messages put on the wire.
     pub total_msgs: u64,
@@ -111,6 +114,7 @@ where
             link: None,
             edge_clock: BTreeMap::new(),
             crash_parent: vec![None; cfg.n_resources],
+            rec: gridmine_obs::null(),
             step_no: 0,
             total_msgs: 0,
             total_bytes: 0,
@@ -156,6 +160,17 @@ where
         self.resources[u].set_broker_behavior(behavior);
     }
 
+    /// Attaches a structured-event recorder: every resource (present and
+    /// future joiners) reports protocol events to it, and the engine adds
+    /// round/fault/quarantine markers. Attach before [`Simulation::run`]
+    /// for a complete log.
+    pub fn set_recorder(&mut self, rec: SharedRecorder) {
+        for r in self.resources.iter_mut() {
+            r.set_recorder(rec.clone());
+        }
+        self.rec = rec;
+    }
+
     /// Arms deterministic fault injection: every subsequent send goes
     /// through the plan's drop/duplication/jitter decisions and the
     /// crash/recover/depart schedules fire at their ticks (plan ticks =
@@ -184,7 +199,7 @@ where
         let id = self.overlay.join(parent);
         let generator = CandidateGenerator::new(self.cfg.min_freq, self.cfg.min_conf);
         let db = std::mem::take(&mut plan.initial);
-        let newcomer = SecureResource::new(
+        let mut newcomer = SecureResource::new(
             id,
             &self.keys,
             vec![parent],
@@ -194,6 +209,7 @@ where
             &self.items,
             self.cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9) ^ 0xBEEF,
         );
+        newcomer.set_recorder(self.rec.clone());
         self.resources.push(newcomer);
         self.plans.push(plan);
         self.departed.push(false);
@@ -286,8 +302,25 @@ where
                 Some(link) => link.on_send(m.from, m.to),
                 None => Delivery::clean(),
             };
+            // Mirror FaultStats exactly (same rule as the threaded driver)
+            // so event counts agree with `chaos_report`.
             if delivery.is_dropped() {
+                emit(&self.rec, || Event::MessageDropped { from: m.from as u64, to: m.to as u64 });
                 continue;
+            }
+            if delivery.copies > 1 {
+                emit(&self.rec, || Event::MessageDuplicated {
+                    from: m.from as u64,
+                    to: m.to as u64,
+                    copies: u64::from(delivery.copies),
+                });
+            }
+            if delivery.extra_delay > 0 {
+                emit(&self.rec, || Event::MessageDelayed {
+                    from: m.from as u64,
+                    to: m.to as u64,
+                    ticks: delivery.extra_delay,
+                });
             }
             let mut at = self.step_no + delay + delivery.extra_delay;
             if self.link.is_some() {
@@ -310,6 +343,10 @@ where
     /// liveness-driven isolation of self-degraded (e.g. mute-controller)
     /// resources.
     fn quarantine(&mut self, u: usize, reason: DegradeReason) {
+        emit(&self.rec, || Event::ResourceQuarantined {
+            resource: u as u64,
+            tick: self.step_no,
+        });
         let nbrs: Vec<usize> = self.overlay.neighbors(u).collect();
         self.overlay.route_around(u);
         self.departed[u] = true;
@@ -384,13 +421,20 @@ where
                 continue;
             }
             match link.plan().fault_of(u) {
-                Some(ResourceFault::Depart { .. }) => link.stats_mut().departures += 1,
-                _ => link.stats_mut().crashes += 1,
+                Some(ResourceFault::Depart { .. }) => {
+                    link.stats_mut().departures += 1;
+                    emit(&self.rec, || Event::ResourceDeparted { resource: u as u64, tick: t });
+                }
+                _ => {
+                    link.stats_mut().crashes += 1;
+                    emit(&self.rec, || Event::ResourceCrashed { resource: u as u64, tick: t });
+                }
             }
         }
         for &u in &recovered {
             if self.departed[u] {
                 link.stats_mut().recoveries += 1;
+                emit(&self.rec, || Event::ResourceRecovered { resource: u as u64, tick: t });
             }
         }
         let reasons: Vec<(usize, DegradeReason)> = started
@@ -477,6 +521,7 @@ where
     pub fn step(&mut self) {
         self.step_no += 1;
         let t = self.step_no;
+        emit(&self.rec, || Event::RoundAdvanced { tick: t });
 
         // Phase 0: scheduled faults fire before anything else this step.
         self.apply_fault_schedule();

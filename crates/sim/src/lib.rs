@@ -21,6 +21,9 @@ pub mod workload;
 
 pub use config::SimConfig;
 pub use engine::Simulation;
-pub use metrics::{GlobalMetrics, Sample};
-pub use runner::{run_convergence, run_convergence_faulty, single_itemset_steps, time_to_recall};
+pub use metrics::{GlobalMetrics, ObsSummary, Sample};
+pub use runner::{
+    run_convergence, run_convergence_faulty, run_convergence_observed, single_itemset_steps,
+    time_to_recall,
+};
 pub use workload::{significance_databases, split_growth, GrowthPlan};

@@ -1,13 +1,16 @@
 //! One-call experiment drivers, used by the benches and examples.
 
+use std::sync::Arc;
+
 use gridmine_arm::{correct_rules, Database, Item, Ratio, Rule, RuleSet};
 use gridmine_core::GridKeys;
+use gridmine_obs::{FanoutRecorder, Metrics, SharedRecorder};
 use gridmine_paillier::MockCipher;
 use gridmine_topology::faults::FaultPlan;
 
 use crate::config::SimConfig;
 use crate::engine::Simulation;
-use crate::metrics::{GlobalMetrics, Sample};
+use crate::metrics::{GlobalMetrics, ObsSummary, Sample};
 use crate::workload::{significance_databases, split_growth, GrowthPlan};
 
 /// Runs a full convergence experiment (the Figure 2 harness): partitions
@@ -21,7 +24,7 @@ pub fn run_convergence(
     sample_every: u64,
     max_steps: u64,
 ) -> GlobalMetrics {
-    convergence_inner(cfg, global, growth_fraction, sample_every, max_steps, None)
+    convergence_inner(cfg, global, growth_fraction, sample_every, max_steps, None, None)
 }
 
 /// [`run_convergence`] with deterministic fault injection armed: the
@@ -34,9 +37,25 @@ pub fn run_convergence_faulty(
     max_steps: u64,
     plan: FaultPlan,
 ) -> GlobalMetrics {
-    convergence_inner(cfg, global, growth_fraction, sample_every, max_steps, Some(plan))
+    convergence_inner(cfg, global, growth_fraction, sample_every, max_steps, Some(plan), None)
 }
 
+/// [`run_convergence_faulty`] with a structured-event recorder attached:
+/// the run's events stream to `rec` and the returned metrics carry an
+/// [`ObsSummary`] digest of the event tallies.
+pub fn run_convergence_observed(
+    cfg: SimConfig,
+    global: &Database,
+    growth_fraction: f64,
+    sample_every: u64,
+    max_steps: u64,
+    plan: Option<FaultPlan>,
+    rec: SharedRecorder,
+) -> GlobalMetrics {
+    convergence_inner(cfg, global, growth_fraction, sample_every, max_steps, plan, Some(rec))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn convergence_inner(
     cfg: SimConfig,
     global: &Database,
@@ -44,6 +63,7 @@ fn convergence_inner(
     sample_every: u64,
     max_steps: u64,
     plan: Option<FaultPlan>,
+    rec: Option<SharedRecorder>,
 ) -> GlobalMetrics {
     let keys = GridKeys::mock(cfg.seed);
     let plans = split_growth(global, cfg.n_resources, growth_fraction, cfg.seed ^ 0xF00D);
@@ -52,6 +72,15 @@ fn convergence_inner(
     if let Some(plan) = plan {
         sim.inject_faults(plan);
     }
+    // Arm a tally recorder next to the caller's sink so the run's event
+    // counts come back inside the metrics.
+    let tally = rec.as_ref().map(|user| {
+        let tally = Metrics::shared();
+        let fan: SharedRecorder =
+            Arc::new(FanoutRecorder::new(vec![user.clone(), tally.clone()]));
+        sim.set_recorder(fan);
+        tally
+    });
 
     let mut metrics = GlobalMetrics::default();
     let mut truth_cache: Option<(usize, RuleSet)> = None;
@@ -84,6 +113,12 @@ fn convergence_inner(
     }
     if sim.fault_plan().is_some() {
         metrics.chaos = Some(sim.chaos_report());
+    }
+    if let Some(tally) = tally {
+        metrics.obs = Some(ObsSummary::from(&tally.snapshot()));
+    }
+    if let Some(user) = rec {
+        user.flush();
     }
     metrics
 }

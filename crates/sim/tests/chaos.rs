@@ -6,6 +6,7 @@
 use gridmine_arm::{correct_rules, Database, Item, Ratio, Transaction};
 use gridmine_core::attack::ControllerBehavior;
 use gridmine_core::ChaosReport;
+use gridmine_obs::{EventKind, MemoryRecorder};
 use gridmine_paillier::MockCipher;
 use gridmine_sim::runner::simulation_over;
 use gridmine_sim::{SimConfig, Simulation};
@@ -84,6 +85,42 @@ fn survivors_converge_under_drops_crash_and_mute_controller() {
     let (recall, precision) = sim.global_recall_precision(&truth);
     assert!(recall > 0.99, "survivor recall {recall}");
     assert!(precision > 0.99, "survivor precision {precision}");
+}
+
+#[test]
+fn event_log_agrees_with_chaos_report() {
+    // Same scenario as `chaos_run`, with a structured-event recorder
+    // attached: the log's per-type counts must equal the report's tallies
+    // (events are emitted at the exact sites the counters increment).
+    let items = vec![Item(1), Item(2), Item(3)];
+    let mut sim = simulation_over(cfg(2), dbs(), &items);
+    let rec = MemoryRecorder::shared();
+    sim.set_recorder(rec.clone());
+    sim.inject_faults(
+        FaultPlan::new(2 ^ 0xFA57)
+            .with_default_edge(EdgeFaults::dropping(0.15))
+            .with_crash(5, 20, None),
+    );
+    sim.resource_mut(6).controller_behavior = ControllerBehavior::Mute;
+    sim.resource_mut(6).set_retry_budget(8);
+    sim.run(60);
+    sim.refresh_outputs();
+    let report = sim.chaos_report();
+
+    assert_eq!(rec.count_of(EventKind::MessageDropped) as u64, report.faults.dropped);
+    assert_eq!(rec.count_of(EventKind::MessageDuplicated) as u64, report.faults.duplicated);
+    assert_eq!(rec.count_of(EventKind::MessageDelayed) as u64, report.faults.delayed);
+    assert_eq!(rec.count_of(EventKind::ResourceCrashed) as u64, report.faults.crashes);
+    assert_eq!(rec.count_of(EventKind::ResourceRecovered) as u64, report.faults.recoveries);
+    assert_eq!(rec.count_of(EventKind::SfeRetry) as u64, report.retries);
+    assert_eq!(rec.count_of(EventKind::ResourceDegraded), report.degraded.len());
+    assert_eq!(rec.count_of(EventKind::RoundAdvanced), 60, "one marker per step");
+    assert!(
+        rec.count_of(EventKind::ResourceQuarantined) >= 2,
+        "crash and mute-controller quarantines both logged"
+    );
+    assert_eq!(rec.count_of(EventKind::VerdictIssued), 0, "weather is not malice");
+    assert!(rec.count_of(EventKind::CounterSent) > 0, "protocol traffic was logged");
 }
 
 #[test]

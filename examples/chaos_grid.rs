@@ -44,21 +44,35 @@ fn main() {
     let plan = FaultPlan::new(0xC4A05)
         .with_default_edge(EdgeFaults { drop: 0.2, duplicate: 0.1, jitter: 1 })
         .with_crash(3, 2, None);
-    let keys = GridKeys::mock(21);
     let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
-    let outcome = mine_secure_threaded_faulty(&keys, &Tree::path(6), dbs(6), cfg, plan);
+    let rec = MemoryRecorder::shared();
+    let outcome = MineSession::new(cfg)
+        .with_keys(GridKeys::<MockCipher>::mock(21))
+        .with_topology(Tree::path(6))
+        .with_databases(dbs(6))
+        .with_faults(plan)
+        .with_recorder(rec.clone())
+        .run_threaded();
 
     for (u, status) in outcome.statuses.iter().enumerate() {
         println!("  resource {u}: {status:?}");
     }
     let chaos = &outcome.chaos;
     println!(
-        "  {} dropped, {} duplicated, {} delayed, {} crash(es); {} degraded\n",
+        "  {} dropped, {} duplicated, {} delayed, {} crash(es); {} degraded",
         chaos.faults.dropped,
         chaos.faults.duplicated,
         chaos.faults.delayed,
         chaos.faults.crashes,
         chaos.degraded.len(),
+    );
+    // The structured event log mirrors the fault accounting one-to-one.
+    assert_eq!(rec.count_of(EventKind::MessageDropped) as u64, chaos.faults.dropped);
+    assert_eq!(rec.count_of(EventKind::ResourceCrashed) as u64, chaos.faults.crashes);
+    println!(
+        "  event log agrees: {} events total, {} CounterSent\n",
+        rec.len(),
+        rec.count_of(EventKind::CounterSent),
     );
     assert!(outcome.verdicts.is_empty(), "bad weather must not look malicious");
 

@@ -17,13 +17,45 @@
 //! | [`majority`] | `gridmine-majority` | Scalable-Majority + plain Majority-Rule baseline |
 //! | [`secure`] | `gridmine-core` | the paper's contribution: Algorithms 1–4, k-TTP, attacks |
 //! | [`sim`] | `gridmine-sim` | the §6 grid simulator and experiment drivers |
+//! | [`obs`] | `gridmine-obs` | structured protocol events, recorders, metrics |
 //!
 //! ## Quickstart
+//!
+//! Mining runs are driven through the [`secure::session::MineSession`]
+//! builder — pick a cipher, a topology, optionally faults and a recorder,
+//! then `run()` (synchronous) or `run_threaded()` (one thread per
+//! resource):
 //!
 //! ```
 //! use gridmine::prelude::*;
 //!
-//! // A tiny grid of 4 resources mining a shared synthetic database.
+//! // A 4-resource grid over a path, every partition {1,2}-heavy.
+//! let dbs: Vec<Database> = (0..4u64)
+//!     .map(|u| Database::from_transactions(
+//!         (0..20).map(|j| Transaction::of(u * 20 + j, &[1, 2])).collect(),
+//!     ))
+//!     .collect();
+//!
+//! let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+//! let rec = MemoryRecorder::shared();
+//! let outcome = MineSession::new(cfg)          // MockCipher by default
+//!     .with_topology(Tree::path(4))
+//!     .with_databases(dbs)
+//!     .with_recorder(rec.clone())
+//!     .run();
+//!
+//! assert!(outcome.verdicts.is_empty());
+//! assert!(outcome.solutions[0].contains(&Rule::frequency(ItemSet::of(&[1, 2]))));
+//! // The recorder saw every counter the grid mailed.
+//! assert_eq!(rec.count_of(EventKind::CounterSent) as u64, outcome.messages);
+//! assert_eq!(outcome.metrics.msgs_sent(), outcome.messages);
+//! ```
+//!
+//! Simulation-scale experiments keep their own driver:
+//!
+//! ```
+//! use gridmine::prelude::*;
+//!
 //! let params = QuestParams::t5i2().with_transactions(300).with_items(30).with_patterns(12);
 //! let global = gridmine::quest::generate(&params);
 //!
@@ -38,6 +70,7 @@
 pub use gridmine_arm as arm;
 pub use gridmine_core as secure;
 pub use gridmine_majority as majority;
+pub use gridmine_obs as obs;
 pub use gridmine_paillier as crypto;
 pub use gridmine_quest as quest;
 pub use gridmine_sim as sim;
@@ -49,17 +82,23 @@ pub mod prelude {
         correct_rules, frequent_itemsets, AprioriConfig, Database, Item, ItemSet, Ratio, Rule,
         RuleSet, Transaction,
     };
+    #[allow(deprecated)] // the shims stay importable until removal
+    pub use gridmine_core::{mine_secure, mine_secure_threaded, mine_secure_threaded_faulty};
     pub use gridmine_core::{
-        mine_secure, mine_secure_threaded, mine_secure_threaded_faulty, BrokerBehavior,
-        ChaosReport, ControllerBehavior, DegradeReason, GridKeys, KTtp, MineConfig,
-        ResourceStatus, SecureResource, Verdict, WireMsg,
+        BrokerBehavior, ChaosReport, ControllerBehavior, DegradeReason, GridKeys, KTtp,
+        MineConfig, MineSession, MiningOutcome, ResourceStatus, SecureResource, SessionCipher,
+        Verdict, WireMsg,
     };
     pub use gridmine_majority::{CandidateGenerator, MajorityNode, VotePair};
+    pub use gridmine_obs::{
+        Event, EventKind, FanoutRecorder, JsonlRecorder, MemoryRecorder, Metrics,
+        MetricsSnapshot, NullRecorder, Recorder, SharedRecorder,
+    };
     pub use gridmine_paillier::{HomCipher, Keypair, MockCipher, PaillierCtx};
     pub use gridmine_quest::QuestParams;
     pub use gridmine_sim::{
-        run_convergence, run_convergence_faulty, single_itemset_steps, time_to_recall,
-        SimConfig, Simulation,
+        run_convergence, run_convergence_faulty, run_convergence_observed,
+        single_itemset_steps, time_to_recall, ObsSummary, SimConfig, Simulation,
     };
     pub use gridmine_topology::faults::{EdgeFaults, FaultPlan, FaultStats, ResourceFault};
     pub use gridmine_topology::{DelayModel, Overlay, Tree};

@@ -273,6 +273,96 @@ fn dynamic_growth_tracks_exactly_under_relaxed_gate() {
     }
 }
 
+/// Identical-distribution partitions for the observability tests:
+/// deterministic ruleset, no data-dependent surprises.
+fn uniform_dbs(n: u64) -> Vec<Database> {
+    (0..n)
+        .map(|u| {
+            Database::from_transactions(
+                (0..20)
+                    .map(|j| {
+                        let id = u * 20 + j;
+                        if j % 4 == 0 {
+                            Transaction::of(id, &[3])
+                        } else {
+                            Transaction::of(id, &[1, 2])
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn memory_recorder_counts_match_the_session_outcome() {
+    let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    let rec = MemoryRecorder::shared();
+    let outcome = MineSession::new(cfg)
+        .with_topology(Tree::path(5))
+        .with_databases(uniform_dbs(5))
+        .with_recorder(rec.clone())
+        .run();
+
+    assert!(outcome.verdicts.is_empty());
+    // Events are emitted at the exact sites the outcome's tallies
+    // increment, so the log is an audit trail of the counters.
+    assert_eq!(rec.count_of(EventKind::CounterSent) as u64, outcome.messages);
+    assert_eq!(rec.count_of(EventKind::RoundAdvanced), cfg.rounds, "one marker per round");
+    assert_eq!(rec.count_of(EventKind::VerdictIssued), 0, "honest run has no verdicts");
+    assert_eq!(
+        rec.count_of(EventKind::SfeQuery),
+        rec.count_of(EventKind::SfeAnswer),
+        "every SFE round-trip completes"
+    );
+    assert!(rec.count_of(EventKind::OutputDecision) > 0, "decisions were logged");
+
+    // The armed metrics registry shadowed the same stream.
+    assert_eq!(outcome.metrics.msgs_sent(), outcome.messages);
+    assert_eq!(outcome.metrics.of(EventKind::SfeAnswer), rec.count_of(EventKind::SfeAnswer) as u64);
+    assert!(outcome.metrics.bytes_on_wire > 0, "wire volume was accounted");
+}
+
+#[test]
+fn jsonl_trace_of_a_faulty_threaded_run_parses_and_matches_the_report() {
+    // Written to a predictable path so CI can archive the trace artifact.
+    let path = std::path::Path::new("target/gridmine-obs/chaos_trace.jsonl");
+    let rec: SharedRecorder =
+        std::sync::Arc::new(JsonlRecorder::create(path).expect("create trace file"));
+
+    let mut cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    cfg.rounds = 8;
+    let plan = FaultPlan::new(0xD1CE)
+        .with_default_edge(EdgeFaults { drop: 0.2, duplicate: 0.1, jitter: 1 })
+        .with_crash(4, 2, Some(5));
+    let outcome = MineSession::new(cfg)
+        .with_topology(Tree::path(6))
+        .with_databases(uniform_dbs(6))
+        .with_faults(plan)
+        .with_recorder(rec)
+        .run_threaded();
+
+    // Every line of the trace must parse back into a typed event.
+    let text = std::fs::read_to_string(path).expect("trace file written");
+    let events: Vec<Event> = text
+        .lines()
+        .map(|l| Event::from_json(l).unwrap_or_else(|| panic!("unparseable trace line: {l}")))
+        .collect();
+    assert!(!events.is_empty(), "trace must not be empty");
+    let count = |k: EventKind| events.iter().filter(|e| e.kind() == k).count() as u64;
+
+    // Per-type counts equal the outcome's own accounting.
+    assert_eq!(count(EventKind::CounterSent), outcome.messages);
+    assert_eq!(count(EventKind::MessageDropped), outcome.chaos.faults.dropped);
+    assert_eq!(count(EventKind::MessageDuplicated), outcome.chaos.faults.duplicated);
+    assert_eq!(count(EventKind::MessageDelayed), outcome.chaos.faults.delayed);
+    assert_eq!(count(EventKind::ResourceCrashed), outcome.chaos.faults.crashes);
+    assert_eq!(count(EventKind::ResourceRecovered), outcome.chaos.faults.recoveries);
+    assert_eq!(count(EventKind::RoundAdvanced), cfg.rounds as u64);
+    assert_eq!(count(EventKind::CounterSent), outcome.metrics.of(EventKind::CounterSent));
+    assert!(count(EventKind::MessageDropped) > 0, "the fault plan actually fired");
+}
+
 #[test]
 fn dynamic_growth_under_literal_gate_freezes_but_stays_close() {
     // Paper-literal gate: disclosures need k new *resources*, so decisions
