@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use gridmine_arm::{CandidateRule, Database, Transaction};
 use gridmine_paillier::HomCipher;
+use gridmine_recovery::RuleRecord;
 
 use crate::counter::{CounterLayout, SecureCounter};
 use crate::keyring::TagKeyring;
@@ -198,6 +199,69 @@ impl<C: HomCipher> Accountant<C> {
     /// Transactions not yet scanned for `rule`.
     pub fn backlog(&self, rule: &CandidateRule) -> usize {
         self.rules.get(rule).map_or(self.db.len(), |st| self.db.len() - st.frontier)
+    }
+
+    /// Transactions not yet scanned, summed over every registered rule
+    /// (a recovered resource is "caught up" when this reaches zero).
+    pub fn total_backlog(&self) -> usize {
+        self.rules.values().map(|st| self.db.len() - st.frontier).sum()
+    }
+
+    /// The restorable scan record for `rule`, when registered (the
+    /// journal's `ScanAdvanced` payload).
+    pub fn scan_record(&self, rule: &CandidateRule) -> Option<RuleRecord> {
+        self.rules.get(rule).map(|st| RuleRecord {
+            rule: rule.clone(),
+            frontier: st.frontier as u64,
+            sum: st.sum,
+            count: st.count,
+            clock: st.clock,
+            last_sum: st.last_sum,
+            output: None,
+        })
+    }
+
+    /// Every rule's scan record, in deterministic (display) order — the
+    /// checkpoint snapshot body.
+    pub fn scan_snapshot(&self) -> Vec<RuleRecord> {
+        let mut out: Vec<RuleRecord> = self
+            .rules
+            .keys()
+            .map(|rule| self.scan_record(rule).expect("iterating registered rules"))
+            .collect();
+        out.sort_by_cached_key(|r| r.rule.to_string());
+        out
+    }
+
+    /// Restores one rule's scan state from a *validated* recovery record
+    /// (callers run [`RuleRecord::is_wellformed`] first; this clamps the
+    /// frontier defensively anyway).
+    pub fn restore_scan(&mut self, rec: &RuleRecord) {
+        self.rules.insert(
+            rec.rule.clone(),
+            ScanState {
+                frontier: (rec.frontier as usize).min(self.db.len()),
+                sum: rec.sum,
+                count: rec.count,
+                clock: rec.clock,
+                last_sum: rec.last_sum,
+            },
+        );
+    }
+
+    /// Crash semantics: the in-memory scan state is lost. The database
+    /// partition and the accounting shares are durable (the partition is
+    /// the grid's data, not mining state; shares are re-distributed only
+    /// on membership changes).
+    pub fn wipe_scans(&mut self) {
+        self.rules.clear();
+    }
+
+    /// Re-audits the accounting shares (§5.2 invariant: own share plus
+    /// all distributed shares reduce to 1). Restored state that violates
+    /// this is forged.
+    pub fn audit_shares(&self) -> bool {
+        self.shares.sums_to_one()
     }
 
     /// Answers the broker's support request: the current sealed local

@@ -25,6 +25,9 @@ pub enum DegradeReason {
     MuteController,
     /// Its channel disconnected mid-run (threaded driver).
     Disconnected,
+    /// Its checkpoint restore overran the `RetryPolicy` deadline and the
+    /// recovery watchdog degraded it (threaded driver).
+    RecoveryStalled,
 }
 
 /// Terminal state of one resource after a run.
@@ -64,6 +67,18 @@ pub struct ChaosReport {
     /// earliest possible fault and the end of the run — the window during
     /// which convergence was exposed to faults. 0 on fault-free runs.
     pub convergence_delay: u64,
+    /// Anti-entropy / recovery re-sends of already-published aggregates
+    /// (a subset of the run's total messages, counted separately so
+    /// recovery-cost measurements are honest).
+    pub resends: u64,
+    /// Checkpoints taken (snapshot + journal truncation), all resources.
+    pub checkpoints: u64,
+    /// Successful journal replays (restores), all resources.
+    pub replays: u64,
+    /// Restores refused (forged/truncated journal, failed screens).
+    pub rejected: u64,
+    /// Bounded-retry budgets that ran dry (one per degraded operation).
+    pub exhausted: u64,
 }
 
 impl ChaosReport {
@@ -97,6 +112,11 @@ mod tests {
             retries: 8,
             degraded: vec![1, 4],
             convergence_delay: 17,
+            resends: 6,
+            checkpoints: 4,
+            replays: 1,
+            rejected: 1,
+            exhausted: 1,
         };
         let s = serde_json::to_string(&r).unwrap();
         assert_eq!(serde_json::from_str::<ChaosReport>(&s).unwrap(), r);

@@ -57,9 +57,10 @@ pub use kttp::KTtp;
 pub use miner::mine_secure;
 pub use miner::{MineConfig, MiningOutcome};
 pub use packed::PackedCounter;
+pub use gridmine_recovery::{RecoveryMode, RecoveryPolicy, RetryPolicy};
 pub use resource::{SecureResource, WireMsg};
-pub use session::{MineSession, SessionCipher};
+pub use session::{MineSession, SessionCipher, SessionError};
 pub use sfe::{GateMode, KGate};
 #[allow(deprecated)]
 pub use threaded::{mine_secure_threaded, mine_secure_threaded_faulty};
-pub use threaded::{run_threaded, run_threaded_with};
+pub use threaded::{run_threaded, run_threaded_full, run_threaded_with};

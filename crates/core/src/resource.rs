@@ -15,6 +15,9 @@ use gridmine_arm::{CandidateRule, Database, Item, Rule, RuleSet};
 use gridmine_majority::CandidateGenerator;
 use gridmine_obs::{emit, Event, SharedRecorder};
 use gridmine_paillier::HomCipher;
+use gridmine_recovery::{
+    JournalEntry, RecoveryImage, RecoveryLog, ResourceState, RetryPolicy,
+};
 
 use crate::accountant::Accountant;
 use crate::attack::{BrokerBehavior, ControllerBehavior};
@@ -52,14 +55,33 @@ pub struct SecureResource<C: HomCipher> {
     retry_budget: u64,
     /// Controller deviation (validity experiments).
     pub controller_behavior: ControllerBehavior,
+    /// Checkpoint + journal, when recovery is armed (write-ahead state:
+    /// survives [`SecureResource::crash_wipe`]).
+    rec_log: Option<RecoveryLog>,
+    /// Attack injection: forge the journal so the next restore must be
+    /// rejected (the recovery analogue of [`BrokerBehavior`]).
+    tamper_journal: bool,
+    /// True while [`SecureResource::nudge`] re-sends current aggregates
+    /// (tags outgoing `CounterSent` events as resends).
+    resending: bool,
+    /// Anti-entropy / recovery re-sends this resource has mailed.
+    resends_sent: u64,
+    /// Checkpoints taken / journals replayed / restores rejected.
+    checkpoints_taken: u64,
+    journal_replays: u64,
+    recoveries_rejected: u64,
+    /// Whether the SFE retry budget ran dry (at most once; the resource
+    /// degrades when it happens).
+    retry_exhausted: bool,
     /// Observability sink (`NullRecorder` by default).
     rec: SharedRecorder,
 }
 
 /// Default SFE retry budget before a mute controller degrades its
-/// resource. Generous enough that transient hiccups recover, small
-/// enough that a dead controller stalls only its own resource briefly.
-pub const DEFAULT_RETRY_BUDGET: u64 = 16;
+/// resource: [`RetryPolicy::DEFAULT`]'s per-operation budget. Generous
+/// enough that transient hiccups recover, small enough that a dead
+/// controller stalls only its own resource briefly.
+pub const DEFAULT_RETRY_BUDGET: u64 = RetryPolicy::DEFAULT.budget;
 
 impl<C: HomCipher> SecureResource<C> {
     /// Builds a resource with its initial per-item candidates
@@ -93,6 +115,14 @@ impl<C: HomCipher> SecureResource<C> {
             retries_spent: 0,
             retry_budget: DEFAULT_RETRY_BUDGET,
             controller_behavior: ControllerBehavior::Honest,
+            rec_log: None,
+            tamper_journal: false,
+            resending: false,
+            resends_sent: 0,
+            checkpoints_taken: 0,
+            journal_replays: 0,
+            recoveries_rejected: 0,
+            retry_exhausted: false,
             rec: gridmine_obs::null(),
         };
         for cand in generator.initial(items) {
@@ -195,6 +225,11 @@ impl<C: HomCipher> SecureResource<C> {
         self.retry_budget = budget.max(1);
     }
 
+    /// Adopts a [`RetryPolicy`]'s per-operation budget.
+    pub fn set_retry_policy(&mut self, policy: &RetryPolicy) {
+        self.set_retry_budget(policy.budget);
+    }
+
     /// True while this resource participates in the protocol.
     fn is_live(&self) -> bool {
         self.halted.is_none() && self.degraded.is_none()
@@ -210,6 +245,11 @@ impl<C: HomCipher> SecureResource<C> {
             spent: self.retries_spent,
         });
         if self.retries_spent >= self.retry_budget {
+            self.retry_exhausted = true;
+            emit(&self.rec, || Event::RetryExhausted {
+                resource: self.id as u64,
+                spent: self.retries_spent,
+            });
             self.mark_degraded(DegradeReason::MuteController);
             return false;
         }
@@ -292,12 +332,17 @@ impl<C: HomCipher> SecureResource<C> {
         }
         let rules: Vec<CandidateRule> = self.output_cache.keys().cloned().collect();
         let mut out = Vec::new();
+        // Everything a nudge mails is a re-send of an already-published
+        // aggregate (anti-entropy / recovery traffic), accounted apart
+        // from first-time protocol messages.
+        self.resending = true;
         for cand in rules {
             out.extend(self.on_change(&cand));
             if !self.is_live() {
                 break;
             }
         }
+        self.resending = false;
         out
     }
 
@@ -320,6 +365,14 @@ impl<C: HomCipher> SecureResource<C> {
             .collect();
         self.broker.init_rule(cand, local, placeholders);
         self.output_cache.insert(cand.clone(), false);
+        self.journal(JournalEntry::RuleRegistered { rule: cand.clone() });
+    }
+
+    /// Appends a state delta to the recovery journal, when armed.
+    fn journal(&mut self, entry: JournalEntry) {
+        if let Some(log) = self.rec_log.as_mut() {
+            log.append(entry);
+        }
     }
 
     /// Evaluates the send condition toward every neighbor for one rule
@@ -352,11 +405,16 @@ impl<C: HomCipher> SecureResource<C> {
             match self.ctl.send_query(cand, v, &receiver_layout, &full, &minus, &recv, &share) {
                 Ok(Some(counter)) => {
                     self.broker.msgs_sent += 1;
+                    if self.resending {
+                        self.resends_sent += 1;
+                    }
+                    let resend = self.resending;
                     emit(&self.rec, || Event::CounterSent {
                         from: self.id as u64,
                         to: v as u64,
                         rule: cand.to_string(),
                         bytes: counter.wire_bytes() as u64,
+                        resend,
                     });
                     out.push(BrokerMsg { from: self.id, to: v, cand: cand.clone(), counter });
                 }
@@ -384,6 +442,18 @@ impl<C: HomCipher> SecureResource<C> {
                 for counter in self.acc.respond(&cand) {
                     self.broker.set_local(&cand, counter);
                     out.extend(self.on_change(&cand));
+                }
+                if self.rec_log.is_some() {
+                    if let Some(r) = self.acc.scan_record(&cand) {
+                        self.journal(JournalEntry::ScanAdvanced {
+                            rule: r.rule,
+                            frontier: r.frontier,
+                            sum: r.sum,
+                            count: r.count,
+                            clock: r.clock,
+                            last_sum: r.last_sum,
+                        });
+                    }
                 }
             }
             if !self.is_live() {
@@ -466,6 +536,7 @@ impl<C: HomCipher> SecureResource<C> {
                     } else {
                         answer
                     };
+                    self.journal(JournalEntry::OutputCached { rule: cand.clone(), answer });
                     self.output_cache.insert(cand, answer);
                 }
                 Err(verdict) => {
@@ -518,6 +589,212 @@ impl<C: HomCipher> SecureResource<C> {
             }
         }
         out
+    }
+
+    // ---- checkpoint / journal recovery -------------------------------
+
+    /// Arms checkpoint recovery: takes a baseline snapshot of the current
+    /// mining state and starts journalling every state delta. Until armed,
+    /// the resource behaves exactly as before (cold-restart world).
+    pub fn arm_recovery(&mut self) {
+        let state = self.current_state();
+        self.rec_log = Some(RecoveryLog::baseline(state));
+    }
+
+    /// True once [`SecureResource::arm_recovery`] has run.
+    pub fn recovery_armed(&self) -> bool {
+        self.rec_log.is_some()
+    }
+
+    /// The volatile mining state a crash would lose: every candidate's
+    /// scan position plus its cached `Output()` answer.
+    fn current_state(&self) -> ResourceState {
+        let mut records = self.acc.scan_snapshot();
+        for r in &mut records {
+            r.output = self.output_cache.get(&r.rule).copied();
+        }
+        ResourceState { resource: self.id as u64, records }
+    }
+
+    /// Takes a checkpoint: collapses the journal into a fresh snapshot
+    /// (bounding replay length). No-op until recovery is armed.
+    pub fn take_checkpoint(&mut self, tick: u64) {
+        if self.rec_log.is_none() {
+            return;
+        }
+        let state = self.current_state();
+        if let Some(log) = self.rec_log.as_mut() {
+            log.rebaseline(state);
+        }
+        self.checkpoints_taken += 1;
+        emit(&self.rec, || Event::CheckpointTaken { resource: self.id as u64, tick });
+    }
+
+    /// Simulates the volatile-state loss of a crash: scan positions,
+    /// voting instances and output caches are gone; the keyring, the
+    /// controller's audit state (durable by construction — losing k-gates
+    /// would be a privacy hole) and the write-ahead recovery log survive.
+    pub fn crash_wipe(&mut self) {
+        if self.tamper_journal {
+            // The adversary forges the "persisted" journal while the
+            // resource is down; the restore screens must catch it.
+            if let Some(log) = self.rec_log.as_mut() {
+                log.corrupt();
+            }
+            self.tamper_journal = false;
+        }
+        self.acc.wipe_scans();
+        self.broker.rewire(self.layout.clone());
+        self.output_cache.clear();
+    }
+
+    /// Cold-restart hygiene: resets the controller's per-edge audit
+    /// traces (keeping k-gates and the Lamport clock) so the post-restart
+    /// aggregates — which restart from placeholders — are not mistaken
+    /// for a neighbor's timestamp regression.
+    pub fn recover_reset(&mut self) {
+        self.ctl.set_layout(self.layout.clone());
+    }
+
+    /// Restores mining state from the recovery log: verifies the digest
+    /// chain, screens every restored record exactly like a wire message
+    /// (the journal is untrusted input), re-audits the accounting shares,
+    /// then replays. On any failure the resource blames itself with
+    /// [`Verdict::MaliciousResource`] and stays out of the protocol — a
+    /// forged journal degrades one resource, it never panics the grid.
+    ///
+    /// Returns `true` on a successful restore.
+    pub fn restore_from_log(&mut self) -> bool {
+        let Some(log) = self.rec_log.take() else {
+            return false;
+        };
+        let entries = log.len() as u64;
+        let state = match log.replay() {
+            Ok(s) => s,
+            Err(e) => {
+                self.rec_log = Some(log);
+                return self.reject_recovery(e.to_string());
+            }
+        };
+        if state.resource != self.id as u64 {
+            self.rec_log = Some(log);
+            return self.reject_recovery(format!(
+                "journal belongs to resource {}, not {}",
+                state.resource, self.id
+            ));
+        }
+        let db_len = self.acc.db_len() as u64;
+        if let Some(bad) = state.records.iter().find(|r| !r.is_wellformed(db_len)) {
+            self.rec_log = Some(log);
+            return self.reject_recovery(format!("malformed restored record for {}", bad.rule));
+        }
+        if !self.acc.audit_shares() {
+            self.rec_log = Some(log);
+            return self.reject_recovery("accounting shares no longer sum to one".into());
+        }
+        // Screens passed: apply. Same wiring as `rewire`, but scan state
+        // comes from the journal instead of starting at the epoch.
+        for r in &state.records {
+            self.acc.register_rule(&r.rule);
+            self.acc.restore_scan(r);
+            let local = self
+                .acc
+                .respond(&r.rule)
+                .pop()
+                .expect("accountant responds with at least one counter");
+            if !self.broker.counter_is_wellformed(&local) {
+                self.acc.wipe_scans();
+                self.output_cache.clear();
+                self.rec_log = Some(log);
+                return self.reject_recovery(format!("restored counter for {} is corrupt", r.rule));
+            }
+            let placeholders = self
+                .layout
+                .neighbors
+                .iter()
+                .map(|&v| (v, self.acc.placeholder_for(v)))
+                .collect();
+            self.broker.init_rule(&r.rule, local, placeholders);
+            self.output_cache.insert(r.rule.clone(), r.output.unwrap_or(false));
+        }
+        self.recover_reset();
+        // Re-baseline on the restored state: the replayed journal has
+        // done its job and replay length stays bounded.
+        let mut log = log;
+        log.rebaseline(self.current_state());
+        self.rec_log = Some(log);
+        self.journal_replays += 1;
+        emit(&self.rec, || Event::JournalReplayed { resource: self.id as u64, entries });
+        true
+    }
+
+    /// Serializes the recovery log for external persistence (the threaded
+    /// driver round-trips it through bytes, as a file-backed store would).
+    pub fn encode_recovery_image(&self) -> Option<Vec<u8>> {
+        let log = self.rec_log.as_ref()?;
+        Some(RecoveryImage { resource: self.id as u64, log: log.clone() }.to_bytes())
+    }
+
+    /// Restores from a serialized [`RecoveryImage`]. Decode failures and
+    /// mismatched ownership take the same rejection path as a forged
+    /// journal — bytes from disk are as untrusted as bytes off the wire.
+    pub fn restore_from_image(&mut self, bytes: &[u8]) -> bool {
+        let image = match RecoveryImage::from_bytes(bytes) {
+            Ok(i) => i,
+            Err(e) => return self.reject_recovery(format!("undecodable recovery image: {e}")),
+        };
+        if image.resource != self.id as u64 {
+            return self.reject_recovery(format!(
+                "recovery image belongs to resource {}, not {}",
+                image.resource, self.id
+            ));
+        }
+        self.rec_log = Some(image.log);
+        self.restore_from_log()
+    }
+
+    /// Attack injection: forge the journal during the next crash so the
+    /// restore screens must reject it.
+    pub fn corrupt_recovery_journal(&mut self) {
+        self.tamper_journal = true;
+    }
+
+    /// Common rejection path for untrusted recovery state.
+    fn reject_recovery(&mut self, reason: String) -> bool {
+        self.recoveries_rejected += 1;
+        emit(&self.rec, || Event::RecoveryRejected {
+            resource: self.id as u64,
+            reason: reason.clone(),
+        });
+        let verdict = Verdict::MaliciousResource(self.id);
+        self.halted = Some(verdict);
+        emit(&self.rec, || verdict.to_event(self.id));
+        false
+    }
+
+    /// Anti-entropy / recovery re-sends mailed (subset of `msgs_sent`).
+    pub fn resends_sent(&self) -> u64 {
+        self.resends_sent
+    }
+
+    /// Checkpoints taken since recovery was armed.
+    pub fn recovery_checkpoints(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
+    /// Successful journal replays.
+    pub fn recovery_replays(&self) -> u64 {
+        self.journal_replays
+    }
+
+    /// Restores refused by the untrusted-input screens.
+    pub fn recovery_rejected(&self) -> u64 {
+        self.recoveries_rejected
+    }
+
+    /// True if the SFE retry budget ever ran dry.
+    pub fn retry_exhausted(&self) -> bool {
+        self.retry_exhausted
     }
 }
 

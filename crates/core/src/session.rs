@@ -28,12 +28,14 @@
 //! lands in [`MiningOutcome::metrics`].
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::Arc;
 
 use gridmine_arm::{Database, Item};
 use gridmine_majority::CandidateGenerator;
 use gridmine_obs::{emit, Event, FanoutRecorder, Metrics, SharedRecorder};
 use gridmine_paillier::{HomCipher, MockCipher, PaillierCtx};
+use gridmine_recovery::RecoveryMode;
 use gridmine_topology::faults::FaultPlan;
 use gridmine_topology::Tree;
 
@@ -41,7 +43,81 @@ use crate::chaos::{ChaosReport, ResourceStatus};
 use crate::keyring::GridKeys;
 use crate::miner::{MineConfig, MiningOutcome};
 use crate::resource::{wire_grid, SecureResource, WireMsg};
-use crate::threaded::run_threaded_with;
+use crate::threaded::run_threaded_full;
+
+/// Why a [`MineSession`] refused to run. The `try_run*` entry points
+/// return it; the panicking `run*` shims format it into their panic
+/// message (preserving the legacy texts).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// No databases were supplied.
+    NoDatabases,
+    /// The database count does not match the topology's node count.
+    TopologyMismatch {
+        /// Databases supplied.
+        databases: usize,
+        /// Nodes in the communication tree.
+        nodes: usize,
+    },
+    /// The fault plan schedules an outage for a resource id the grid
+    /// does not have.
+    FaultResourceOutOfRange {
+        /// The out-of-range resource id.
+        resource: usize,
+        /// Resources actually in the grid.
+        capacity: usize,
+    },
+    /// The fault plan schedules an outage at a tick the run never
+    /// reaches — the fault could silently not fire, so it is refused.
+    FaultTickOutOfRange {
+        /// The resource whose fault is mis-scheduled.
+        resource: usize,
+        /// The scheduled onset tick.
+        tick: u64,
+        /// Rounds the session will run.
+        rounds: usize,
+    },
+    /// A per-link fault override names an endpoint outside the grid.
+    FaultEdgeOutOfRange {
+        /// The offending (normalized) edge.
+        edge: (usize, usize),
+        /// Resources actually in the grid.
+        capacity: usize,
+    },
+    /// A non-quiet fault plan was armed on the synchronous driver.
+    FaultsRequireThreadedDriver,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::NoDatabases => write!(f, "a session needs at least one database"),
+            SessionError::TopologyMismatch { databases, nodes } => write!(
+                f,
+                "one database per tree node: got {databases} databases for {nodes} nodes"
+            ),
+            SessionError::FaultResourceOutOfRange { resource, capacity } => write!(
+                f,
+                "fault plan targets resource {resource}, but the grid has {capacity} resources"
+            ),
+            SessionError::FaultTickOutOfRange { resource, tick, rounds } => write!(
+                f,
+                "fault on resource {resource} is scheduled at tick {tick}, but the run lasts \
+                 only {rounds} rounds"
+            ),
+            SessionError::FaultEdgeOutOfRange { edge: (u, v), capacity } => write!(
+                f,
+                "fault plan overrides edge {u}\u{2013}{v}, outside the grid's {capacity} resources"
+            ),
+            SessionError::FaultsRequireThreadedDriver => write!(
+                f,
+                "the synchronous driver injects no faults; use run_threaded() for fault plans"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
 
 /// Default Paillier modulus size (bits) when a session selects the real
 /// cipher without supplying key material.
@@ -75,6 +151,7 @@ pub struct MineSession<C: HomCipher + 'static> {
     dbs: Vec<Database>,
     plan: FaultPlan,
     rec: SharedRecorder,
+    mode: RecoveryMode,
 }
 
 impl MineSession<MockCipher> {
@@ -95,6 +172,7 @@ impl<C: HomCipher + 'static> MineSession<C> {
             dbs: Vec::new(),
             plan: FaultPlan::none(),
             rec: gridmine_obs::null(),
+            mode: RecoveryMode::Disabled,
         }
     }
 
@@ -110,6 +188,7 @@ impl<C: HomCipher + 'static> MineSession<C> {
             dbs: self.dbs,
             plan: self.plan,
             rec: self.rec,
+            mode: self.mode,
         }
     }
 
@@ -122,6 +201,7 @@ impl<C: HomCipher + 'static> MineSession<C> {
             dbs: self.dbs,
             plan: self.plan,
             rec: self.rec,
+            mode: self.mode,
         }
     }
 
@@ -150,6 +230,52 @@ impl<C: HomCipher + 'static> MineSession<C> {
     pub fn with_recorder(mut self, rec: SharedRecorder) -> Self {
         self.rec = rec;
         self
+    }
+
+    /// Selects how [`MineSession::run_threaded`] treats a scheduled
+    /// crash-and-recover: keep state (legacy default), wipe it and rejoin
+    /// cold, or wipe it and restore from a validated checkpoint + journal
+    /// (see [`RecoveryMode`]).
+    pub fn with_recovery(mut self, mode: RecoveryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Build-time sanity screen: topology/database agreement plus every
+    /// fault-plan entry in range. Run by the `try_run*` entry points
+    /// before any thread is spawned or key material is touched.
+    fn validate(&self, threaded: bool) -> Result<(), SessionError> {
+        if self.dbs.is_empty() {
+            return Err(SessionError::NoDatabases);
+        }
+        let capacity = self.tree.as_ref().map_or(self.dbs.len(), Tree::capacity);
+        if self.dbs.len() != capacity {
+            return Err(SessionError::TopologyMismatch {
+                databases: self.dbs.len(),
+                nodes: capacity,
+            });
+        }
+        if !threaded && !self.plan.is_quiet() {
+            return Err(SessionError::FaultsRequireThreadedDriver);
+        }
+        for (u, fault) in self.plan.resource_faults() {
+            if u >= capacity {
+                return Err(SessionError::FaultResourceOutOfRange { resource: u, capacity });
+            }
+            if fault.onset() >= self.cfg.rounds as u64 {
+                return Err(SessionError::FaultTickOutOfRange {
+                    resource: u,
+                    tick: fault.onset(),
+                    rounds: self.cfg.rounds,
+                });
+            }
+        }
+        for ((u, v), _) in self.plan.edge_overrides() {
+            if u >= capacity || v >= capacity {
+                return Err(SessionError::FaultEdgeOutOfRange { edge: (u, v), capacity });
+            }
+        }
+        Ok(())
     }
 
     /// The effective recorder for the run plus the metrics registry that
@@ -213,12 +339,16 @@ impl<C: HomCipher + 'static> MineSession<C> {
     /// # Panics
     /// Panics if a non-quiet fault plan is armed (the synchronous driver
     /// has no fault model — use [`MineSession::run_threaded`]) or if the
-    /// database count mismatches the topology.
+    /// session fails validation ([`MineSession::try_run`] returns these
+    /// as [`SessionError`] instead).
     pub fn run(self) -> MiningOutcome {
-        assert!(
-            self.plan.is_quiet(),
-            "the synchronous driver injects no faults; use run_threaded() for fault plans"
-        );
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`MineSession::run`] with build-time validation as a typed error
+    /// instead of a panic.
+    pub fn try_run(self) -> Result<MiningOutcome, SessionError> {
+        self.validate(false)?;
         let (rec, metrics) = self.arm_recorder();
         let mut resources = self.build(&rec);
         let cfg = self.cfg;
@@ -283,25 +413,36 @@ impl<C: HomCipher + 'static> MineSession<C> {
             metrics: metrics.map(|m| m.snapshot()).unwrap_or_default(),
         };
         rec.flush();
-        outcome
+        Ok(outcome)
     }
 
     /// Runs the threaded driver — one OS thread per resource, channel
-    /// links, and the armed fault plan injected (plan ticks = protocol
-    /// rounds). Equivalent to the deprecated `mine_secure_threaded` /
+    /// links, the armed fault plan injected (plan ticks = protocol
+    /// rounds) and the armed [`RecoveryMode`] governing crash-recovery.
+    /// Equivalent to the deprecated `mine_secure_threaded` /
     /// `mine_secure_threaded_faulty`.
     ///
     /// # Panics
-    /// Panics if the database count mismatches the topology.
+    /// Panics if the session fails validation
+    /// ([`MineSession::try_run_threaded`] returns these as
+    /// [`SessionError`] instead).
     pub fn run_threaded(self) -> MiningOutcome {
+        self.try_run_threaded().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`MineSession::run_threaded`] with build-time validation as a
+    /// typed error instead of a panic.
+    pub fn try_run_threaded(self) -> Result<MiningOutcome, SessionError> {
+        self.validate(true)?;
         let (rec, metrics) = self.arm_recorder();
         let resources = self.build(&rec);
-        let mut outcome = run_threaded_with(resources, self.cfg.rounds, self.plan, rec.clone());
+        let mut outcome =
+            run_threaded_full(resources, self.cfg.rounds, self.plan, rec.clone(), self.mode);
         if let Some(m) = metrics {
             outcome.metrics = m.snapshot();
         }
         rec.flush();
-        outcome
+        Ok(outcome)
     }
 }
 

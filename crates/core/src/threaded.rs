@@ -45,6 +45,7 @@ use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gridmine_arm::{Database, RuleSet};
 use gridmine_obs::{emit, Event, SharedRecorder};
 use gridmine_paillier::HomCipher;
+use gridmine_recovery::{RecoveryMode, RetryPolicy};
 use gridmine_topology::faults::{FaultPlan, FaultStats, FaultyLink, ResourceFault};
 use gridmine_topology::Tree;
 
@@ -164,6 +165,9 @@ fn guarded<T: Default>(poisoned: &mut bool, f: impl FnOnce() -> T) -> T {
 
 /// Receives until quiescence. A down (crashed/poisoned) resource
 /// discards its traffic but keeps the in-flight accounting sound.
+/// Consecutive empty polls back off per the [`RetryPolicy`] (capped
+/// exponential with seeded jitter; the first poll keeps the legacy
+/// 1 ms timeout), so an idle drain does not spin at full tilt.
 #[allow(clippy::too_many_arguments)]
 fn drain<C: HomCipher>(
     resource: &mut SecureResource<C>,
@@ -175,10 +179,13 @@ fn drain<C: HomCipher>(
     down: bool,
     poisoned: &mut bool,
     rec: &SharedRecorder,
+    retry: &RetryPolicy,
 ) {
+    let mut misses = 0u32;
     loop {
-        match rx.recv_timeout(std::time::Duration::from_millis(1)) {
+        match rx.recv_timeout(std::time::Duration::from_millis(retry.backoff_ms(misses))) {
             Ok(msg) => {
+                misses = 0;
                 if !down && !*poisoned {
                     let outs = guarded(poisoned, || resource.on_receive(&msg));
                     chaos_send(outs, senders, in_flight, link, held, rec);
@@ -189,6 +196,7 @@ fn drain<C: HomCipher>(
                 if in_flight.load(Ordering::SeqCst) == 0 {
                     break;
                 }
+                misses += 1;
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -214,13 +222,43 @@ pub fn run_threaded<C: HomCipher + 'static>(
 /// `rec` before the threads start, the fault layer mirrors its stats as
 /// events, and worker 0 marks round boundaries.
 pub fn run_threaded_with<C: HomCipher + 'static>(
-    mut resources: Vec<SecureResource<C>>,
+    resources: Vec<SecureResource<C>>,
     rounds: usize,
     plan: FaultPlan,
     rec: SharedRecorder,
 ) -> MiningOutcome {
+    run_threaded_full(resources, rounds, plan, rec, RecoveryMode::Disabled)
+}
+
+/// The full threaded driver: [`run_threaded_with`] plus a crash-recovery
+/// mode.
+///
+/// * [`RecoveryMode::Disabled`] — legacy semantics: a "crashed" resource
+///   merely goes silent and resumes with its state intact.
+/// * [`RecoveryMode::ColdRestart`] — the crash wipes volatile mining
+///   state; the rejoined resource rebuilds from periodic anti-entropy
+///   resends (its neighbors re-publish on the retry policy's cadence
+///   until the run ends, since nothing tells them when it has caught up).
+/// * [`RecoveryMode::Checkpoint`] — every resource journals its state
+///   deltas; at the crash the journal is serialized to bytes (the
+///   file-backed persistence path), and at the recovery tick it is
+///   decoded, screened as untrusted input and replayed. A verified
+///   restore needs exactly one resend exchange. A restore that overruns
+///   the policy deadline is degraded by the watchdog
+///   ([`DegradeReason::RecoveryStalled`]) rather than aborting the run.
+pub fn run_threaded_full<C: HomCipher + 'static>(
+    mut resources: Vec<SecureResource<C>>,
+    rounds: usize,
+    plan: FaultPlan,
+    rec: SharedRecorder,
+    mode: RecoveryMode,
+) -> MiningOutcome {
     for r in resources.iter_mut() {
         r.set_recorder(rec.clone());
+        if let Some(policy) = mode.policy() {
+            r.arm_recovery();
+            r.set_retry_policy(&policy.retry);
+        }
     }
     let n = resources.len();
     for (u, r) in resources.iter().enumerate() {
@@ -256,6 +294,37 @@ pub fn run_threaded_with<C: HomCipher + 'static>(
                 let mut link = FaultyLink::new(plan.clone());
                 let mut held: Vec<WireMsg<C>> = Vec::new();
                 let mut poisoned = false;
+                let retry = mode.retry();
+                // Serialized recovery image, captured at crash time — the
+                // stand-in for the file a real deployment would persist.
+                let mut image: Option<Vec<u8>> = None;
+                // Crash/recovery schedule of this resource and its
+                // neighbors (who must resend toward a rejoiner).
+                let my_crash = match plan.fault_of(u) {
+                    Some(ResourceFault::Crash { at, recover }) => Some((at, recover)),
+                    _ => None,
+                };
+                let nbr_recovers: Vec<(usize, u64)> = resource
+                    .layout()
+                    .neighbors
+                    .iter()
+                    .filter_map(|&v| match plan.fault_of(v) {
+                        Some(ResourceFault::Crash { recover: Some(rt), .. }) => Some((v, rt)),
+                        _ => None,
+                    })
+                    .collect();
+                // Whether a resend toward a resource that rejoined at
+                // `rt` is due this tick: a verified checkpoint restore
+                // needs exactly one exchange; a cold rejoin needs the
+                // periodic cadence (nothing signals completion).
+                let warm = matches!(mode, RecoveryMode::Checkpoint(_));
+                let resend_due = |rt: u64, tick: u64| {
+                    if warm {
+                        tick == rt
+                    } else {
+                        tick >= rt && (tick - rt) % retry.resend_every.max(1) == 0
+                    }
+                };
 
                 for round in 0..rounds {
                     let tick = round as u64;
@@ -266,6 +335,38 @@ pub fn run_threaded_with<C: HomCipher + 'static>(
                         emit(&rec, || Event::RoundAdvanced { tick });
                     }
 
+                    if mode.wipes() {
+                        if let Some((at, recover)) = my_crash {
+                            if tick == at {
+                                // The crash loses volatile state; in
+                                // checkpoint mode the journal is what a
+                                // real node would have on disk.
+                                resource.crash_wipe();
+                                if warm {
+                                    image = resource.encode_recovery_image();
+                                }
+                            }
+                            if recover == Some(tick) {
+                                match mode.policy() {
+                                    Some(policy) => {
+                                        let t0 = std::time::Instant::now();
+                                        if let Some(bytes) = image.take() {
+                                            guarded(&mut poisoned, || {
+                                                resource.restore_from_image(&bytes)
+                                            });
+                                        }
+                                        if t0.elapsed().as_nanos() > policy.retry.deadline_nanos()
+                                        {
+                                            resource
+                                                .mark_degraded(DegradeReason::RecoveryStalled);
+                                        }
+                                    }
+                                    None => resource.recover_reset(),
+                                }
+                            }
+                        }
+                    }
+
                     // Scan phase. The barrier between send and drain makes
                     // sure every thread's phase sends are counted in
                     // `in_flight` before anyone can observe zero and leave
@@ -273,18 +374,47 @@ pub fn run_threaded_with<C: HomCipher + 'static>(
                     barrier.wait();
                     if !down {
                         let mut outs: Vec<WireMsg<C>> = Vec::new();
+                        let mut heal_edges: Vec<usize> = Vec::new();
                         if has_edge_faults {
-                            // Anti-entropy under lossy links: lift the
-                            // duplicate-send suppressors and resend the
-                            // current aggregates, healing earlier drops.
-                            // Resends carry unchanged Lamport traces, so
-                            // receivers treat them as idempotent, never
-                            // as replays.
-                            let nbrs = resource.layout().neighbors.clone();
-                            for v in nbrs {
+                            heal_edges.extend(resource.layout().neighbors.iter().copied());
+                        }
+                        if mode.wipes() {
+                            // Rejoin healing: a resource that just came
+                            // back (this one or a neighbor) triggers a
+                            // resend exchange on the affected edges.
+                            if my_crash
+                                .and_then(|(_, r)| r)
+                                .is_some_and(|rt| tick >= rt && resend_due(rt, tick))
+                            {
+                                heal_edges.extend(resource.layout().neighbors.iter().copied());
+                            }
+                            for &(v, rt) in &nbr_recovers {
+                                if tick >= rt && resend_due(rt, tick) {
+                                    heal_edges.push(v);
+                                }
+                            }
+                        }
+                        if !heal_edges.is_empty() {
+                            // Anti-entropy: lift the duplicate-send
+                            // suppressors and resend the current
+                            // aggregates, healing earlier drops and
+                            // wipes. Resends carry unchanged Lamport
+                            // traces, so receivers treat them as
+                            // idempotent, never as replays.
+                            heal_edges.sort_unstable();
+                            heal_edges.dedup();
+                            for v in heal_edges {
                                 resource.reset_edge(v);
                             }
                             outs.extend(guarded(&mut poisoned, || resource.nudge()));
+                        }
+                        if resource.recovery_armed()
+                            && tick > 0
+                            && mode
+                                .policy()
+                                .is_some_and(|p| tick % p.checkpoint_every == 0)
+                        {
+                            resource.take_checkpoint(tick);
                         }
                         outs.extend(guarded(&mut poisoned, || resource.step(usize::MAX)));
                         // Jitter-delayed copies from earlier phases go out
@@ -309,6 +439,7 @@ pub fn run_threaded_with<C: HomCipher + 'static>(
                         down,
                         &mut poisoned,
                         &rec,
+                        &retry,
                     );
 
                     // Candidate-generation phase.
@@ -328,6 +459,7 @@ pub fn run_threaded_with<C: HomCipher + 'static>(
                         down,
                         &mut poisoned,
                         &rec,
+                        &retry,
                     );
                 }
                 barrier.wait();
@@ -346,6 +478,11 @@ pub fn run_threaded_with<C: HomCipher + 'static>(
     let mut messages = 0u64;
     let mut faults = FaultStats::default();
     let mut retries = 0u64;
+    let mut resends = 0u64;
+    let mut checkpoints = 0u64;
+    let mut replays = 0u64;
+    let mut rejected = 0u64;
+    let mut exhausted = 0u64;
     for (u, h) in handles.into_iter().enumerate() {
         match h.join() {
             Ok((r, stats, poisoned)) => {
@@ -356,6 +493,11 @@ pub fn run_threaded_with<C: HomCipher + 'static>(
                 messages += r.msgs_sent();
                 faults.merge(&stats);
                 retries += r.retries_spent();
+                resends += r.resends_sent();
+                checkpoints += r.recovery_checkpoints();
+                replays += r.recovery_replays();
+                rejected += r.recovery_rejected();
+                exhausted += u64::from(r.retry_exhausted());
                 statuses[u] = if poisoned {
                     ResourceStatus::Degraded(DegradeReason::Panicked)
                 } else if plan.down(u, rounds_tick) {
@@ -410,6 +552,11 @@ pub fn run_threaded_with<C: HomCipher + 'static>(
         convergence_delay: plan
             .onset()
             .map_or(0, |onset| rounds_tick.saturating_sub(onset)),
+        resends,
+        checkpoints,
+        replays,
+        rejected,
+        exhausted,
     };
     MiningOutcome {
         solutions,

@@ -1,0 +1,261 @@
+//! Crash-restart recovery under the threaded driver: a checkpoint
+//! restore (serialized through the `Vec<u8>` image codec) resumes with
+//! strictly fewer resend exchanges than a cold rejoin, a forged journal
+//! ends in a `MaliciousResource` verdict instead of a panic, the
+//! watchdog degrades a restore that overruns its deadline, and the
+//! session builder refuses malformed fault plans up front.
+
+use gridmine_arm::{correct_rules, AprioriConfig, Database, Item, Ratio, RuleSet, Transaction};
+use gridmine_core::resource::wire_grid;
+use gridmine_core::{
+    run_threaded_full, DegradeReason, GridKeys, MineConfig, MineSession, RecoveryMode,
+    RecoveryPolicy, ResourceStatus, RetryPolicy, SecureResource, SessionError, Verdict,
+};
+use gridmine_obs::{EventKind, MemoryRecorder};
+use gridmine_paillier::MockCipher;
+use gridmine_topology::faults::{EdgeFaults, FaultPlan};
+use gridmine_topology::Tree;
+
+/// Path-wired grid over identical-distribution partitions (the
+/// threaded-faults idiom): any subset mines the same ruleset.
+fn grid(n: usize) -> (Vec<SecureResource<MockCipher>>, RuleSet) {
+    let keys = GridKeys::mock(21);
+    let generator =
+        gridmine_majority::CandidateGenerator::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    let items = vec![Item(1), Item(2), Item(3)];
+    let dbs: Vec<Database> = (0..n as u64).map(partition).collect();
+    let truth = correct_rules(
+        &Database::union_of(dbs.iter()),
+        &AprioriConfig::new(Ratio::new(1, 2), Ratio::new(1, 2)),
+    );
+    let mut rs: Vec<SecureResource<MockCipher>> = dbs
+        .into_iter()
+        .enumerate()
+        .map(|(u, db)| {
+            let mut neighbors = Vec::new();
+            if u > 0 {
+                neighbors.push(u - 1);
+            }
+            if u + 1 < n {
+                neighbors.push(u + 1);
+            }
+            SecureResource::new(u, &keys, neighbors, db, 1, generator, &items, u as u64)
+        })
+        .collect();
+    wire_grid(&mut rs);
+    (rs, truth)
+}
+
+fn partition(u: u64) -> Database {
+    Database::from_transactions(
+        (0..40)
+            .map(|j| {
+                let id = u * 40 + j;
+                if j % 4 == 0 {
+                    Transaction::of(id, &[3])
+                } else {
+                    Transaction::of(id, &[1, 2])
+                }
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn checkpoint_restore_beats_cold_rejoin_on_resends() {
+    // Resource 3 crashes at round 2 and rejoins at round 4; 12 rounds
+    // total. A verified restore needs exactly one resend exchange at the
+    // rejoin; a cold rejoin pays the periodic cadence to the end of the
+    // run (nothing signals its completion).
+    let plan = FaultPlan::new(9).with_crash(3, 2, Some(4));
+    let (rs, truth) = grid(6);
+    let warm = run_threaded_full(
+        rs,
+        12,
+        plan.clone(),
+        gridmine_obs::null(),
+        RecoveryMode::Checkpoint(RecoveryPolicy::DEFAULT),
+    );
+    let (rs, _) = grid(6);
+    let cold =
+        run_threaded_full(rs, 12, plan, gridmine_obs::null(), RecoveryMode::ColdRestart);
+
+    assert_eq!(warm.chaos.replays, 1, "one crash, one journal replay: {:?}", warm.chaos);
+    assert!(warm.chaos.checkpoints > 0, "checkpoint cadence fired: {:?}", warm.chaos);
+    assert_eq!(warm.chaos.rejected, 0, "an honest image passes the screens");
+    assert!(warm.verdicts.is_empty(), "honest recovery is not malice: {:?}", warm.verdicts);
+    assert!(cold.verdicts.is_empty());
+    assert_eq!(cold.chaos.replays, 0, "a cold rejoin has no journal");
+
+    assert!(warm.chaos.resends > 0, "the rejoin exchange was counted");
+    assert!(
+        warm.chaos.resends < cold.chaos.resends,
+        "restoring from the journal must cost strictly fewer resends: warm {} vs cold {}",
+        warm.chaos.resends,
+        cold.chaos.resends
+    );
+
+    // Both modes converge everywhere, including the recovered resource.
+    for outcome in [&warm, &cold] {
+        assert!(outcome.statuses.iter().all(|s| s.is_ok()), "{:?}", outcome.statuses);
+        for (u, sol) in outcome.solutions.iter().enumerate() {
+            assert_eq!(sol, &truth, "resource {u} diverged after the crash-restart");
+        }
+    }
+}
+
+#[test]
+fn forged_journal_is_rejected_as_malicious_without_panicking() {
+    let (mut rs, truth) = grid(5);
+    // The adversary rewrites resource 2's journal while it is down.
+    rs[2].corrupt_recovery_journal();
+    let rec = MemoryRecorder::shared();
+    let outcome = run_threaded_full(
+        rs,
+        12,
+        FaultPlan::new(9).with_crash(2, 2, Some(4)),
+        rec.clone(),
+        RecoveryMode::Checkpoint(RecoveryPolicy::DEFAULT),
+    );
+
+    assert_eq!(outcome.chaos.rejected, 1, "{:?}", outcome.chaos);
+    assert_eq!(outcome.chaos.replays, 0, "a rejected journal is never applied");
+    assert_eq!(rec.count_of(EventKind::RecoveryRejected), 1);
+    assert!(
+        outcome.verdicts.contains(&Verdict::MaliciousResource(2)),
+        "forgery must be blamed on the forger: {:?}",
+        outcome.verdicts
+    );
+    // The halted forger goes silent; the survivors still converge.
+    for (u, sol) in outcome.solutions.iter().enumerate() {
+        if u == 2 {
+            assert!(sol.is_empty(), "the rejected resource never speaks again");
+        } else {
+            assert_eq!(sol, &truth, "survivor {u} diverged after the forgery was contained");
+        }
+    }
+}
+
+#[test]
+fn watchdog_degrades_a_restore_that_overruns_its_deadline() {
+    // A zero-millisecond deadline makes any real restore overrun: the
+    // watchdog must degrade that one resource, not abort the run.
+    let policy =
+        RecoveryPolicy::DEFAULT.with_retry(RetryPolicy::DEFAULT.with_deadline_ms(0));
+    let (rs, truth) = grid(5);
+    let outcome = run_threaded_full(
+        rs,
+        10,
+        FaultPlan::new(9).with_crash(2, 2, Some(4)),
+        gridmine_obs::null(),
+        RecoveryMode::Checkpoint(policy),
+    );
+
+    assert_eq!(
+        outcome.statuses[2],
+        ResourceStatus::Degraded(DegradeReason::RecoveryStalled),
+        "the stalled restore degrades its own resource: {:?}",
+        outcome.statuses
+    );
+    assert!(outcome.chaos.degraded.contains(&2));
+    assert!(outcome.verdicts.is_empty(), "slowness is not malice");
+    for (u, sol) in outcome.surviving_solutions() {
+        assert_eq!(sol, &truth, "survivor {u} diverged around the stalled resource");
+    }
+}
+
+fn uniform_dbs(n: u64) -> Vec<Database> {
+    (0..n).map(partition).collect()
+}
+
+#[test]
+fn session_rejects_fault_plans_that_target_missing_resources() {
+    let mut cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    cfg.rounds = 8;
+    let err = MineSession::new(cfg)
+        .with_topology(Tree::path(5))
+        .with_databases(uniform_dbs(5))
+        .with_faults(FaultPlan::new(1).with_crash(9, 2, None))
+        .try_run_threaded()
+        .unwrap_err();
+    assert_eq!(err, SessionError::FaultResourceOutOfRange { resource: 9, capacity: 5 });
+}
+
+#[test]
+fn session_rejects_fault_ticks_the_run_never_reaches() {
+    let mut cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    cfg.rounds = 8;
+    let err = MineSession::new(cfg)
+        .with_topology(Tree::path(5))
+        .with_databases(uniform_dbs(5))
+        .with_faults(FaultPlan::new(1).with_crash(2, 99, None))
+        .try_run_threaded()
+        .unwrap_err();
+    assert_eq!(err, SessionError::FaultTickOutOfRange { resource: 2, tick: 99, rounds: 8 });
+    assert!(err.to_string().contains("tick 99"), "typed error keeps a readable message");
+}
+
+#[test]
+fn session_rejects_edge_overrides_outside_the_grid() {
+    let mut cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    cfg.rounds = 8;
+    let err = MineSession::new(cfg)
+        .with_topology(Tree::path(5))
+        .with_databases(uniform_dbs(5))
+        .with_faults(FaultPlan::new(1).with_edge(0, 9, EdgeFaults::dropping(0.5)))
+        .try_run_threaded()
+        .unwrap_err();
+    assert_eq!(err, SessionError::FaultEdgeOutOfRange { edge: (0, 9), capacity: 5 });
+}
+
+#[test]
+fn session_accepts_recover_ticks_beyond_the_run() {
+    // A recovery scheduled after the last round simply never fires; only
+    // the *onset* must land inside the run.
+    let mut cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    cfg.rounds = 8;
+    let outcome = MineSession::new(cfg)
+        .with_topology(Tree::path(5))
+        .with_databases(uniform_dbs(5))
+        .with_faults(FaultPlan::new(1).with_crash(2, 3, Some(99)))
+        .try_run_threaded()
+        .expect("late recovery tick is valid");
+    assert_eq!(outcome.statuses[2], ResourceStatus::Degraded(DegradeReason::Crashed));
+}
+
+#[test]
+fn synchronous_driver_still_refuses_fault_plans_with_a_typed_error() {
+    let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    let err = MineSession::new(cfg)
+        .with_topology(Tree::path(3))
+        .with_databases(uniform_dbs(3))
+        .with_faults(FaultPlan::new(1).with_crash(1, 2, None))
+        .try_run()
+        .unwrap_err();
+    assert_eq!(err, SessionError::FaultsRequireThreadedDriver);
+}
+
+#[test]
+fn session_with_recovery_drives_the_full_checkpoint_path() {
+    // The builder wires the recovery mode through to the threaded
+    // driver: crash, image restore, convergence — all from MineSession.
+    let mut cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    cfg.rounds = 12;
+    let outcome = MineSession::new(cfg)
+        .with_topology(Tree::path(5))
+        .with_databases(uniform_dbs(5))
+        .with_faults(FaultPlan::new(7).with_crash(2, 2, Some(4)))
+        .with_recovery(RecoveryMode::Checkpoint(RecoveryPolicy::DEFAULT))
+        .run_threaded();
+    assert_eq!(outcome.chaos.replays, 1, "{:?}", outcome.chaos);
+    assert!(outcome.chaos.checkpoints > 0);
+    assert!(outcome.verdicts.is_empty());
+    assert!(outcome.statuses.iter().all(|s| s.is_ok()), "{:?}", outcome.statuses);
+    let truth = correct_rules(
+        &Database::union_of(uniform_dbs(5).iter()),
+        &AprioriConfig::new(Ratio::new(1, 2), Ratio::new(1, 2)),
+    );
+    for (u, sol) in outcome.solutions.iter().enumerate() {
+        assert_eq!(sol, &truth, "resource {u} diverged");
+    }
+}

@@ -93,8 +93,10 @@ impl KeyOpKind {
 /// they are `usize` at the call sites and converted at emission.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
-    /// A broker sealed and mailed a counter to a neighbor.
-    CounterSent { from: u64, to: u64, rule: String, bytes: u64 },
+    /// A broker sealed and mailed a counter to a neighbor. `resend` marks
+    /// anti-entropy / recovery re-sends of an already-published aggregate,
+    /// as opposed to first sends driven by local scan progress.
+    CounterSent { from: u64, to: u64, rule: String, bytes: u64, resend: bool },
     /// A resource accepted a wire counter from a peer.
     CounterReceived { at: u64, from: u64, rule: String },
     /// The key-free wellformedness screen rejected a wire counter.
@@ -131,6 +133,18 @@ pub enum Event {
     RoundAdvanced { tick: u64 },
     /// A timed cryptographic operation (Montgomery modpow et al.).
     KeyOp { op: KeyOpKind, nanos: u64 },
+    /// Recovery: a resource snapshotted its mining state and truncated
+    /// its journal at `tick`.
+    CheckpointTaken { resource: u64, tick: u64 },
+    /// Recovery: a restored resource replayed `entries` journal deltas on
+    /// top of its last validated snapshot.
+    JournalReplayed { resource: u64, entries: u64 },
+    /// Recovery: a restore was refused (forged/truncated journal, failed
+    /// wellformedness screen or share audit).
+    RecoveryRejected { resource: u64, reason: String },
+    /// A bounded-retry budget ran dry (`spent` = retries consumed); the
+    /// operation's owner degrades rather than retrying forever.
+    RetryExhausted { resource: u64, spent: u64 },
 }
 
 /// Fieldless mirror of [`Event`], for counting and filtering.
@@ -155,11 +169,15 @@ pub enum EventKind {
     MessageDelayed,
     RoundAdvanced,
     KeyOp,
+    CheckpointTaken,
+    JournalReplayed,
+    RecoveryRejected,
+    RetryExhausted,
 }
 
 impl EventKind {
     /// Number of distinct kinds (array-index bound for tallies).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 22;
 
     /// All kinds, in declaration order (index = `as usize`).
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -181,6 +199,10 @@ impl EventKind {
         EventKind::MessageDelayed,
         EventKind::RoundAdvanced,
         EventKind::KeyOp,
+        EventKind::CheckpointTaken,
+        EventKind::JournalReplayed,
+        EventKind::RecoveryRejected,
+        EventKind::RetryExhausted,
     ];
 
     /// The `"type"` tag used on the wire.
@@ -204,6 +226,10 @@ impl EventKind {
             EventKind::MessageDelayed => "MessageDelayed",
             EventKind::RoundAdvanced => "RoundAdvanced",
             EventKind::KeyOp => "KeyOp",
+            EventKind::CheckpointTaken => "CheckpointTaken",
+            EventKind::JournalReplayed => "JournalReplayed",
+            EventKind::RecoveryRejected => "RecoveryRejected",
+            EventKind::RetryExhausted => "RetryExhausted",
         }
     }
 
@@ -234,6 +260,10 @@ impl Event {
             Event::MessageDelayed { .. } => EventKind::MessageDelayed,
             Event::RoundAdvanced { .. } => EventKind::RoundAdvanced,
             Event::KeyOp { .. } => EventKind::KeyOp,
+            Event::CheckpointTaken { .. } => EventKind::CheckpointTaken,
+            Event::JournalReplayed { .. } => EventKind::JournalReplayed,
+            Event::RecoveryRejected { .. } => EventKind::RecoveryRejected,
+            Event::RetryExhausted { .. } => EventKind::RetryExhausted,
         }
     }
 
@@ -241,8 +271,12 @@ impl Event {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new(self.kind().name());
         match self {
-            Event::CounterSent { from, to, rule, bytes } => {
-                w.u64("from", *from).u64("to", *to).str("rule", rule).u64("bytes", *bytes);
+            Event::CounterSent { from, to, rule, bytes, resend } => {
+                w.u64("from", *from)
+                    .u64("to", *to)
+                    .str("rule", rule)
+                    .u64("bytes", *bytes)
+                    .bool("resend", *resend);
             }
             Event::CounterReceived { at, from, rule } => {
                 w.u64("at", *at).u64("from", *from).str("rule", rule);
@@ -295,6 +329,18 @@ impl Event {
             Event::KeyOp { op, nanos } => {
                 w.str("op", op.name()).u64("nanos", *nanos);
             }
+            Event::CheckpointTaken { resource, tick } => {
+                w.u64("resource", *resource).u64("tick", *tick);
+            }
+            Event::JournalReplayed { resource, entries } => {
+                w.u64("resource", *resource).u64("entries", *entries);
+            }
+            Event::RecoveryRejected { resource, reason } => {
+                w.u64("resource", *resource).str("reason", reason);
+            }
+            Event::RetryExhausted { resource, spent } => {
+                w.u64("resource", *resource).u64("spent", *spent);
+            }
         }
         w.finish()
     }
@@ -338,6 +384,7 @@ impl Event {
                 to: u("to")?,
                 rule: s("rule")?,
                 bytes: u("bytes")?,
+                resend: b("resend")?,
             },
             EventKind::CounterReceived => {
                 Event::CounterReceived { at: u("at")?, from: u("from")?, rule: s("rule")? }
@@ -399,6 +446,18 @@ impl Event {
             EventKind::RoundAdvanced => Event::RoundAdvanced { tick: u("tick")? },
             EventKind::KeyOp => {
                 Event::KeyOp { op: KeyOpKind::parse(&s("op")?)?, nanos: u("nanos")? }
+            }
+            EventKind::CheckpointTaken => {
+                Event::CheckpointTaken { resource: u("resource")?, tick: u("tick")? }
+            }
+            EventKind::JournalReplayed => {
+                Event::JournalReplayed { resource: u("resource")?, entries: u("entries")? }
+            }
+            EventKind::RecoveryRejected => {
+                Event::RecoveryRejected { resource: u("resource")?, reason: s("reason")? }
+            }
+            EventKind::RetryExhausted => {
+                Event::RetryExhausted { resource: u("resource")?, spent: u("spent")? }
             }
         })
     }
@@ -572,7 +631,13 @@ mod tests {
 
     fn exemplars() -> Vec<Event> {
         vec![
-            Event::CounterSent { from: 0, to: 1, rule: "{1} => {2}".into(), bytes: 640 },
+            Event::CounterSent {
+                from: 0,
+                to: 1,
+                rule: "{1} => {2}".into(),
+                bytes: 640,
+                resend: false,
+            },
             Event::CounterReceived { at: 1, from: 0, rule: "freq {1, 2}".into() },
             Event::WellformednessRejected { at: 1, from: 2 },
             Event::SfeQuery { resource: 3, kind: SfeKind::Send, rule: "r".into() },
@@ -596,6 +661,10 @@ mod tests {
             Event::MessageDelayed { from: 4, to: 3, ticks: 1 },
             Event::RoundAdvanced { tick: 12 },
             Event::KeyOp { op: KeyOpKind::Modpow, nanos: 48_213 },
+            Event::CheckpointTaken { resource: 3, tick: 15 },
+            Event::JournalReplayed { resource: 5, entries: 12 },
+            Event::RecoveryRejected { resource: 5, reason: "journal digest mismatch".into() },
+            Event::RetryExhausted { resource: 6, spent: 8 },
         ]
     }
 

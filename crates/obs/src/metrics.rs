@@ -21,6 +21,8 @@ pub const LATENCY_BUCKETS: usize = 64;
 pub struct Metrics {
     by_kind: [AtomicU64; EventKind::COUNT],
     bytes_on_wire: AtomicU64,
+    resent_msgs: AtomicU64,
+    resent_bytes: AtomicU64,
     sfe_roundtrips: AtomicU64,
     modpow_count: AtomicU64,
     modpow_total_nanos: AtomicU64,
@@ -32,6 +34,8 @@ impl Default for Metrics {
         Metrics {
             by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
             bytes_on_wire: AtomicU64::new(0),
+            resent_msgs: AtomicU64::new(0),
+            resent_bytes: AtomicU64::new(0),
             sfe_roundtrips: AtomicU64::new(0),
             modpow_count: AtomicU64::new(0),
             modpow_total_nanos: AtomicU64::new(0),
@@ -58,6 +62,8 @@ impl Metrics {
                 .map(|k| (k.name(), self.by_kind[k as usize].load(Ordering::Relaxed)))
                 .collect(),
             bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
+            resent_msgs: self.resent_msgs.load(Ordering::Relaxed),
+            resent_bytes: self.resent_bytes.load(Ordering::Relaxed),
             sfe_roundtrips: self.sfe_roundtrips.load(Ordering::Relaxed),
             modpow: LatencyStats {
                 count: self.modpow_count.load(Ordering::Relaxed),
@@ -76,8 +82,12 @@ impl Recorder for Metrics {
     fn record(&self, event: &Event) {
         self.by_kind[event.kind() as usize].fetch_add(1, Ordering::Relaxed);
         match event {
-            Event::CounterSent { bytes, .. } => {
+            Event::CounterSent { bytes, resend, .. } => {
                 self.bytes_on_wire.fetch_add(*bytes, Ordering::Relaxed);
+                if *resend {
+                    self.resent_msgs.fetch_add(1, Ordering::Relaxed);
+                    self.resent_bytes.fetch_add(*bytes, Ordering::Relaxed);
+                }
             }
             Event::SfeAnswer { .. } => {
                 self.sfe_roundtrips.fetch_add(1, Ordering::Relaxed);
@@ -121,6 +131,11 @@ pub struct MetricsSnapshot {
     pub by_kind: Vec<(&'static str, u64)>,
     /// Σ bytes over every `CounterSent`.
     pub bytes_on_wire: u64,
+    /// `CounterSent` events flagged as anti-entropy / recovery re-sends
+    /// (a subset of `msgs_sent()`).
+    pub resent_msgs: u64,
+    /// Σ bytes over the resent subset (a subset of `bytes_on_wire`).
+    pub resent_bytes: u64,
     /// Completed SFE query→answer round-trips.
     pub sfe_roundtrips: u64,
     /// Montgomery-kernel modpow latency distribution.
@@ -156,8 +171,14 @@ mod tests {
     #[test]
     fn metrics_tally_by_kind_bytes_and_latency() {
         let m = Metrics::new();
-        m.record(&Event::CounterSent { from: 0, to: 1, rule: "r".into(), bytes: 100 });
-        m.record(&Event::CounterSent { from: 1, to: 0, rule: "r".into(), bytes: 28 });
+        m.record(&Event::CounterSent {
+            from: 0,
+            to: 1,
+            rule: "r".into(),
+            bytes: 100,
+            resend: false,
+        });
+        m.record(&Event::CounterSent { from: 1, to: 0, rule: "r".into(), bytes: 28, resend: true });
         m.record(&Event::SfeQuery { resource: 0, kind: SfeKind::Output, rule: "r".into() });
         m.record(&Event::SfeAnswer { resource: 0, kind: SfeKind::Output, answer: true });
         m.record(&Event::KeyOp { op: KeyOpKind::Modpow, nanos: 1024 });
@@ -168,6 +189,8 @@ mod tests {
         assert_eq!(snap.of(EventKind::CounterSent), 2);
         assert_eq!(snap.msgs_sent(), 2);
         assert_eq!(snap.bytes_on_wire, 128);
+        assert_eq!(snap.resent_msgs, 1, "only the flagged send counts as a resend");
+        assert_eq!(snap.resent_bytes, 28);
         assert_eq!(snap.sfe_roundtrips, 1);
         assert_eq!(snap.of(EventKind::KeyOp), 3, "all key ops counted by kind");
         assert_eq!(snap.modpow.count, 2, "only modpow feeds the latency histogram");

@@ -1,0 +1,53 @@
+//! Crash-restart durability for Secure-Majority-Rule resources.
+//!
+//! The paper's target grid (§3, §5) loses and regains resources mid-run
+//! while malicious participants probe every weakness. This crate supplies
+//! the two pieces a recovering resource needs:
+//!
+//! * **Checkpoint + journal** ([`RecoveryLog`]): a snapshot of the
+//!   resource's volatile mining state ([`ResourceState`]) plus an
+//!   append-only journal of state deltas ([`JournalEntry`]), sealed under
+//!   a chained integrity digest so truncation, reordering and payload
+//!   tampering are detectable at restore time. The log lives in memory
+//!   for the discrete-event simulator and spills to a `Vec<u8>` / file
+//!   via [`RecoveryImage`] for the threaded driver.
+//! * **Unified retry/deadline policy** ([`RetryPolicy`]): one place for
+//!   the previously scattered bounded-SFE-retry budget, anti-entropy
+//!   resend cadence, channel-drain timeout and the recovery watchdog
+//!   deadline, with capped exponential backoff and seeded jitter.
+//!
+//! Restored state is **untrusted input**: the digest chain proves only
+//! log integrity, not honesty (there is no key; a forger who rewrites the
+//! whole log re-chains it trivially). The consuming resource therefore
+//! re-screens every restored record ([`RuleRecord::is_wellformed`]),
+//! re-audits share totals against its accountant, and converts any
+//! failure into a `MaliciousResource` verdict — never a panic.
+
+mod journal;
+mod policy;
+
+pub use journal::{
+    JournalEntry, JournalError, RecoveryImage, RecoveryLog, ResourceState, RuleRecord,
+};
+pub use policy::{RecoveryMode, RecoveryPolicy, RetryPolicy};
+
+/// SplitMix64 finalizer: the workspace's standard seed-mixing primitive
+/// (the same shape `FaultPlan` uses), reused here for digest chaining and
+/// backoff jitter. Not cryptographic — see the module docs.
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Digest a byte string into the chain domain.
+pub(crate) fn digest_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = mix(seed ^ bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h ^ u64::from_le_bytes(w));
+    }
+    h
+}

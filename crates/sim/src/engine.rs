@@ -13,7 +13,8 @@ use std::collections::BTreeMap;
 use gridmine_arm::{Database, Item, Ratio, RuleSet};
 use gridmine_core::resource::{wire_grid, wire_pair};
 use gridmine_core::{
-    BrokerBehavior, ChaosReport, DegradeReason, GridKeys, SecureResource, Verdict, WireMsg,
+    BrokerBehavior, ChaosReport, DegradeReason, GridKeys, RecoveryMode, SecureResource, Verdict,
+    WireMsg,
 };
 use gridmine_majority::CandidateGenerator;
 use gridmine_obs::{emit, Event, SharedRecorder};
@@ -25,8 +26,9 @@ use rayon::prelude::*;
 use crate::config::SimConfig;
 use crate::workload::GrowthPlan;
 
-/// Steps between anti-entropy resend passes when link faults are armed.
-const ANTI_ENTROPY_EVERY: u64 = 5;
+// The anti-entropy resend cadence now lives in
+// `gridmine_recovery::RetryPolicy::resend_every` (default 5 steps, the
+// value previously hard-coded here).
 
 /// A running simulation.
 pub struct Simulation<C: HomCipher> {
@@ -47,6 +49,11 @@ pub struct Simulation<C: HomCipher> {
     /// Where a crashed resource should re-attach on recovery (the hub its
     /// neighborhood was bridged through when it was routed around).
     crash_parent: Vec<Option<usize>>,
+    /// Crash-recovery semantics (see [`Simulation::set_recovery`]).
+    mode: RecoveryMode,
+    /// Resources rebuilding state after a rejoin: they (and their
+    /// neighbors) get periodic resend passes until caught up.
+    healing: Vec<bool>,
     /// Structured-event sink ([`gridmine_obs::null`] unless armed).
     rec: SharedRecorder,
     step_no: u64,
@@ -114,6 +121,8 @@ where
             link: None,
             edge_clock: BTreeMap::new(),
             crash_parent: vec![None; cfg.n_resources],
+            mode: RecoveryMode::Disabled,
+            healing: vec![false; cfg.n_resources],
             rec: gridmine_obs::null(),
             step_no: 0,
             total_msgs: 0,
@@ -185,6 +194,27 @@ where
         self.link.as_ref().map(|l| l.plan())
     }
 
+    /// Selects the crash-recovery semantics (default:
+    /// [`RecoveryMode::Disabled`], the legacy keep-state behavior).
+    /// With [`RecoveryMode::Checkpoint`] every resource (present and
+    /// future joiners) is armed with an in-memory checkpoint + journal
+    /// and adopts the policy's retry budget. Call before
+    /// [`Simulation::run`].
+    pub fn set_recovery(&mut self, mode: RecoveryMode) {
+        self.mode = mode;
+        if let Some(policy) = mode.policy() {
+            for r in self.resources.iter_mut() {
+                r.arm_recovery();
+                r.set_retry_policy(&policy.retry);
+            }
+        }
+    }
+
+    /// The crash-recovery mode in force.
+    pub fn recovery_mode(&self) -> RecoveryMode {
+        self.mode
+    }
+
     /// A new resource joins the grid under `parent` (dynamic membership).
     ///
     /// The parent rewires (regenerated shares, remapped audit state —
@@ -214,10 +244,15 @@ where
         self.plans.push(plan);
         self.departed.push(false);
         self.crash_parent.push(None);
+        self.healing.push(false);
         if self.cfg.relaxed_gate {
             self.resources[id].set_gate_mode(gridmine_core::GateMode::TransactionsOnly);
         }
         self.resources[id].accountant_mut().obfuscate = self.cfg.obfuscate;
+        if let Some(policy) = self.mode.policy() {
+            self.resources[id].arm_recovery();
+            self.resources[id].set_retry_policy(&policy.retry);
+        }
 
         // Parent adopts its grown neighbor set; the whole neighborhood is
         // re-wired and nudged.
@@ -351,6 +386,12 @@ where
         self.overlay.route_around(u);
         self.departed[u] = true;
         self.resources[u].mark_degraded(reason);
+        if reason == DegradeReason::Crashed && self.mode.wipes() {
+            // Honest crash semantics: volatile mining state dies with the
+            // process. The in-memory recovery log survives (it models the
+            // node's disk); legacy `Disabled` mode keeps everything.
+            self.resources[u].crash_wipe();
+        }
         let Some(&first) = nbrs.first() else { return };
         // The hub is the former neighbor now adjacent to all the others
         // (route_around bridges every orphan through it). Rewire it last,
@@ -406,6 +447,21 @@ where
             .wrapping_add(self.resources.len() as u64)
             ^ 0xC0DE;
         self.resources[u].rewire(vec![anchor], epoch);
+        if self.mode.wipes() {
+            if self.mode.policy().is_some() {
+                // Checkpoint restore: the journal is untrusted input. A
+                // rejection halts the resource with a MaliciousResource
+                // verdict (it rejoined the overlay but will never speak);
+                // the grid keeps mining around it.
+                if self.resources[u].restore_from_log() {
+                    self.healing[u] = true;
+                }
+            } else {
+                // Cold rejoin: nothing to restore; anti-entropy resends
+                // rebuild the state until the backlog check clears.
+                self.healing[u] = true;
+            }
+        }
         self.rewire_around(anchor);
     }
 
@@ -495,6 +551,11 @@ where
                 .as_ref()
                 .and_then(|l| l.plan().onset())
                 .map_or(0, |onset| self.step_no.saturating_sub(onset)),
+            resends: self.resources.iter().map(|r| r.resends_sent()).sum(),
+            checkpoints: self.resources.iter().map(|r| r.recovery_checkpoints()).sum(),
+            replays: self.resources.iter().map(|r| r.recovery_replays()).sum(),
+            rejected: self.resources.iter().map(|r| r.recovery_rejected()).sum(),
+            exhausted: self.resources.iter().map(|r| u64::from(r.retry_exhausted())).sum(),
         }
     }
 
@@ -574,24 +635,39 @@ where
             }
         }
 
-        // Phase 3: local processing.
+        // Phase 3: local processing. A healing resource scans at the
+        // recovery policy's catch-up budget (bounding the rejoin burst);
+        // everyone else uses the configured budget.
         let budget = self.cfg.scan_budget;
+        let catchup = self.mode.catchup_scan_budget() as usize;
         let departed = self.departed.clone();
+        let healing = self.healing.clone();
+        let wipes = self.mode.wipes();
         let outs: Vec<Vec<WireMsg<C>>> = self
             .resources
             .par_iter_mut()
             .enumerate()
-            .map(|(u, r)| if departed[u] { Vec::new() } else { r.step(budget) })
+            .map(|(u, r)| {
+                if departed[u] {
+                    Vec::new()
+                } else if wipes && healing[u] {
+                    r.step(catchup)
+                } else {
+                    r.step(budget)
+                }
+            })
             .collect();
         for out in outs {
             self.schedule(out);
         }
 
+        let resend_every = self.mode.retry().resend_every.max(1);
+
         // Phase 3b: anti-entropy under lossy links — periodically lift the
         // duplicate-send suppressors and resend current aggregates, so a
         // dropped message is healed instead of being suppressed forever.
         // Resends carry unchanged Lamport traces (idempotent, not replays).
-        if t.is_multiple_of(ANTI_ENTROPY_EVERY)
+        if t.is_multiple_of(resend_every)
             && self.link.as_ref().is_some_and(|l| l.plan().has_edge_faults())
         {
             let mut msgs = Vec::new();
@@ -606,6 +682,47 @@ where
                 msgs.extend(self.resources[u].nudge());
             }
             self.schedule(msgs);
+        }
+
+        // Phase 3c: rejoin healing — a recovered resource and its
+        // neighbors exchange resends on the retry policy's cadence until
+        // it has candidates and no scan backlog. A warm (checkpoint)
+        // restore typically clears the check immediately; a cold rejoin
+        // keeps paying resends until rebuilt — that cost difference is
+        // the measured value of the journal.
+        if wipes && t.is_multiple_of(resend_every) {
+            let mut msgs = Vec::new();
+            for u in 0..self.resources.len() {
+                if !self.healing[u] || self.departed[u] {
+                    continue;
+                }
+                if self.resources[u].candidate_count() > 0
+                    && self.resources[u].accountant().total_backlog() == 0
+                {
+                    self.healing[u] = false;
+                    continue;
+                }
+                let nbrs: Vec<usize> = self.overlay.neighbors(u).collect();
+                for &v in &nbrs {
+                    self.resources[v].reset_edge(u);
+                    msgs.extend(self.resources[v].nudge());
+                    self.resources[u].reset_edge(v);
+                }
+                msgs.extend(self.resources[u].nudge());
+            }
+            self.schedule(msgs);
+        }
+
+        // Phase 3d: checkpoint cadence — snapshot + journal truncation,
+        // so replay length stays bounded by the checkpoint interval.
+        if let Some(policy) = self.mode.policy() {
+            if t.is_multiple_of(policy.checkpoint_every.max(1)) {
+                for u in 0..self.resources.len() {
+                    if !self.departed[u] && self.resources[u].recovery_armed() {
+                        self.resources[u].take_checkpoint(t);
+                    }
+                }
+            }
         }
 
         // Phase 4: candidate generation every few cycles.

@@ -46,6 +46,10 @@ pub struct ObsSummary {
     pub msgs_sent: u64,
     /// Bytes those counters occupied (per the cipher's bandwidth model).
     pub bytes_on_wire: u64,
+    /// Anti-entropy / recovery re-sends among `msgs_sent`.
+    pub resent_msgs: u64,
+    /// Bytes those re-sends occupied (a subset of `bytes_on_wire`).
+    pub resent_bytes: u64,
     /// SFE query/answer round-trips completed.
     pub sfe_roundtrips: u64,
     /// Wellformedness screens that rejected a wire counter.
@@ -63,6 +67,8 @@ impl From<&MetricsSnapshot> for ObsSummary {
         ObsSummary {
             msgs_sent: m.msgs_sent(),
             bytes_on_wire: m.bytes_on_wire,
+            resent_msgs: m.resent_msgs,
+            resent_bytes: m.resent_bytes,
             sfe_roundtrips: m.sfe_roundtrips,
             wellformedness_rejections: m.of(EventKind::WellformednessRejected),
             verdicts: m.of(EventKind::VerdictIssued),

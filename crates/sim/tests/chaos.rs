@@ -121,6 +121,13 @@ fn event_log_agrees_with_chaos_report() {
     );
     assert_eq!(rec.count_of(EventKind::VerdictIssued), 0, "weather is not malice");
     assert!(rec.count_of(EventKind::CounterSent) > 0, "protocol traffic was logged");
+
+    // The recovery-layer tallies obey the same invariant (all zero here:
+    // recovery is disabled in this scenario, and the log must agree).
+    assert_eq!(rec.count_of(EventKind::CheckpointTaken) as u64, report.checkpoints);
+    assert_eq!(rec.count_of(EventKind::JournalReplayed) as u64, report.replays);
+    assert_eq!(rec.count_of(EventKind::RecoveryRejected) as u64, report.rejected);
+    assert_eq!(rec.count_of(EventKind::RetryExhausted) as u64, report.exhausted);
 }
 
 #[test]

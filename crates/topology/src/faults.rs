@@ -218,6 +218,17 @@ impl FaultPlan {
             .collect()
     }
 
+    /// Every scheduled resource outage, ascending by resource id (for
+    /// build-time plan validation in the drivers).
+    pub fn resource_faults(&self) -> impl Iterator<Item = (NodeId, ResourceFault)> + '_ {
+        self.resources.iter().map(|(&u, &f)| (u, f))
+    }
+
+    /// Every per-link override, ascending by (normalized) edge.
+    pub fn edge_overrides(&self) -> impl Iterator<Item = ((NodeId, NodeId), EdgeFaults)> + '_ {
+        self.edges.iter().map(|(&e, &f)| (e, f))
+    }
+
     /// True when any link (default or override) injects message faults.
     pub fn has_edge_faults(&self) -> bool {
         !self.default_edge.is_clean() || self.edges.values().any(|f| !f.is_clean())

@@ -18,6 +18,7 @@
 //! | [`secure`] | `gridmine-core` | the paper's contribution: Algorithms 1–4, k-TTP, attacks |
 //! | [`sim`] | `gridmine-sim` | the §6 grid simulator and experiment drivers |
 //! | [`obs`] | `gridmine-obs` | structured protocol events, recorders, metrics |
+//! | [`recovery`] | `gridmine-recovery` | checkpoint + journal recovery state, retry policies |
 //!
 //! ## Quickstart
 //!
@@ -73,6 +74,7 @@ pub use gridmine_majority as majority;
 pub use gridmine_obs as obs;
 pub use gridmine_paillier as crypto;
 pub use gridmine_quest as quest;
+pub use gridmine_recovery as recovery;
 pub use gridmine_sim as sim;
 pub use gridmine_topology as topology;
 
@@ -87,7 +89,10 @@ pub mod prelude {
     pub use gridmine_core::{
         BrokerBehavior, ChaosReport, ControllerBehavior, DegradeReason, GridKeys, KTtp,
         MineConfig, MineSession, MiningOutcome, ResourceStatus, SecureResource, SessionCipher,
-        Verdict, WireMsg,
+        SessionError, Verdict, WireMsg,
+    };
+    pub use gridmine_recovery::{
+        RecoveryImage, RecoveryLog, RecoveryMode, RecoveryPolicy, RetryPolicy,
     };
     pub use gridmine_majority::{CandidateGenerator, MajorityNode, VotePair};
     pub use gridmine_obs::{
