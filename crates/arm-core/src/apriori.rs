@@ -131,10 +131,8 @@ pub fn correct_rules(db: &Database, cfg: &AprioriConfig) -> RuleSet {
             if antecedent.is_empty() {
                 continue;
             }
-            let support_x = frequent
-                .get(&antecedent)
-                .copied()
-                .unwrap_or_else(|| db.support(&antecedent));
+            let support_x =
+                frequent.get(&antecedent).copied().unwrap_or_else(|| db.support(&antecedent));
             // Confidence: Support(Z) ≥ MinConf · Support(X).
             if cfg.min_conf.le_frac(support_z, support_x) {
                 let consequent = z.difference(&antecedent);

@@ -27,11 +27,7 @@ pub fn frequent_itemsets_bruteforce(db: &Database, cfg: &AprioriConfig) -> HashM
     }
     for mask in 1u32..(1 << domain.len()) {
         let set = ItemSet::from_items(
-            domain
-                .iter()
-                .enumerate()
-                .filter(|(k, _)| mask & (1 << k) != 0)
-                .map(|(_, &i)| i),
+            domain.iter().enumerate().filter(|(k, _)| mask & (1 << k) != 0).map(|(_, &i)| i),
         );
         if cfg.max_len != 0 && set.len() > cfg.max_len {
             continue;
@@ -59,11 +55,7 @@ pub fn correct_rules_bruteforce(db: &Database, cfg: &AprioriConfig) -> RuleSet {
         let m = items.len();
         for mask in 1u32..(1 << m) - 1 {
             let x = ItemSet::from_items(
-                items
-                    .iter()
-                    .enumerate()
-                    .filter(|(k, _)| mask & (1 << k) != 0)
-                    .map(|(_, &i)| i),
+                items.iter().enumerate().filter(|(k, _)| mask & (1 << k) != 0).map(|(_, &i)| i),
             );
             let sx = db.support(&x);
             if cfg.min_conf.le_frac(sz, sx) {

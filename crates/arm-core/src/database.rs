@@ -73,11 +73,7 @@ impl Database {
     /// saturates at zero).
     pub fn support(&self, x: &ItemSet) -> u64 {
         let net: i64 = if self.transactions.len() >= PAR_THRESHOLD {
-            self.transactions
-                .par_iter()
-                .filter(|t| t.contains_all(x))
-                .map(|t| t.polarity())
-                .sum()
+            self.transactions.par_iter().filter(|t| t.contains_all(x)).map(|t| t.polarity()).sum()
         } else {
             self.transactions.iter().filter(|t| t.contains_all(x)).map(|t| t.polarity()).sum()
         };
@@ -120,11 +116,8 @@ impl Database {
 
     /// All distinct items appearing in the database, sorted.
     pub fn item_domain(&self) -> Vec<crate::itemset::Item> {
-        let mut items: Vec<_> = self
-            .transactions
-            .iter()
-            .flat_map(|t| t.items().iter().copied())
-            .collect();
+        let mut items: Vec<_> =
+            self.transactions.iter().flat_map(|t| t.items().iter().copied()).collect();
         items.sort_unstable();
         items.dedup();
         items
@@ -193,7 +186,8 @@ mod tests {
     #[test]
     fn union_of_partitions() {
         let a = Database::from_transactions(vec![Transaction::of(0, &[1])]);
-        let b = Database::from_transactions(vec![Transaction::of(1, &[2]), Transaction::of(2, &[3])]);
+        let b =
+            Database::from_transactions(vec![Transaction::of(1, &[2]), Transaction::of(2, &[3])]);
         let u = Database::union_of([&a, &b]);
         assert_eq!(u.len(), 3);
         assert_eq!(u.support(&ItemSet::of(&[2])), 1);

@@ -150,12 +150,7 @@ impl ItemSet {
     /// `self` with one item removed.
     pub fn without(&self, item: Item) -> ItemSet {
         ItemSet(Arc::from(
-            self.0
-                .iter()
-                .copied()
-                .filter(|&i| i != item)
-                .collect::<Vec<_>>()
-                .into_boxed_slice(),
+            self.0.iter().copied().filter(|&i| i != item).collect::<Vec<_>>().into_boxed_slice(),
         ))
     }
 

@@ -138,11 +138,7 @@ mod negation_tests {
         let neg = t.negation_of(99);
         assert_eq!(neg.polarity(), -1);
         assert_eq!(neg.items(), t.items());
-        let db = Database::from_transactions(vec![
-            t.clone(),
-            Transaction::of(1, &[1, 2]),
-            neg,
-        ]);
+        let db = Database::from_transactions(vec![t.clone(), Transaction::of(1, &[1, 2]), neg]);
         assert_eq!(db.support(&ItemSet::of(&[1, 2])), 1, "one of two records deleted");
         assert_eq!(db.len(), 3, "the log keeps all records");
         assert_eq!(db.net_len(), 1);

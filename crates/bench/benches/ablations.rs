@@ -38,7 +38,11 @@ fn base_cfg() -> SimConfig {
 
 fn workload() -> Database {
     gridmine_quest::generate(
-        &QuestParams::t5i2().with_transactions(4_000).with_items(60).with_patterns(25).with_seed(42),
+        &QuestParams::t5i2()
+            .with_transactions(4_000)
+            .with_items(60)
+            .with_patterns(25)
+            .with_seed(42),
     )
 }
 

@@ -172,7 +172,7 @@ fn bench_secure_counters(c: &mut Criterion) {
         let keys = GridKeys::paillier(1024, 3);
         let key = keys.tags.key(layout.arity());
         let a = SecureCounter::seal_local(&keys.enc, &key, &layout, 10, 20, 1, 99, 1);
-        let b = SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 1, 5, 9, 1, 50, 2);
+        let b = SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 1, 5, 9, 1, 50, 2).unwrap();
         group.bench_function("seal/paillier-1024", |bch| {
             bch.iter(|| SecureCounter::seal_local(&keys.enc, &key, &layout, 10, 20, 1, 99, 1))
         });
@@ -188,7 +188,7 @@ fn bench_secure_counters(c: &mut Criterion) {
         let keys = GridKeys::<MockCipher>::mock(3);
         let key = keys.tags.key(layout.arity());
         let a = SecureCounter::seal_local(&keys.enc, &key, &layout, 10, 20, 1, 99, 1);
-        let b = SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 1, 5, 9, 1, 50, 2);
+        let b = SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 1, 5, 9, 1, 50, 2).unwrap();
         group.bench_function("seal/mock", |bch| {
             bch.iter(|| SecureCounter::seal_local(&keys.enc, &key, &layout, 10, 20, 1, 99, 1))
         });

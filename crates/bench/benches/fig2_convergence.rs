@@ -83,9 +83,9 @@ fn main() {
         }
         print!("{table}");
         match metrics.scans_at_90_recall {
-            Some(scans) => println!(
-                "→ {name}: 90% recall after {scans:.2} local scans (paper: ≈3 scans)"
-            ),
+            Some(scans) => {
+                println!("→ {name}: 90% recall after {scans:.2} local scans (paper: ≈3 scans)")
+            }
             None => println!("→ {name}: did not reach 90% recall in {max_steps} steps"),
         }
         results.push(Fig2Series {

@@ -9,9 +9,9 @@
 //! does not increase even if more resources are added. The closer the
 //! significance is to zero … the more steps are required."
 
+use gridmine_arm::Ratio;
 use gridmine_bench::{hr, scale, write_json, Scale};
 use gridmine_sim::{single_itemset_steps, SimConfig};
-use gridmine_arm::Ratio;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -29,16 +29,25 @@ fn main() {
         if full { "FULL" } else { "small" }
     );
 
-    let (sizes, significances, local_size, budget, max_steps): (Vec<usize>, Vec<f64>, usize, usize, u64) =
-        if full {
-            // Paper regime: 10,000-transaction local DBs scanned 100/step.
-            (vec![250, 500, 1000, 2000, 4000], vec![0.002, 0.005, 0.02, 0.1], 10_000, 100, 3_000)
-        } else {
-            // Same scan pacing (1% of the local DB per step), scaled down.
-            (vec![16, 32, 64, 128, 256], vec![0.005, 0.01, 0.05, 0.2], 2_000, 20, 800)
-        };
+    let (sizes, significances, local_size, budget, max_steps): (
+        Vec<usize>,
+        Vec<f64>,
+        usize,
+        usize,
+        u64,
+    ) = if full {
+        // Paper regime: 10,000-transaction local DBs scanned 100/step.
+        (vec![250, 500, 1000, 2000, 4000], vec![0.002, 0.005, 0.02, 0.1], 10_000, 100, 3_000)
+    } else {
+        // Same scan pacing (1% of the local DB per step), scaled down.
+        (vec![16, 32, 64, 128, 256], vec![0.005, 0.01, 0.05, 0.2], 2_000, 20, 800)
+    };
 
-    println!("\n{:>14} | {}", "significance", sizes.iter().map(|n| format!("{n:>7}")).collect::<Vec<_>>().join(" "));
+    println!(
+        "\n{:>14} | {}",
+        "significance",
+        sizes.iter().map(|n| format!("{n:>7}")).collect::<Vec<_>>().join(" ")
+    );
     println!("{:->14}-+-{}", "", "-".repeat(8 * sizes.len()));
 
     let mut results = Vec::new();

@@ -56,7 +56,10 @@ fn main() {
             // can ever cover k members, so nothing is ever disclosed —
             // demonstrated by the `privacy_parameter_gates_disclosure`
             // integration test; no need to simulate the silence.
-            println!("{k:>6} {:>14} {:>10} {:>10}   (k exceeds grid size: gated by construction)", "never", "-", "-");
+            println!(
+                "{k:>6} {:>14} {:>10} {:>10}   (k exceeds grid size: gated by construction)",
+                "never", "-", "-"
+            );
             results.push(Fig4Point { k, steps_to_90: None, scans_to_90: None });
             continue;
         }
@@ -82,11 +85,7 @@ fn main() {
             }
             None => println!("{k:>6} {:>14} {delta:>10} {:>10}", "> budget", "-"),
         }
-        results.push(Fig4Point {
-            k,
-            steps_to_90: steps,
-            scans_to_90: metrics.scans_at_90_recall,
-        });
+        results.push(Fig4Point { k, steps_to_90: steps, scans_to_90: metrics.scans_at_90_recall });
     }
 
     println!(

@@ -79,7 +79,16 @@ fn bench_plain_vs_secure_mining(c: &mut Criterion) {
                     if u + 1 < n {
                         neighbors.push(u + 1);
                     }
-                    SecureResource::new(u, &keys, neighbors, db.clone(), 1, generator, &items, u as u64)
+                    SecureResource::new(
+                        u,
+                        &keys,
+                        neighbors,
+                        db.clone(),
+                        1,
+                        generator,
+                        &items,
+                        u as u64,
+                    )
                 })
                 .collect();
             wire_grid(&mut grid);

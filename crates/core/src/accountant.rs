@@ -124,6 +124,7 @@ impl<C: HomCipher> Accountant<C> {
             .unwrap_or_else(|| panic!("resource {v} is not a neighbor of {}", self.id));
         let key = self.tags.key(self.layout.arity());
         SecureCounter::seal_outgoing(&self.cipher, &key, &self.layout, v, 0, 0, 0, s, 0)
+            .unwrap_or_else(|| panic!("resource {v} has no timestamp slot at {}", self.id))
     }
 
     /// Rebuilds shares and layout after a membership change (Algorithm 2:
@@ -143,9 +144,13 @@ impl<C: HomCipher> Accountant<C> {
 
     /// Registers a candidate rule for counting (idempotent).
     pub fn register_rule(&mut self, rule: &CandidateRule) {
-        self.rules
-            .entry(rule.clone())
-            .or_insert(ScanState { frontier: 0, sum: 0, count: 0, clock: 1, last_sum: 0 });
+        self.rules.entry(rule.clone()).or_insert(ScanState {
+            frontier: 0,
+            sum: 0,
+            count: 0,
+            clock: 1,
+            last_sum: 0,
+        });
     }
 
     /// Advances the cyclic scan for `rule` by up to `budget` transactions.
@@ -345,10 +350,8 @@ mod tests {
     #[test]
     fn confidence_rule_counts_antecedent_and_union() {
         let (keys, mut acc) = setup();
-        let r = CandidateRule::new(
-            Rule::new(ItemSet::of(&[1]), ItemSet::of(&[2])),
-            Ratio::new(1, 2),
-        );
+        let r =
+            CandidateRule::new(Rule::new(ItemSet::of(&[1]), ItemSet::of(&[2])), Ratio::new(1, 2));
         acc.register_rule(&r);
         acc.scan_all(&r);
         let c = acc.respond(&r).pop().unwrap();
@@ -383,8 +386,7 @@ mod tests {
         let seq = acc.respond(&r);
         assert_eq!(seq.len(), 5, "support changed 0 → 3: padding sequence expected");
         let key = keys.tags.key(seq[0].layout.arity());
-        let sums: Vec<i64> =
-            seq.iter().map(|c| c.open(&keys.dec, &key).unwrap().sum).collect();
+        let sums: Vec<i64> = seq.iter().map(|c| c.open(&keys.dec, &key).unwrap().sum).collect();
         assert_eq!(sums, vec![1, -1, 4, 2, 3]);
         // Timestamps strictly increase across the sequence.
         let ts: Vec<i64> = seq.iter().map(|c| c.open(&keys.dec, &key).unwrap().ts[0]).collect();

@@ -7,11 +7,13 @@
 //! the two SFE questions. [`BrokerBehavior`] hooks let a compromised
 //! broker mis-aggregate in exactly the ways §5.2 analyzes.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use gridmine_arm::CandidateRule;
 use gridmine_paillier::{CipherError, HomCipher};
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::attack::BrokerBehavior;
 use crate::counter::{CounterLayout, SecureCounter};
@@ -56,6 +58,11 @@ pub struct Broker<C: HomCipher> {
     /// assigned to this resource, included in messages sent *to* v.
     shares_from: HashMap<usize, C::Ct>,
     rules: HashMap<CandidateRule, Instance<C>>,
+    /// Seed for the blinding factors `ρ` drawn in [`Broker::blinded_delta`];
+    /// derived from the driver seed so replays are byte-identical.
+    rho_seed: u64,
+    /// Blinding draws made so far (each draw uses a fresh stream).
+    rho_ctr: Cell<u64>,
     /// Injected deviation (Honest in normal operation).
     pub behavior: BrokerBehavior,
     /// Messages sent (protocol-cost accounting).
@@ -63,14 +70,17 @@ pub struct Broker<C: HomCipher> {
 }
 
 impl<C: HomCipher> Broker<C> {
-    /// Builds a broker. `cipher` should be a key-free handle.
-    pub fn new(id: usize, cipher: C, layout: CounterLayout) -> Self {
+    /// Builds a broker. `cipher` should be a key-free handle; `seed`
+    /// drives the SFE blinding factors (deterministic per driver seed).
+    pub fn new(id: usize, cipher: C, layout: CounterLayout, seed: u64) -> Self {
         Broker {
             id,
             cipher,
             layout,
             shares_from: HashMap::new(),
             rules: HashMap::new(),
+            rho_seed: seed ^ (id as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            rho_ctr: Cell::new(0),
             behavior: BrokerBehavior::Honest,
             msgs_sent: 0,
         }
@@ -111,27 +121,29 @@ impl<C: HomCipher> Broker<C> {
         self.rules.clear();
     }
 
-    /// Key-free well-formedness screen for a wire-received counter: every
-    /// field and the tag must support the full homomorphic algebra. Lets
-    /// the resource reject malformed counters at the door and blame the
-    /// sender, instead of hitting an undefined `A−`/scalar mid-aggregate.
+    /// Key-free well-formedness screen for a wire-received counter: the
+    /// field count must match *this broker's* layout (a counter sealed
+    /// under a foreign or stale overlay — wrong arity — would otherwise
+    /// panic the arity assertions deep in the aggregation algebra), and
+    /// every field and the tag must support the full homomorphic algebra.
+    /// Lets the resource reject malformed counters at the door and blame
+    /// the sender, instead of hitting an undefined `A−`/scalar
+    /// mid-aggregate.
     pub fn counter_is_wellformed(&self, counter: &SecureCounter<C>) -> bool {
-        counter
-            .msg
-            .fields
-            .iter()
-            .chain(std::iter::once(&counter.msg.tag))
-            .all(|c| self.cipher.is_wellformed(c))
+        counter.msg.arity() == self.layout.arity()
+            && counter.layout.arity() == self.layout.arity()
+            && counter
+                .msg
+                .fields
+                .iter()
+                .chain(std::iter::once(&counter.msg.tag))
+                .all(|c| self.cipher.is_wellformed(c))
     }
 
-    /// The stored share for messages toward `v`.
-    ///
-    /// # Panics
-    /// Panics if initialization never delivered `v`'s share.
-    pub fn share_for_sending_to(&self, v: usize) -> &C::Ct {
-        self.shares_from
-            .get(&v)
-            .unwrap_or_else(|| panic!("no share from neighbor {v} (initialization incomplete)"))
+    /// The stored share for messages toward `v`, or `None` while
+    /// initialization has not yet delivered `v`'s share.
+    pub fn share_for_sending_to(&self, v: usize) -> Option<&C::Ct> {
+        self.shares_from.get(&v)
     }
 
     /// Creates the voting instance for a rule from the accountant's
@@ -150,28 +162,38 @@ impl<C: HomCipher> Broker<C> {
         });
     }
 
-    /// Replaces the local counter (a new accountant response).
-    ///
-    /// # Panics
-    /// Panics if the instance does not exist.
+    /// Replaces the local counter (a new accountant response). A no-op
+    /// when no instance exists for `cand` (a local wiring bug:
+    /// `init_rule` always precedes in both drivers — debug builds assert).
     pub fn set_local(&mut self, cand: &CandidateRule, counter: SecureCounter<C>) {
-        self.instance_mut(cand).local = counter;
+        let inst = self.rules.get_mut(cand);
+        debug_assert!(inst.is_some(), "no instance for {cand} at broker {}", self.id);
+        if let Some(inst) = inst {
+            inst.local = counter;
+        }
     }
 
     /// Handles a received counter from neighbor `v`. A `Replay(v)` broker
     /// lets the first two counters through (so the controller's trace
     /// advances), then reverts to the first one — the selective reuse of
-    /// §5.2 that the timestamp vector exists to catch.
+    /// §5.2 that the timestamp vector exists to catch. Counters for
+    /// unknown candidates are dropped (the resource adopts the candidate
+    /// *before* forwarding its counter here).
     pub fn on_receive(&mut self, cand: &CandidateRule, v: usize, counter: SecureCounter<C>) {
         let behavior = self.behavior;
-        let inst = self.instance_mut(cand);
+        let Some(inst) = self.rules.get_mut(cand) else {
+            debug_assert!(false, "no instance for {cand} at broker {}", self.id);
+            return;
+        };
         inst.first_recv.entry(v).or_insert_with(|| counter.clone());
         let seen = inst.recv_count.entry(v).or_insert(0);
         *seen += 1;
         match behavior {
             BrokerBehavior::Replay(victim) if victim == v && *seen > 2 => {
-                let stale = inst.first_recv[&v].clone();
-                inst.recv.insert(v, stale);
+                if let Some(stale) = inst.first_recv.get(&v) {
+                    let stale = stale.clone();
+                    inst.recv.insert(v, stale);
+                }
             }
             _ => {
                 inst.recv.insert(v, counter);
@@ -179,22 +201,17 @@ impl<C: HomCipher> Broker<C> {
         }
     }
 
-    fn instance_mut(&mut self, cand: &CandidateRule) -> &mut Instance<C> {
-        self.rules
-            .get_mut(cand)
-            .unwrap_or_else(|| panic!("no instance for {cand} at broker {}", self.id))
-    }
-
-    fn instance(&self, cand: &CandidateRule) -> &Instance<C> {
-        self.rules
-            .get(cand)
-            .unwrap_or_else(|| panic!("no instance for {cand} at broker {}", self.id))
+    fn instance(&self, cand: &CandidateRule) -> Option<&Instance<C>> {
+        let inst = self.rules.get(cand);
+        debug_assert!(inst.is_some(), "no instance for {cand} at broker {}", self.id);
+        inst
     }
 
     /// The full aggregate `Σ_{v ∈ N} …` — local counter plus every
-    /// neighbor's latest — with behaviour deviations applied.
-    pub fn full_aggregate(&self, cand: &CandidateRule) -> SecureCounter<C> {
-        let inst = self.instance(cand);
+    /// neighbor's latest — with behaviour deviations applied. `None` when
+    /// no instance exists for `cand`.
+    pub fn full_aggregate(&self, cand: &CandidateRule) -> Option<SecureCounter<C>> {
+        let inst = self.instance(cand)?;
         let mut agg = inst.local.clone();
         for (&v, c) in &inst.recv {
             if matches!(self.behavior, BrokerBehavior::OmitNeighbor(w) if w == v) {
@@ -212,7 +229,7 @@ impl<C: HomCipher> Broker<C> {
                 (0..agg.msg.arity()).map(|i| self.cipher.encrypt_i64(1_000 + i as i64)).collect();
             agg.msg.fields = garbage;
         }
-        agg
+        Some(agg)
     }
 
     /// The multiplicatively blinded majority counter
@@ -225,46 +242,57 @@ impl<C: HomCipher> Broker<C> {
     /// Fallible: the aggregate mixes wire-received ciphertexts, and a
     /// hostile peer can mail a non-unit value (e.g. a multiple of a prime
     /// factor of `n`) on which `A−`/scalar are undefined. That surfaces
-    /// here as a [`CipherError`], never a panic.
-    pub fn blinded_delta(&self, cand: &CandidateRule) -> Result<C::Ct, CipherError> {
-        let agg = self.full_aggregate(cand);
-        let sum = &agg.msg.fields[crate::counter::F_SUM];
-        let count = &agg.msg.fields[crate::counter::F_COUNT];
+    /// here as a [`CipherError`], never a panic. The caller supplies the
+    /// aggregate (usually its own [`Broker::full_aggregate`] result, which
+    /// it needs for the accompanying SFE anyway).
+    pub fn blinded_delta(
+        &self,
+        cand: &CandidateRule,
+        agg: &SecureCounter<C>,
+    ) -> Result<C::Ct, CipherError> {
+        let mut fields = agg.msg.fields.iter();
+        let (Some(sum), Some(count)) = (fields.next(), fields.next()) else {
+            // Fewer than two fields: nothing the delta algebra is defined
+            // on — the same verdict path as an undefined scalar.
+            return Err(CipherError::NotAUnit);
+        };
         let lambda = cand.lambda;
         let delta = self.cipher.try_sub(
             &self.cipher.try_scalar(lambda.den() as i64, sum)?,
             &self.cipher.try_scalar(lambda.num() as i64, count)?,
         )?;
-        let rho = rand::thread_rng().gen_range(1i64..1 << 16);
+        let draw = self.rho_ctr.get();
+        self.rho_ctr.set(draw.wrapping_add(1));
+        let mut rng = SmallRng::seed_from_u64(self.rho_seed ^ draw.wrapping_mul(0x9E37_79B9));
+        let rho = rng.gen_range(1i64..1 << 16);
         self.cipher.try_scalar(rho, &delta)
     }
 
     /// The aggregate without neighbor `v`'s contribution (the `Update(v)`
-    /// payload source).
-    pub fn minus_aggregate(&self, cand: &CandidateRule, v: usize) -> SecureCounter<C> {
-        let inst = self.instance(cand);
+    /// payload source). `None` when no instance exists for `cand`.
+    pub fn minus_aggregate(&self, cand: &CandidateRule, v: usize) -> Option<SecureCounter<C>> {
+        let inst = self.instance(cand)?;
         let mut agg = inst.local.clone();
         for (&w, c) in &inst.recv {
             if w != v {
                 agg = agg.add(&self.cipher, c);
             }
         }
-        agg
+        Some(agg)
     }
 
     /// The latest counter from `v` (placeholder if nothing arrived yet),
-    /// rerandomized so repeated SFE inputs are unlinkable.
-    pub fn recv_of(&self, cand: &CandidateRule, v: usize) -> SecureCounter<C> {
-        self.instance(cand)
-            .recv
-            .get(&v)
-            .unwrap_or_else(|| panic!("no recv state for neighbor {v}"))
-            .rerandomize(&self.cipher)
+    /// rerandomized so repeated SFE inputs are unlinkable. `None` when
+    /// the instance or the neighbor's slot is missing.
+    pub fn recv_of(&self, cand: &CandidateRule, v: usize) -> Option<SecureCounter<C>> {
+        Some(self.instance(cand)?.recv.get(&v)?.rerandomize(&self.cipher))
     }
 
-    /// Neighbor ids with instance state for `cand`.
+    /// Neighbor ids with instance state for `cand` (empty when no
+    /// instance exists).
     pub fn instance_neighbors(&self, cand: &CandidateRule) -> Vec<usize> {
-        let mut v: Vec<usize> = self.instance(cand).recv.keys().copied().collect();
+        let mut v: Vec<usize> =
+            self.instance(cand).map(|i| i.recv.keys().copied().collect()).unwrap_or_default();
         v.sort_unstable();
         v
     }
@@ -294,7 +322,7 @@ mod tests {
         let db = Database::from_transactions(vec![Transaction::of(0, &[1])]);
         let mut acc =
             Accountant::new(0, keys.enc.clone(), keys.tags.clone(), layout.clone(), db, 3);
-        let mut broker = Broker::new(0, keys.pub_ops.clone(), layout);
+        let mut broker = Broker::new(0, keys.pub_ops.clone(), layout, 0x5EED);
         let r = rule();
         acc.register_rule(&r);
         acc.scan_all(&r);
@@ -309,17 +337,13 @@ mod tests {
         // receiver layout, receiver-assigned share.
         let layout = f.broker.layout().clone();
         let key = f.keys.tags.key(layout.arity());
-        let share = f
-            .acc
-            .placeholder_for(from)
-            .open(&f.keys.dec, &key)
-            .unwrap()
-            .share;
+        let share = f.acc.placeholder_for(from).open(&f.keys.dec, &key).unwrap().share;
         SecureCounter::seal_outgoing(&f.keys.enc, &key, &layout, from, sum, count, 1, share, ts)
+            .unwrap()
     }
 
-    fn open_full(f: &Fix) -> crate::counter::PlainCounter {
-        let agg = f.broker.full_aggregate(&rule());
+    fn open_full(f: &Fix) -> crate::plain::PlainCounter {
+        let agg = f.broker.full_aggregate(&rule()).unwrap();
         let key = f.keys.tags.key(agg.layout.arity());
         agg.open(&f.keys.dec, &key).unwrap()
     }
@@ -364,7 +388,7 @@ mod tests {
     fn arbitrary_value_breaks_tag() {
         let mut f = fix();
         f.broker.behavior = BrokerBehavior::ArbitraryValue;
-        let agg = f.broker.full_aggregate(&rule());
+        let agg = f.broker.full_aggregate(&rule()).unwrap();
         let key = f.keys.tags.key(agg.layout.arity());
         assert!(agg.open(&f.keys.dec, &key).is_err());
     }
@@ -390,9 +414,9 @@ mod tests {
         f.broker.on_receive(&rule(), 1, incoming(&f, 1, 5, 9, 1));
         f.broker.on_receive(&rule(), 2, incoming(&f, 2, 7, 11, 1));
         let key = f.keys.tags.key(f.broker.layout().arity());
-        let m1 = f.broker.minus_aggregate(&rule(), 1).open(&f.keys.dec, &key).unwrap();
+        let m1 = f.broker.minus_aggregate(&rule(), 1).unwrap().open(&f.keys.dec, &key).unwrap();
         assert_eq!((m1.sum, m1.count, m1.num), (8, 12, 2));
-        let m2 = f.broker.minus_aggregate(&rule(), 2).open(&f.keys.dec, &key).unwrap();
+        let m2 = f.broker.minus_aggregate(&rule(), 2).unwrap().open(&f.keys.dec, &key).unwrap();
         assert_eq!((m2.sum, m2.count, m2.num), (6, 10, 2));
     }
 
@@ -401,13 +425,10 @@ mod tests {
         let mut f = fix();
         let c = incoming(&f, 1, 5, 9, 1);
         f.broker.on_receive(&rule(), 1, c);
-        let a = f.broker.recv_of(&rule(), 1);
-        let b = f.broker.recv_of(&rule(), 1);
+        let a = f.broker.recv_of(&rule(), 1).unwrap();
+        let b = f.broker.recv_of(&rule(), 1).unwrap();
         assert_ne!(a, b, "unlinkable");
         let key = f.keys.tags.key(a.layout.arity());
-        assert_eq!(
-            a.open(&f.keys.dec, &key).unwrap(),
-            b.open(&f.keys.dec, &key).unwrap()
-        );
+        assert_eq!(a.open(&f.keys.dec, &key).unwrap(), b.open(&f.keys.dec, &key).unwrap());
     }
 }

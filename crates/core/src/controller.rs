@@ -31,8 +31,9 @@ use gridmine_arm::CandidateRule;
 use gridmine_obs::{emit, Event, SfeKind, SharedRecorder, VerdictKind};
 use gridmine_paillier::HomCipher;
 
-use crate::counter::{CounterLayout, PlainCounter, SecureCounter};
+use crate::counter::{CounterLayout, SecureCounter};
 use crate::keyring::TagKeyring;
+use crate::plain::PlainCounter;
 use crate::sfe::{majority_send_cond, GateMode, KGate};
 use crate::shares::share_reduce;
 
@@ -192,9 +193,7 @@ impl<C: HomCipher> Controller<C> {
     fn audit_state(&mut self, rule: &CandidateRule) -> &mut RuleAudit {
         let slots = self.layout.arity() - crate::counter::F_TS;
         let (k, mode) = (self.k, self.gate_mode);
-        self.rules
-            .entry(rule.clone())
-            .or_insert_with(|| RuleAudit::new(k, mode, slots))
+        self.rules.entry(rule.clone()).or_insert_with(|| RuleAudit::new(k, mode, slots))
     }
 
     fn raise(&mut self, v: Verdict) -> Verdict {
@@ -380,9 +379,7 @@ impl<C: HomCipher> Controller<C> {
             // either (after a send, Δ^uv = Δ^u until something changes).
             let payload = (p_minus.sum, p_minus.count, p_minus.num);
             let already_sent = audit.last_sent.contains_key(&v);
-            if !decision
-                || (already_sent && payload == last)
-                || (!already_sent && p_minus.num == 0)
+            if !decision || (already_sent && payload == last) || (!already_sent && p_minus.num == 0)
             {
                 return Ok(None);
             }
@@ -394,7 +391,10 @@ impl<C: HomCipher> Controller<C> {
             audit.clock
         };
 
-        Ok(Some(SecureCounter::seal_outgoing(
+        // The caller resolved `receiver_layout` from its own neighbor set,
+        // so the sender always has a timestamp slot in it; a `None` here is
+        // a wiring bug on the trusted side, not wire input.
+        Ok(SecureCounter::seal_outgoing(
             &self.cipher,
             &key,
             receiver_layout,
@@ -404,7 +404,7 @@ impl<C: HomCipher> Controller<C> {
             p_minus.num,
             share_plain,
             t_out,
-        )))
+        ))
     }
 }
 
@@ -444,11 +444,28 @@ mod tests {
     ) -> (SecureCounter<MockCipher>, SecureCounter<MockCipher>, SecureCounter<MockCipher>) {
         let key = f.keys.tags.key(f.layout.arity());
         let own_share = share_reduce(1 - 77);
-        let local =
-            SecureCounter::seal_local(&f.keys.enc, &key, &f.layout, own.0, own.1, own.2, own_share, ts_own);
-        let recv = SecureCounter::seal_outgoing(
-            &f.keys.enc, &key, &f.layout, 1, from_v.0, from_v.1, from_v.2, 77, ts_v,
+        let local = SecureCounter::seal_local(
+            &f.keys.enc,
+            &key,
+            &f.layout,
+            own.0,
+            own.1,
+            own.2,
+            own_share,
+            ts_own,
         );
+        let recv = SecureCounter::seal_outgoing(
+            &f.keys.enc,
+            &key,
+            &f.layout,
+            1,
+            from_v.0,
+            from_v.1,
+            from_v.2,
+            77,
+            ts_v,
+        )
+        .unwrap();
         let full = local.add(&f.keys.pub_ops, &recv);
         (full, local, recv)
     }
@@ -527,7 +544,7 @@ mod tests {
         assert_eq!((p.sum, p.count, p.num), (4, 10, 1));
         assert_eq!(p.share, 123);
         // Lamport time strictly above everything seen (max ts was 1).
-        assert_eq!(p.ts[receiver_layout.ts_slot(0) - crate::counter::F_TS], 2);
+        assert_eq!(p.ts[receiver_layout.ts_slot(0).unwrap() - crate::counter::F_TS], 2);
     }
 
     #[test]
@@ -537,7 +554,7 @@ mod tests {
         // Lie about recv_v: a different counter than the one aggregated.
         let key = f.keys.tags.key(f.layout.arity());
         let bogus_recv =
-            SecureCounter::seal_outgoing(&f.keys.enc, &key, &f.layout, 1, 0, 0, 0, 77, 1);
+            SecureCounter::seal_outgoing(&f.keys.enc, &key, &f.layout, 1, 0, 0, 0, 77, 1).unwrap();
         let receiver_layout = CounterLayout::new(1, vec![0]);
         let share = f.keys.enc.encrypt_i64(5);
         assert_eq!(
@@ -552,16 +569,12 @@ mod tests {
         let (full, minus, recv) = triple(&f, (4, 10, 1), (6, 10, 1), 1, 1);
         let receiver_layout = CounterLayout::new(1, vec![0]);
         let share = f.keys.enc.encrypt_i64(5);
-        let first = f
-            .ctl
-            .send_query(&rule(), 1, &receiver_layout, &full, &minus, &recv, &share)
-            .unwrap();
+        let first =
+            f.ctl.send_query(&rule(), 1, &receiver_layout, &full, &minus, &recv, &share).unwrap();
         assert!(first.is_some());
         // Identical aggregate again: suppressed.
-        let second = f
-            .ctl
-            .send_query(&rule(), 1, &receiver_layout, &full, &minus, &recv, &share)
-            .unwrap();
+        let second =
+            f.ctl.send_query(&rule(), 1, &receiver_layout, &full, &minus, &recv, &share).unwrap();
         assert!(second.is_none());
     }
 }

@@ -15,9 +15,7 @@
 //! "u assigns, in preprocessing, an entry in this vector to each neighbor"
 //! (§5.2).
 
-use gridmine_paillier::{CounterMsg, HomCipher, ObliviousError, TagKey};
-
-use crate::shares::share_reduce;
+use gridmine_paillier::{CounterMsg, HomCipher, TagKey};
 
 /// Field indices within the sealed tuple.
 pub const F_SUM: usize = 0;
@@ -55,33 +53,11 @@ impl CounterLayout {
         F_TS + 1 + self.neighbors.len()
     }
 
-    /// The timestamp slot of neighbor `v`.
-    ///
-    /// # Panics
-    /// Panics if `v` is not a neighbor of the owner.
-    pub fn ts_slot(&self, v: usize) -> usize {
-        let pos = self
-            .neighbors
-            .iter()
-            .position(|&n| n == v)
-            .unwrap_or_else(|| panic!("resource {v} is not a neighbor of {}", self.owner));
-        F_TS + 1 + pos
+    /// The timestamp slot of neighbor `v`, or `None` when `v` is not a
+    /// neighbor of the owner.
+    pub fn ts_slot(&self, v: usize) -> Option<usize> {
+        self.neighbors.iter().position(|&n| n == v).map(|pos| F_TS + 1 + pos)
     }
-}
-
-/// Decrypted view of a counter (controller side only).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct PlainCounter {
-    /// Aggregated `sum` votes.
-    pub sum: i64,
-    /// Aggregated transaction count.
-    pub count: i64,
-    /// Aggregated resource count.
-    pub num: i64,
-    /// Share field, reduced into the share field modulus.
-    pub share: i64,
-    /// Timestamp vector `(T_⊥, T_v₁ …)`.
-    pub ts: Vec<i64>,
 }
 
 /// A sealed counter tuple plus the layout it was sealed under.
@@ -117,18 +93,24 @@ impl<C: HomCipher> SecureCounter<C> {
         own_share: i64,
         ts: i64,
     ) -> Self {
-        let mut fields = vec![0i64; layout.arity()];
-        fields[F_SUM] = sum;
-        fields[F_COUNT] = count;
-        fields[F_NUM] = num;
-        fields[F_SHARE] = own_share;
-        fields[F_TS] = ts;
+        let fields: Vec<i64> = (0..layout.arity())
+            .map(|i| match i {
+                F_SUM => sum,
+                F_COUNT => count,
+                F_NUM => num,
+                F_SHARE => own_share,
+                F_TS => ts,
+                _ => 0,
+            })
+            .collect();
         SecureCounter { msg: CounterMsg::seal(cipher, key, &fields), layout: layout.clone() }
     }
 
     /// Controller-side sealing of an *outgoing* message from `sender` to the
     /// layout's owner: the aggregate values, the receiver-assigned share,
-    /// and the sender's logical time in its designated slot.
+    /// and the sender's logical time in its designated slot. `None` when
+    /// `sender` has no slot in `receiver_layout` (a wiring error the
+    /// caller surfaces however fits its trust level).
     #[allow(clippy::too_many_arguments)]
     pub fn seal_outgoing(
         cipher: &C,
@@ -140,17 +122,22 @@ impl<C: HomCipher> SecureCounter<C> {
         num: i64,
         receiver_share_for_sender: i64,
         sender_time: i64,
-    ) -> Self {
-        let mut fields = vec![0i64; receiver_layout.arity()];
-        fields[F_SUM] = sum;
-        fields[F_COUNT] = count;
-        fields[F_NUM] = num;
-        fields[F_SHARE] = receiver_share_for_sender;
-        fields[receiver_layout.ts_slot(sender)] = sender_time;
-        SecureCounter {
+    ) -> Option<Self> {
+        let slot = receiver_layout.ts_slot(sender)?;
+        let fields: Vec<i64> = (0..receiver_layout.arity())
+            .map(|i| match i {
+                F_SUM => sum,
+                F_COUNT => count,
+                F_NUM => num,
+                F_SHARE => receiver_share_for_sender,
+                i if i == slot => sender_time,
+                _ => 0,
+            })
+            .collect();
+        Some(SecureCounter {
             msg: CounterMsg::seal(cipher, key, &fields),
             layout: receiver_layout.clone(),
-        }
+        })
     }
 
     /// An all-zero counter with a valid tag (additive identity).
@@ -182,18 +169,6 @@ impl<C: HomCipher> SecureCounter<C> {
     pub fn wire_bytes(&self) -> usize {
         self.msg.fields.iter().map(|c| C::ct_bytes(c)).sum::<usize>() + C::ct_bytes(&self.msg.tag)
     }
-
-    /// Controller-side: verify the tag and decrypt.
-    pub fn open(&self, cipher: &C, key: &TagKey) -> Result<PlainCounter, ObliviousError> {
-        let fields = self.msg.open(cipher, key)?;
-        Ok(PlainCounter {
-            sum: fields[F_SUM],
-            count: fields[F_COUNT],
-            num: fields[F_NUM],
-            share: share_reduce(fields[F_SHARE]),
-            ts: fields[F_TS..].to_vec(),
-        })
-    }
 }
 
 #[cfg(test)]
@@ -211,14 +186,25 @@ mod tests {
         let l = CounterLayout::new(0, vec![3, 1, 2, 1]);
         assert_eq!(l.neighbors, vec![1, 2, 3]);
         assert_eq!(l.arity(), F_TS + 4);
-        assert_eq!(l.ts_slot(1), F_TS + 1);
-        assert_eq!(l.ts_slot(3), F_TS + 3);
+        assert_eq!(l.ts_slot(1), Some(F_TS + 1));
+        assert_eq!(l.ts_slot(3), Some(F_TS + 3));
     }
 
     #[test]
-    #[should_panic(expected = "not a neighbor")]
-    fn foreign_ts_slot_panics() {
-        CounterLayout::new(0, vec![1]).ts_slot(9);
+    fn foreign_ts_slot_is_none() {
+        assert_eq!(CounterLayout::new(0, vec![1]).ts_slot(9), None);
+        assert!(SecureCounter::seal_outgoing(
+            &GridKeys::mock(1).enc,
+            &GridKeys::mock(1).tags.key(6),
+            &CounterLayout::new(0, vec![1]),
+            9,
+            0,
+            0,
+            0,
+            0,
+            0
+        )
+        .is_none());
     }
 
     #[test]
@@ -236,7 +222,8 @@ mod tests {
         let (keys, layout) = setup();
         let key = keys.tags.key(layout.arity());
         let local = SecureCounter::seal_local(&keys.enc, &key, &layout, 5, 8, 1, 100, 2);
-        let from_1 = SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 1, 3, 4, 2, 200, 9);
+        let from_1 =
+            SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 1, 3, 4, 2, 200, 9).unwrap();
         let agg = local.add(&keys.pub_ops, &from_1);
         let p = agg.open(&keys.dec, &key).unwrap();
         assert_eq!((p.sum, p.count, p.num, p.share), (8, 12, 3, 300));
@@ -271,7 +258,8 @@ mod tests {
         let layout = CounterLayout::new(7, vec![3]);
         let key = keys.tags.key(layout.arity());
         let local = SecureCounter::seal_local(&keys.enc, &key, &layout, 11, 20, 1, 5, 1);
-        let inc = SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 3, 9, 10, 4, 6, 2);
+        let inc =
+            SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 3, 9, 10, 4, 6, 2).unwrap();
         let agg = local.add(&keys.pub_ops, &inc).rerandomize(&keys.pub_ops);
         let p = agg.open(&keys.dec, &key).unwrap();
         assert_eq!((p.sum, p.count, p.num, p.share), (20, 30, 5, 11));

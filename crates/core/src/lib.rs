@@ -29,6 +29,12 @@
 //! structured observability (`gridmine-obs` recorders). The older
 //! `mine_secure*` free functions remain as deprecated shims.
 
+// Protocol crate: the paper's adversary model makes every panic a
+// denial-of-service lever, so `.unwrap()` outside tests is part of the
+// lint wall (the gridlint panic-freedom rule covers the hot modules;
+// this covers the rest of the crate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod accountant;
 pub mod attack;
 pub mod broker;
@@ -39,6 +45,7 @@ pub mod keyring;
 pub mod kttp;
 pub mod miner;
 pub mod packed;
+pub mod plain;
 pub mod resource;
 pub mod session;
 pub mod sfe;
@@ -51,13 +58,14 @@ pub use broker::{Broker, BrokerMsg};
 pub use chaos::{ChaosReport, DegradeReason, ResourceStatus};
 pub use controller::{Controller, Verdict};
 pub use counter::{CounterLayout, SecureCounter};
+pub use gridmine_recovery::{RecoveryMode, RecoveryPolicy, RetryPolicy};
 pub use keyring::GridKeys;
 pub use kttp::KTtp;
 #[allow(deprecated)]
 pub use miner::mine_secure;
 pub use miner::{MineConfig, MiningOutcome};
 pub use packed::PackedCounter;
-pub use gridmine_recovery::{RecoveryMode, RecoveryPolicy, RetryPolicy};
+pub use plain::PlainCounter;
 pub use resource::{SecureResource, WireMsg};
 pub use session::{MineSession, SessionCipher, SessionError};
 pub use sfe::{GateMode, KGate};

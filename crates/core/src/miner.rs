@@ -111,10 +111,7 @@ pub fn mine_secure<C: HomCipher + 'static>(
     dbs: Vec<Database>,
     cfg: MineConfig,
 ) -> MiningOutcome {
-    MineSession::over(cfg, keys.clone())
-        .with_topology(tree.clone())
-        .with_databases(dbs)
-        .run()
+    MineSession::over(cfg, keys.clone()).with_topology(tree.clone()).with_databases(dbs).run()
 }
 
 #[cfg(test)]

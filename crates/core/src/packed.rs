@@ -16,9 +16,9 @@
 //! fields would borrow across slot boundaries).
 
 use gridmine_paillier::slots::{Slot, SlotLayout};
-use gridmine_paillier::{Ciphertext, HomCipher, ObliviousError, PaillierCtx, TagKey};
+use gridmine_paillier::{Ciphertext, HomCipher, PaillierCtx, TagKey};
 
-use crate::counter::{CounterLayout, PlainCounter};
+use crate::counter::CounterLayout;
 
 /// Share modulus for the packed format: 2³¹ (a power of two so the
 /// modular slot's wrap-around is a bitmask). Packed shares are generated
@@ -72,12 +72,13 @@ impl PackedCounter {
         let packed = slots.pack(&values);
         let ct = ctx.encrypt_residue(&packed);
         // The same linear tag as the tuple format, over the field values.
-        let tag_plain: i64 = fields
-            .iter()
-            .enumerate()
-            .map(|(i, &m)| key.coeff(i) * m)
-            .sum();
-        PackedCounter { ct, tag: ctx.encrypt_i64(tag_plain), layout: layout.clone() }
+        PackedCounter { ct, tag: ctx.encrypt_i64(key.tag_plain(fields)), layout: layout.clone() }
+    }
+
+    /// The slot layout of this counter's packing (shared with the
+    /// controller-side unpacker in [`crate::plain`]).
+    pub(crate) fn slots(&self) -> SlotLayout {
+        slot_layout(&self.layout)
     }
 
     /// Key-free aggregation: one homomorphic addition for the entire
@@ -100,38 +101,6 @@ impl PackedCounter {
         }
     }
 
-    /// Controller-side: decrypt, unpack, verify the tag.
-    ///
-    /// The tag is checked against the share *pre-reduction* running sum,
-    /// which the slot layout cannot represent once it wraps — so the tag
-    /// uses the reduced share, and verification reduces likewise.
-    pub fn open(&self, ctx: &PaillierCtx, key: &TagKey) -> Result<PlainCounter, ObliviousError> {
-        let slots = slot_layout(&self.layout);
-        let packed = ctx.decrypt_residue(&self.ct);
-        let values = slots.unpack(&packed).values;
-        let fields: Vec<i64> = values.iter().map(|&v| v as i64).collect();
-
-        // Tag verification: the share slot reduced modulo 2³¹ no longer
-        // matches the un-reduced running sum the tag accumulated, so the
-        // tag must be checked modulo coeff(share)·2³¹ contributions.
-        let tag = ctx.decrypt_i64(&self.tag);
-        let expect: i64 = fields.iter().enumerate().map(|(i, &m)| key.coeff(i) * m).sum();
-        let share_coeff = key.coeff(crate::counter::F_SHARE);
-        let diff = tag - expect;
-        let share_period = share_coeff * PACKED_SHARE_MODULUS;
-        if diff % share_period != 0 {
-            return Err(ObliviousError::TagMismatch);
-        }
-
-        Ok(PlainCounter {
-            sum: fields[crate::counter::F_SUM],
-            count: fields[crate::counter::F_COUNT],
-            num: fields[crate::counter::F_NUM],
-            share: fields[crate::counter::F_SHARE],
-            ts: fields[crate::counter::F_TS..].to_vec(),
-        })
-    }
-
     /// Wire size in bytes: the packed ciphertext plus the tag.
     pub fn wire_bytes(&self) -> usize {
         self.ct.byte_len() + self.tag.byte_len()
@@ -143,7 +112,7 @@ mod tests {
     use super::*;
     use crate::counter::SecureCounter;
     use crate::keyring::GridKeys;
-    use gridmine_paillier::Keypair;
+    use gridmine_paillier::{Keypair, ObliviousError};
 
     fn setup() -> (PaillierCtx, PaillierCtx, CounterLayout, TagKey) {
         let kp = Keypair::generate_with_seed(512, 0xFACE);
@@ -153,7 +122,14 @@ mod tests {
         (kp.encryptor(), kp.decryptor(), layout, key)
     }
 
-    fn fields(layout: &CounterLayout, sum: i64, count: i64, num: i64, share: i64, ts0: i64) -> Vec<i64> {
+    fn fields(
+        layout: &CounterLayout,
+        sum: i64,
+        count: i64,
+        num: i64,
+        share: i64,
+        ts0: i64,
+    ) -> Vec<i64> {
         let mut f = vec![0i64; layout.arity()];
         f[0] = sum;
         f[1] = count;
@@ -185,7 +161,12 @@ mod tests {
     #[test]
     fn share_slot_wraps_modulo_2_31() {
         let (e, d, layout, key) = setup();
-        let a = PackedCounter::seal(&e, &key, &layout, &fields(&layout, 0, 0, 0, PACKED_SHARE_MODULUS - 1, 0));
+        let a = PackedCounter::seal(
+            &e,
+            &key,
+            &layout,
+            &fields(&layout, 0, 0, 0, PACKED_SHARE_MODULUS - 1, 0),
+        );
         let b = PackedCounter::seal(&e, &key, &layout, &fields(&layout, 0, 0, 0, 5, 0));
         let p = a.add(&e, &b).open(&d, &key).unwrap();
         assert_eq!(p.share, 4, "wrap-around share arithmetic");

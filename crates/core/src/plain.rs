@@ -1,0 +1,102 @@
+//! Controller-side plaintext views: the **only** module of the wire
+//! layer allowed to name decryption.
+//!
+//! The wire formats themselves ([`crate::counter`], [`crate::packed`])
+//! are handled by brokers, which hold no key — so those modules carry the
+//! sealing and the key-free algebra, while everything that turns a sealed
+//! counter back into numbers lives here, behind the controller's SFE gate
+//! (§4.3: "only controllers can decrypt"). `gridlint`'s privacy-taint
+//! rule enforces the split: `PlainCounter`, `open` and the `decrypt_*`
+//! family are banned identifiers in every key-blind module.
+
+use gridmine_paillier::{HomCipher, ObliviousError, PaillierCtx, TagKey};
+
+use crate::counter::{SecureCounter, F_SHARE, F_TS};
+use crate::packed::{PackedCounter, PACKED_SHARE_MODULUS};
+use crate::shares::share_reduce;
+
+/// Decrypted view of a counter (controller side only).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlainCounter {
+    /// Aggregated `sum` votes.
+    pub sum: i64,
+    /// Aggregated transaction count.
+    pub count: i64,
+    /// Aggregated resource count.
+    pub num: i64,
+    /// Share field, reduced into the share field modulus.
+    pub share: i64,
+    /// Timestamp vector `(T_⊥, T_v₁ …)`.
+    pub ts: Vec<i64>,
+}
+
+/// Splits an opened field vector into the fixed head and the timestamp
+/// tail without indexing (`CounterMsg::open` guarantees
+/// `fields.len() == key.arity() ≥ F_TS + 1`, but the split stays total
+/// anyway).
+fn split_fields(fields: &[i64]) -> Result<(i64, i64, i64, i64, Vec<i64>), ObliviousError> {
+    let mut it = fields.iter().copied();
+    match (it.next(), it.next(), it.next(), it.next()) {
+        (Some(sum), Some(count), Some(num), Some(share)) => {
+            Ok((sum, count, num, share, it.collect()))
+        }
+        _ => Err(ObliviousError::ArityMismatch { expected: F_TS + 1, got: fields.len() }),
+    }
+}
+
+impl<C: HomCipher> SecureCounter<C> {
+    /// Controller-side: verify the tag and decrypt.
+    pub fn open(&self, cipher: &C, key: &TagKey) -> Result<PlainCounter, ObliviousError> {
+        let fields = self.msg.open(cipher, key)?;
+        let (sum, count, num, share, ts) = split_fields(&fields)?;
+        Ok(PlainCounter { sum, count, num, share: share_reduce(share), ts })
+    }
+}
+
+impl PackedCounter {
+    /// Controller-side: decrypt, unpack, verify the tag.
+    ///
+    /// The tag is checked against the share *pre-reduction* running sum,
+    /// which the slot layout cannot represent once it wraps — so the tag
+    /// uses the reduced share, and verification reduces likewise.
+    pub fn open(&self, ctx: &PaillierCtx, key: &TagKey) -> Result<PlainCounter, ObliviousError> {
+        let packed = ctx.decrypt_residue(&self.ct);
+        let values = self.slots().unpack(&packed).values;
+        let fields: Vec<i64> = values.iter().map(|&v| v as i64).collect();
+        if fields.len() != key.arity() {
+            return Err(ObliviousError::ArityMismatch { expected: key.arity(), got: fields.len() });
+        }
+
+        // Tag verification: the share slot reduced modulo 2³¹ no longer
+        // matches the un-reduced running sum the tag accumulated, so the
+        // tag must be checked modulo coeff(share)·2³¹ contributions.
+        let tag = ctx.decrypt_i64(&self.tag);
+        let expect = key.tag_plain(&fields);
+        let Some(share_coeff) = key.coeff(F_SHARE) else {
+            return Err(ObliviousError::ArityMismatch { expected: F_TS + 1, got: key.arity() });
+        };
+        let diff = tag - expect;
+        let share_period = share_coeff * PACKED_SHARE_MODULUS;
+        if diff % share_period != 0 {
+            return Err(ObliviousError::TagMismatch);
+        }
+
+        let (sum, count, num, share, ts) = split_fields(&fields)?;
+        Ok(PlainCounter { sum, count, num, share, ts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_rejects_short_vectors() {
+        assert!(split_fields(&[1, 2, 3]).is_err());
+        let (sum, count, num, share, ts) = split_fields(&[1, 2, 3, 4]).unwrap();
+        assert_eq!((sum, count, num, share), (1, 2, 3, 4));
+        assert!(ts.is_empty());
+        let (.., ts) = split_fields(&[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(ts, vec![5, 6]);
+    }
+}

@@ -15,9 +15,7 @@ use gridmine_arm::{CandidateRule, Database, Item, Rule, RuleSet};
 use gridmine_majority::CandidateGenerator;
 use gridmine_obs::{emit, Event, SharedRecorder};
 use gridmine_paillier::HomCipher;
-use gridmine_recovery::{
-    JournalEntry, RecoveryImage, RecoveryLog, ResourceState, RetryPolicy,
-};
+use gridmine_recovery::{JournalEntry, RecoveryImage, RecoveryLog, ResourceState, RetryPolicy};
 
 use crate::accountant::Accountant;
 use crate::attack::{BrokerBehavior, ControllerBehavior};
@@ -98,8 +96,9 @@ impl<C: HomCipher> SecureResource<C> {
         seed: u64,
     ) -> Self {
         let layout = CounterLayout::new(id, neighbors);
-        let acc = Accountant::new(id, keys.enc.clone(), keys.tags.clone(), layout.clone(), db, seed);
-        let broker = Broker::new(id, keys.pub_ops.clone(), layout.clone());
+        let acc =
+            Accountant::new(id, keys.enc.clone(), keys.tags.clone(), layout.clone(), db, seed);
+        let broker = Broker::new(id, keys.pub_ops.clone(), layout.clone(), seed);
         let ctl = Controller::new(id, keys.dec.clone(), keys.tags.clone(), k, layout.clone());
         let mut r = SecureResource {
             id,
@@ -240,10 +239,7 @@ impl<C: HomCipher> SecureResource<C> {
     /// resource degrades — stalling itself, not the grid.
     fn retry_controller(&mut self) -> bool {
         self.retries_spent += 1;
-        emit(&self.rec, || Event::SfeRetry {
-            resource: self.id as u64,
-            spent: self.retries_spent,
-        });
+        emit(&self.rec, || Event::SfeRetry { resource: self.id as u64, spent: self.retries_spent });
         if self.retries_spent >= self.retry_budget {
             self.retry_exhausted = true;
             emit(&self.rec, || Event::RetryExhausted {
@@ -302,17 +298,14 @@ impl<C: HomCipher> SecureResource<C> {
         self.broker.rewire(layout);
         let cands: Vec<CandidateRule> = self.output_cache.keys().cloned().collect();
         for cand in cands {
-            let local = self
-                .acc
-                .respond(&cand)
-                .pop()
-                .expect("accountant responds with at least one counter");
-            let placeholders = self
-                .layout
-                .neighbors
-                .iter()
-                .map(|&v| (v, self.acc.placeholder_for(v)))
-                .collect();
+            // The accountant answers every registered rule; an empty
+            // response is a local wiring bug, not wire input — skip the
+            // rule rather than panic (debug builds assert).
+            let local = self.acc.respond(&cand).pop();
+            debug_assert!(local.is_some(), "accountant mute for {cand}");
+            let Some(local) = local else { continue };
+            let placeholders =
+                self.layout.neighbors.iter().map(|&v| (v, self.acc.placeholder_for(v))).collect();
             self.broker.init_rule(&cand, local, placeholders);
         }
     }
@@ -352,17 +345,11 @@ impl<C: HomCipher> SecureResource<C> {
             return;
         }
         self.acc.register_rule(cand);
-        let local = self
-            .acc
-            .respond(cand)
-            .pop()
-            .expect("accountant responds with at least one counter");
-        let placeholders = self
-            .layout
-            .neighbors
-            .iter()
-            .map(|&v| (v, self.acc.placeholder_for(v)))
-            .collect();
+        let local = self.acc.respond(cand).pop();
+        debug_assert!(local.is_some(), "accountant mute for {cand}");
+        let Some(local) = local else { return };
+        let placeholders =
+            self.layout.neighbors.iter().map(|&v| (v, self.acc.placeholder_for(v))).collect();
         self.broker.init_rule(cand, local, placeholders);
         self.output_cache.insert(cand.clone(), false);
         self.journal(JournalEntry::RuleRegistered { rule: cand.clone() });
@@ -398,10 +385,17 @@ impl<C: HomCipher> SecureResource<C> {
                 }
                 continue;
             }
-            let full = self.broker.full_aggregate(cand);
-            let minus = self.broker.minus_aggregate(cand, v);
-            let recv = self.broker.recv_of(cand, v);
-            let share = self.broker.share_for_sending_to(v).clone();
+            // All four SFE inputs exist once wiring completed (instance
+            // created in `ensure_candidate`, share delivered at init);
+            // an incomplete edge is skipped like a missing layout above.
+            let (Some(full), Some(minus), Some(recv), Some(share)) = (
+                self.broker.full_aggregate(cand),
+                self.broker.minus_aggregate(cand, v),
+                self.broker.recv_of(cand, v),
+                self.broker.share_for_sending_to(v).cloned(),
+            ) else {
+                continue;
+            };
             match self.ctl.send_query(cand, v, &receiver_layout, &full, &minus, &recv, &share) {
                 Ok(Some(counter)) => {
                     self.broker.msgs_sent += 1;
@@ -515,12 +509,12 @@ impl<C: HomCipher> SecureResource<C> {
             if self.controller_behavior == ControllerBehavior::Mute {
                 continue;
             }
-            let full = self.broker.full_aggregate(&cand);
+            let Some(full) = self.broker.full_aggregate(&cand) else { continue };
             // Defense in depth: the door screen in `on_receive` should have
             // rejected any counter on which the delta algebra is undefined;
             // if one slipped through, the co-resident broker state is
             // corrupt and this resource's own output can't be trusted.
-            let blinded = match self.broker.blinded_delta(&cand) {
+            let blinded = match self.broker.blinded_delta(&cand, &full) {
                 Ok(b) => b,
                 Err(_) => {
                     let verdict = Verdict::MaliciousBroker(self.id);
@@ -697,23 +691,24 @@ impl<C: HomCipher> SecureResource<C> {
         for r in &state.records {
             self.acc.register_rule(&r.rule);
             self.acc.restore_scan(r);
-            let local = self
-                .acc
-                .respond(&r.rule)
-                .pop()
-                .expect("accountant responds with at least one counter");
+            // The journal is recovered input, not trusted state: a rule
+            // the accountant cannot answer is a corrupt image, rejected
+            // like any other failed screen — never a panic.
+            let Some(local) = self.acc.respond(&r.rule).pop() else {
+                self.acc.wipe_scans();
+                self.output_cache.clear();
+                self.rec_log = Some(log);
+                return self
+                    .reject_recovery(format!("no local counter for restored rule {}", r.rule));
+            };
             if !self.broker.counter_is_wellformed(&local) {
                 self.acc.wipe_scans();
                 self.output_cache.clear();
                 self.rec_log = Some(log);
                 return self.reject_recovery(format!("restored counter for {} is corrupt", r.rule));
             }
-            let placeholders = self
-                .layout
-                .neighbors
-                .iter()
-                .map(|&v| (v, self.acc.placeholder_for(v)))
-                .collect();
+            let placeholders =
+                self.layout.neighbors.iter().map(|&v| (v, self.acc.placeholder_for(v))).collect();
             self.broker.init_rule(&r.rule, local, placeholders);
             self.output_cache.insert(r.rule.clone(), r.output.unwrap_or(false));
         }
@@ -914,13 +909,7 @@ mod tests {
         run_grid(&mut rs, 6);
         // Global: {1}: 4/5, {2}: 3/5, {1,2}: 3/5 frequent at MinFreq 1/2;
         // conf(1⇒2) = 3/4, conf(2⇒1) = 1 at MinConf 3/4.
-        let expect = [
-            "∅ ⇒ {1}",
-            "∅ ⇒ {1,2}",
-            "∅ ⇒ {2}",
-            "{1} ⇒ {2}",
-            "{2} ⇒ {1}",
-        ];
+        let expect = ["∅ ⇒ {1}", "∅ ⇒ {1,2}", "∅ ⇒ {2}", "{1} ⇒ {2}", "{2} ⇒ {1}"];
         for r in &rs {
             let got: Vec<String> = r.interim().sorted().iter().map(|x| x.to_string()).collect();
             assert_eq!(got, expect, "resource {} diverged", r.id());

@@ -92,10 +92,9 @@ impl fmt::Display for SessionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SessionError::NoDatabases => write!(f, "a session needs at least one database"),
-            SessionError::TopologyMismatch { databases, nodes } => write!(
-                f,
-                "one database per tree node: got {databases} databases for {nodes} nodes"
-            ),
+            SessionError::TopologyMismatch { databases, nodes } => {
+                write!(f, "one database per tree node: got {databases} databases for {nodes} nodes")
+            }
             SessionError::FaultResourceOutOfRange { resource, capacity } => write!(
                 f,
                 "fault plan targets resource {resource}, but the grid has {capacity} resources"
@@ -496,8 +495,7 @@ mod tests {
     fn recorder_arms_metrics_snapshot() {
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
         let mem = MemoryRecorder::shared();
-        let outcome =
-            MineSession::new(cfg).with_databases(dbs(3)).with_recorder(mem.clone()).run();
+        let outcome = MineSession::new(cfg).with_databases(dbs(3)).with_recorder(mem.clone()).run();
         assert!(!outcome.metrics.is_zero(), "an armed recorder must fill metrics");
         assert_eq!(
             outcome.metrics.msgs_sent(),
@@ -533,10 +531,8 @@ mod tests {
     fn threaded_session_with_recorder_matches_outcome_counts() {
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
         let mem = MemoryRecorder::shared();
-        let outcome = MineSession::new(cfg)
-            .with_databases(dbs(4))
-            .with_recorder(mem.clone())
-            .run_threaded();
+        let outcome =
+            MineSession::new(cfg).with_databases(dbs(4)).with_recorder(mem.clone()).run_threaded();
         assert!(outcome.verdicts.is_empty());
         assert_eq!(mem.count_of(EventKind::CounterSent) as u64, outcome.messages);
         assert_eq!(outcome.metrics.msgs_sent(), outcome.messages);

@@ -40,11 +40,10 @@ impl ShareSet {
     /// Draws shares for `neighbors`, summing to 1 modulo the field.
     pub fn generate(neighbors: &[usize], seed: u64) -> Self {
         let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x5AAE);
-        let per_neighbor: Vec<(usize, i64)> = neighbors
-            .iter()
-            .map(|&v| (v, rng.gen_range(0..SHARE_MODULUS)))
-            .collect();
-        let neighbor_sum: i64 = per_neighbor.iter().map(|&(_, s)| s).fold(0, |a, b| share_reduce(a + b));
+        let per_neighbor: Vec<(usize, i64)> =
+            neighbors.iter().map(|&v| (v, rng.gen_range(0..SHARE_MODULUS))).collect();
+        let neighbor_sum: i64 =
+            per_neighbor.iter().map(|&(_, s)| s).fold(0, |a, b| share_reduce(a + b));
         let own = share_reduce(1 - neighbor_sum);
         ShareSet { own, per_neighbor }
     }
@@ -56,11 +55,8 @@ impl ShareSet {
 
     /// Verifies the defining invariant (test helper).
     pub fn sums_to_one(&self) -> bool {
-        let total = self
-            .per_neighbor
-            .iter()
-            .map(|&(_, s)| s)
-            .fold(self.own, |a, b| share_reduce(a + b));
+        let total =
+            self.per_neighbor.iter().map(|&(_, s)| s).fold(self.own, |a, b| share_reduce(a + b));
         total == 1
     }
 }

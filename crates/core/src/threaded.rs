@@ -322,7 +322,7 @@ pub fn run_threaded_full<C: HomCipher + 'static>(
                     if warm {
                         tick == rt
                     } else {
-                        tick >= rt && (tick - rt) % retry.resend_every.max(1) == 0
+                        tick >= rt && (tick - rt).is_multiple_of(retry.resend_every.max(1))
                     }
                 };
 
@@ -349,16 +349,15 @@ pub fn run_threaded_full<C: HomCipher + 'static>(
                             if recover == Some(tick) {
                                 match mode.policy() {
                                     Some(policy) => {
+                                        // gridlint: allow(determinism) -- recovery watchdog measures real restore latency; it can only degrade a node, never feeds replayed protocol state
                                         let t0 = std::time::Instant::now();
                                         if let Some(bytes) = image.take() {
                                             guarded(&mut poisoned, || {
                                                 resource.restore_from_image(&bytes)
                                             });
                                         }
-                                        if t0.elapsed().as_nanos() > policy.retry.deadline_nanos()
-                                        {
-                                            resource
-                                                .mark_degraded(DegradeReason::RecoveryStalled);
+                                        if t0.elapsed().as_nanos() > policy.retry.deadline_nanos() {
+                                            resource.mark_degraded(DegradeReason::RecoveryStalled);
                                         }
                                     }
                                     None => resource.recover_reset(),
@@ -412,7 +411,7 @@ pub fn run_threaded_full<C: HomCipher + 'static>(
                             && tick > 0
                             && mode
                                 .policy()
-                                .is_some_and(|p| tick % p.checkpoint_every == 0)
+                                .is_some_and(|p| tick.is_multiple_of(p.checkpoint_every))
                         {
                             resource.take_checkpoint(tick);
                         }
@@ -543,15 +542,8 @@ pub fn run_threaded_full<C: HomCipher + 'static>(
     let chaos = ChaosReport {
         faults,
         retries,
-        degraded: statuses
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.is_ok())
-            .map(|(u, _)| u)
-            .collect(),
-        convergence_delay: plan
-            .onset()
-            .map_or(0, |onset| rounds_tick.saturating_sub(onset)),
+        degraded: statuses.iter().enumerate().filter(|(_, s)| !s.is_ok()).map(|(u, _)| u).collect(),
+        convergence_delay: plan.onset().map_or(0, |onset| rounds_tick.saturating_sub(onset)),
         resends,
         checkpoints,
         replays,
@@ -641,8 +633,11 @@ mod tests {
     fn dropped_messages_are_healed_by_anti_entropy() {
         let keys = GridKeys::<MockCipher>::mock(14);
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
-        let plan = FaultPlan::new(99)
-            .with_default_edge(EdgeFaults { drop: 0.2, duplicate: 0.1, jitter: 1 });
+        let plan = FaultPlan::new(99).with_default_edge(EdgeFaults {
+            drop: 0.2,
+            duplicate: 0.1,
+            jitter: 1,
+        });
         let outcome = mine_secure_threaded_faulty(&keys, &Tree::path(5), dbs(5), cfg, plan);
         assert!(outcome.verdicts.is_empty(), "link faults must not look malicious");
         assert!(outcome.chaos.faults.dropped > 0, "faults must actually fire");

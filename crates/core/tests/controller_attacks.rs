@@ -42,8 +42,7 @@ fn drive(resources: &mut [SecureResource<MockCipher>], rounds: usize) {
 
 fn grid(n: usize) -> (Vec<SecureResource<MockCipher>>, gridmine_arm::RuleSet) {
     let keys = GridKeys::mock(4);
-    let generator =
-        gridmine_majority::CandidateGenerator::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    let generator = gridmine_majority::CandidateGenerator::new(Ratio::new(1, 2), Ratio::new(1, 2));
     let items = vec![Item(1), Item(2), Item(3)];
     let dbs: Vec<Database> = (0..n as u64)
         .map(|u| {
@@ -128,6 +127,13 @@ fn honest_baseline_converges() {
     let (mut rs, truth) = grid(5);
     drive(&mut rs, 6);
     for r in rs.iter() {
-        assert_eq!(r.interim(), truth, "resource {} diverged (verdict {:?}, cands {})", r.id(), r.verdict(), r.candidate_count());
+        assert_eq!(
+            r.interim(),
+            truth,
+            "resource {} diverged (verdict {:?}, cands {})",
+            r.id(),
+            r.verdict(),
+            r.candidate_count()
+        );
     }
 }

@@ -116,9 +116,8 @@ fn blinded_delta_on_poisoned_aggregate_errors_instead_of_panicking() {
     let keys = GridKeys::paillier(128, 23);
     let layout = CounterLayout::new(0, vec![1]);
     let db = Database::from_transactions(vec![Transaction::of(0, &[1])]);
-    let mut acc =
-        Accountant::new(0, keys.enc.clone(), keys.tags.clone(), layout.clone(), db, 2);
-    let mut broker = Broker::new(0, keys.pub_ops.clone(), layout.clone());
+    let mut acc = Accountant::new(0, keys.enc.clone(), keys.tags.clone(), layout.clone(), db, 2);
+    let mut broker = Broker::new(0, keys.pub_ops.clone(), layout.clone(), 0x5EED);
     let cand = CandidateRule::new(Rule::frequency(ItemSet::of(&[1])), Ratio::new(1, 2));
     acc.register_rule(&cand);
     acc.scan_all(&cand);
@@ -130,13 +129,36 @@ fn blinded_delta_on_poisoned_aggregate_errors_instead_of_panicking() {
     // blinding algebra must invert it — the exact operation that is
     // undefined on a non-unit.
     let key = keys.tags.key(layout.arity());
-    let mut evil = SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 1, 3, 4, 1, 0, 1);
+    let mut evil = SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 1, 3, 4, 1, 0, 1)
+        .expect("1 is a neighbor of 0");
     evil.msg.fields[F_COUNT] = evil_ciphertext(&keys);
     assert!(!broker.counter_is_wellformed(&evil));
     broker.on_receive(&cand, 1, evil);
 
+    let full = broker.full_aggregate(&cand).expect("rule was initialized");
     assert!(
-        broker.blinded_delta(&cand).is_err(),
+        broker.blinded_delta(&cand, &full).is_err(),
         "non-unit field must surface as a protocol error, not a panic"
+    );
+}
+
+/// A hostile resource sends a counter sealed under a *different* overlay
+/// layout (wrong arity). The door screen must reject it before the
+/// aggregation algebra — whose field-count invariants would otherwise
+/// fire an assertion — ever sees it.
+#[test]
+fn wrong_arity_counter_rejected_at_the_door() {
+    let keys = GridKeys::paillier(128, 29);
+    let layout = CounterLayout::new(0, vec![1]);
+    let broker = Broker::new(0, keys.pub_ops.clone(), layout, 0x5EED);
+
+    // Sealed for a 3-neighbor overlay: arity 7 instead of 6.
+    let fat_layout = CounterLayout::new(0, vec![1, 2, 3]);
+    let key = keys.tags.key(fat_layout.arity());
+    let fat = SecureCounter::seal_outgoing(&keys.enc, &key, &fat_layout, 1, 3, 4, 1, 0, 1)
+        .expect("1 is a neighbor of 0");
+    assert!(
+        !broker.counter_is_wellformed(&fat),
+        "arity mismatch must fail the door screen, not reach the adder"
     );
 }

@@ -20,8 +20,7 @@ use gridmine_topology::Tree;
 /// threaded-faults idiom): any subset mines the same ruleset.
 fn grid(n: usize) -> (Vec<SecureResource<MockCipher>>, RuleSet) {
     let keys = GridKeys::mock(21);
-    let generator =
-        gridmine_majority::CandidateGenerator::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    let generator = gridmine_majority::CandidateGenerator::new(Ratio::new(1, 2), Ratio::new(1, 2));
     let items = vec![Item(1), Item(2), Item(3)];
     let dbs: Vec<Database> = (0..n as u64).map(partition).collect();
     let truth = correct_rules(
@@ -77,8 +76,7 @@ fn checkpoint_restore_beats_cold_rejoin_on_resends() {
         RecoveryMode::Checkpoint(RecoveryPolicy::DEFAULT),
     );
     let (rs, _) = grid(6);
-    let cold =
-        run_threaded_full(rs, 12, plan, gridmine_obs::null(), RecoveryMode::ColdRestart);
+    let cold = run_threaded_full(rs, 12, plan, gridmine_obs::null(), RecoveryMode::ColdRestart);
 
     assert_eq!(warm.chaos.replays, 1, "one crash, one journal replay: {:?}", warm.chaos);
     assert!(warm.chaos.checkpoints > 0, "checkpoint cadence fired: {:?}", warm.chaos);
@@ -140,8 +138,7 @@ fn forged_journal_is_rejected_as_malicious_without_panicking() {
 fn watchdog_degrades_a_restore_that_overruns_its_deadline() {
     // A zero-millisecond deadline makes any real restore overrun: the
     // watchdog must degrade that one resource, not abort the run.
-    let policy =
-        RecoveryPolicy::DEFAULT.with_retry(RetryPolicy::DEFAULT.with_deadline_ms(0));
+    let policy = RecoveryPolicy::DEFAULT.with_retry(RetryPolicy::DEFAULT.with_deadline_ms(0));
     let (rs, truth) = grid(5);
     let outcome = run_threaded_full(
         rs,

@@ -17,8 +17,7 @@ use gridmine_topology::faults::{EdgeFaults, FaultPlan};
 /// against centralized truth even when faulty resources drop out.
 fn grid(n: usize) -> (Vec<SecureResource<MockCipher>>, RuleSet) {
     let keys = GridKeys::mock(21);
-    let generator =
-        gridmine_majority::CandidateGenerator::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    let generator = gridmine_majority::CandidateGenerator::new(Ratio::new(1, 2), Ratio::new(1, 2));
     let items = vec![Item(1), Item(2), Item(3)];
     let dbs: Vec<Database> = (0..n as u64)
         .map(|u| {
@@ -88,8 +87,8 @@ fn replaying_broker_is_blamed_through_timestamp_traces() {
     // controller.
     let (mut rs, _) = grid(4);
     rs[2].set_broker_behavior(BrokerBehavior::Replay(1));
-    let plan = FaultPlan::new(7)
-        .with_default_edge(EdgeFaults { drop: 0.0, duplicate: 0.0, jitter: 1 });
+    let plan =
+        FaultPlan::new(7).with_default_edge(EdgeFaults { drop: 0.0, duplicate: 0.0, jitter: 1 });
     let outcome = run_threaded(rs, 8, plan);
     assert!(
         outcome.verdicts.contains(&Verdict::MaliciousResource(1)),

@@ -49,7 +49,8 @@ fn broker_msg_roundtrips_with_rule_identity() {
         from: 0,
         to: 1,
         cand: candidate(),
-        counter: SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 0, 5, 9, 1, 44, 2),
+        counter: SecureCounter::seal_outgoing(&keys.enc, &key, &layout, 0, 5, 9, 1, 44, 2)
+            .expect("0 is a neighbor"),
     };
     let json = serde_json::to_string(&msg).unwrap();
     let back: BrokerMsg<MockCipher> = serde_json::from_str(&json).unwrap();

@@ -1,0 +1,276 @@
+//! `gridlint.toml` — the checked-in rule configuration.
+//!
+//! Parsed with a hand-rolled TOML-subset reader (sections, string /
+//! string-array / integer / boolean values, `#` comments) so the lint
+//! crate stays free of external dependencies. The subset is exactly what
+//! the checked-in config uses; anything else is a load error, which the
+//! CLI maps to exit code 2.
+
+use std::collections::BTreeMap;
+
+/// One rule family's module scoping: `deny` path prefixes minus `allow`
+/// path prefixes (both repo-relative, `/`-separated).
+#[derive(Clone, Debug, Default)]
+pub struct Scope {
+    pub deny: Vec<String>,
+    pub allow: Vec<String>,
+}
+
+impl Scope {
+    /// Whether `path` (repo-relative) is in scope.
+    pub fn contains(&self, path: &str) -> bool {
+        self.deny.iter().any(|p| path.starts_with(p.as_str()))
+            && !self.allow.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// Parsed `gridlint.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Path prefixes excluded from the walk entirely (fixtures, target).
+    pub exclude: Vec<String>,
+
+    /// privacy-taint: modules that must stay key-blind.
+    pub taint_scope: Scope,
+    /// Identifiers whose mere mention taints a key-blind module.
+    pub secret_idents: Vec<String>,
+    /// Method names flagged when invoked as `.name(` in a tainted scope.
+    pub secret_methods: Vec<String>,
+    /// Types that must not derive or implement `Debug`/`Display`
+    /// anywhere in the workspace.
+    pub secret_types: Vec<String>,
+
+    /// panic-freedom scope and banned call/macro names.
+    pub panic_scope: Scope,
+    pub panic_banned: Vec<String>,
+    /// Narrower scope in which slice-indexing is also banned.
+    pub index_scope: Scope,
+
+    /// determinism: reachability roots (replay drivers) and the wider
+    /// always-deny scope.
+    pub det_roots: Vec<String>,
+    pub det_scope: Scope,
+    pub det_banned: Vec<String>,
+    /// Banned `A::b` path pairs, as `"A::b"` strings.
+    pub det_banned_paths: Vec<String>,
+
+    /// obs-parity: where the `Event` enum lives, which files may satisfy
+    /// the every-variant-emitted check, tally→event pairing map and the
+    /// adjacency window in lines.
+    pub event_enum: String,
+    pub emit_scope: Scope,
+    pub pair_scope: Scope,
+    pub pairs: BTreeMap<String, String>,
+    pub pair_window: u32,
+}
+
+/// A scalar or array value in the TOML subset.
+#[derive(Clone, Debug)]
+enum Value {
+    Str(String),
+    Arr(Vec<String>),
+    Int(i64),
+}
+
+impl Config {
+    /// Parses the TOML-subset text. Errors name the offending line.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut sections: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+        let mut current = String::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((no, raw)) = lines.next() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // Multiline array: join continuation lines (comments stripped)
+            // until the closing bracket.
+            let mut joined;
+            let mut line = line;
+            if line.contains('[') && !line.starts_with('[') && !line.contains(']') {
+                joined = line.to_string();
+                for (_, cont) in lines.by_ref() {
+                    let cont = cont.trim();
+                    let cont = cont.split_once('#').map_or(cont, |(c, _)| c.trim_end());
+                    joined.push_str(cont);
+                    if cont.contains(']') {
+                        break;
+                    }
+                }
+                if !joined.contains(']') {
+                    return Err(format!("line {}: unterminated array", no + 1));
+                }
+                line = &joined;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {}: unterminated section header", no + 1))?;
+                current = name.trim().to_string();
+                sections.entry(current.clone()).or_default();
+                continue;
+            }
+            let (key, val) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", no + 1))?;
+            let value = parse_value(val.trim())
+                .ok_or_else(|| format!("line {}: unsupported value `{}`", no + 1, val.trim()))?;
+            sections.entry(current.clone()).or_default().insert(key.trim().to_string(), value);
+        }
+        Config::from_sections(&sections)
+    }
+
+    fn from_sections(s: &BTreeMap<String, BTreeMap<String, Value>>) -> Result<Config, String> {
+        let arr = |sec: &str, key: &str| -> Vec<String> {
+            match s.get(sec).and_then(|t| t.get(key)) {
+                Some(Value::Arr(v)) => v.clone(),
+                Some(Value::Str(v)) => vec![v.clone()],
+                _ => Vec::new(),
+            }
+        };
+        let string = |sec: &str, key: &str, default: &str| -> String {
+            match s.get(sec).and_then(|t| t.get(key)) {
+                Some(Value::Str(v)) => v.clone(),
+                _ => default.to_string(),
+            }
+        };
+        let int = |sec: &str, key: &str, default: i64| -> i64 {
+            match s.get(sec).and_then(|t| t.get(key)) {
+                Some(Value::Int(v)) => *v,
+                _ => default,
+            }
+        };
+        let scope = |sec: &str| Scope { deny: arr(sec, "deny"), allow: arr(sec, "allow") };
+
+        let mut pairs = BTreeMap::new();
+        if let Some(table) = s.get("obs-parity.pairs") {
+            for (k, v) in table {
+                match v {
+                    Value::Str(event) => {
+                        pairs.insert(k.clone(), event.clone());
+                    }
+                    _ => return Err(format!("obs-parity.pairs.{k}: expected a string")),
+                }
+            }
+        }
+
+        Ok(Config {
+            exclude: arr("", "exclude"),
+            taint_scope: scope("privacy-taint"),
+            secret_idents: arr("privacy-taint", "secret_idents"),
+            secret_methods: arr("privacy-taint", "secret_methods"),
+            secret_types: arr("privacy-taint", "secret_types"),
+            panic_scope: scope("panic-freedom"),
+            panic_banned: arr("panic-freedom", "banned"),
+            index_scope: Scope {
+                deny: arr("panic-freedom", "index_deny"),
+                allow: arr("panic-freedom", "index_allow"),
+            },
+            det_roots: arr("determinism", "roots"),
+            det_scope: scope("determinism"),
+            det_banned: arr("determinism", "banned"),
+            det_banned_paths: arr("determinism", "banned_paths"),
+            event_enum: string("obs-parity", "event_enum", "crates/obs/src/event.rs"),
+            emit_scope: Scope {
+                deny: arr("obs-parity", "emit_scan"),
+                allow: arr("obs-parity", "emit_allow"),
+            },
+            pair_scope: Scope {
+                deny: arr("obs-parity", "pair_scan"),
+                allow: arr("obs-parity", "pair_allow"),
+            },
+            pairs,
+            pair_window: int("obs-parity", "window", 4) as u32,
+        })
+    }
+}
+
+fn parse_value(v: &str) -> Option<Value> {
+    if let Some(body) = v.strip_prefix('"') {
+        let body = body.strip_suffix('"')?;
+        if body.contains('"') {
+            return None;
+        }
+        return Some(Value::Str(body.to_string()));
+    }
+    if let Some(body) = v.strip_prefix('[') {
+        // Arrays may carry a trailing inline comment after the `]`.
+        let body = body.split_once(']')?.0;
+        let mut out = Vec::new();
+        for item in body.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let s = item.strip_prefix('"')?.strip_suffix('"')?;
+            out.push(s.to_string());
+        }
+        return Some(Value::Arr(out));
+    }
+    v.parse::<i64>().ok().map(Value::Int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_subset() {
+        let cfg = Config::parse(
+            r#"
+# comment
+exclude = ["crates/lint/tests/fixtures"]
+
+[privacy-taint]
+deny = ["crates/core/src/broker.rs", "crates/sim/src"]
+secret_idents = ["decrypt_i64"]
+secret_types = ["PrivateKey"]
+
+[panic-freedom]
+deny = ["crates/core/src/broker.rs"]
+banned = ["unwrap", "expect"]
+index_deny = ["crates/core/src/counter.rs"]
+
+[determinism]
+roots = ["crates/sim/src/engine.rs"]
+deny = ["crates/sim/src"]
+banned = ["thread_rng"]
+banned_paths = ["Instant::now"]
+
+[obs-parity]
+event_enum = "crates/obs/src/event.rs"
+emit_scan = ["crates/core/src"]
+pair_scan = ["crates/core/src"]
+window = 6
+
+[obs-parity.pairs]
+crashes = "ResourceCrashed"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.exclude, vec!["crates/lint/tests/fixtures"]);
+        assert!(cfg.taint_scope.contains("crates/sim/src/engine.rs"));
+        assert!(!cfg.taint_scope.contains("crates/core/src/controller.rs"));
+        assert_eq!(cfg.panic_banned, vec!["unwrap", "expect"]);
+        assert_eq!(cfg.pair_window, 6);
+        assert_eq!(cfg.pairs.get("crashes").map(String::as_str), Some("ResourceCrashed"));
+        assert_eq!(cfg.det_banned_paths, vec!["Instant::now"]);
+    }
+
+    #[test]
+    fn allow_carves_out_of_deny() {
+        let s = Scope {
+            deny: vec!["crates/core/src".into()],
+            allow: vec!["crates/core/src/controller.rs".into()],
+        };
+        assert!(s.contains("crates/core/src/broker.rs"));
+        assert!(!s.contains("crates/core/src/controller.rs"));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(Config::parse("not a kv line").is_err());
+        assert!(Config::parse("[unterminated").is_err());
+        assert!(Config::parse("x = {inline_table = 1}").is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! `gridmine-lint` — workspace static analysis for the paper's
+//! structural invariants.
+//!
+//! The paper's malicious-participant model survives on invariants the
+//! type system cannot see: brokers operate only on ciphertexts they can
+//! neither read nor forge (§4.2), decryption happens only behind the
+//! controller's SFE gate (§4.3), malicious input yields a verdict rather
+//! than a panic (§5), chaos replay is deterministic, and every tally the
+//! drivers report has a matching observability event. `gridlint` walks
+//! every `.rs` file in the workspace with a hand-rolled lexer (no `syn`;
+//! offline-shims policy) and enforces those invariants mechanically:
+//!
+//! * **privacy-taint** — key-blind modules must not name decryption or
+//!   plaintext-bearing items; secret types must not be formattable;
+//!   secrets must not flow into `obs` events.
+//! * **panic-freedom** — no `unwrap`/`expect`/`panic!`/slice-indexing in
+//!   protocol and wire-decode modules.
+//! * **determinism** — no wall clocks or OS entropy anywhere reachable
+//!   from the deterministic-replay drivers.
+//! * **obs-parity** — every tally increment pairs with an adjacent
+//!   `Event` emission and every `Event` variant is emitted somewhere.
+//!
+//! Scoping lives in the checked-in `gridlint.toml`; individual sites are
+//! waived with `// gridlint: allow(<rule>) -- <justification>`, and a
+//! justification-free waiver is itself a diagnostic.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::path::Path;
+
+pub use config::Config;
+pub use diag::Diagnostic;
+use workspace::Workspace;
+
+/// Outcome of one lint run.
+pub struct LintResult {
+    /// Every finding, suppressed ones included (JSON consumers see both).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files walked.
+    pub files_scanned: usize,
+}
+
+impl LintResult {
+    /// Findings that gate CI: not covered by a justified suppression.
+    pub fn live(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.suppressed.is_none())
+    }
+
+    /// The process exit code this result maps to.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.live().count() > 0)
+    }
+}
+
+/// Lints the workspace rooted at `root` under `cfg`.
+pub fn lint_root(root: &Path, cfg: &Config) -> Result<LintResult, String> {
+    let ws = Workspace::load(root, &cfg.exclude)?;
+    let mut diags = rules::run_all(&ws, cfg);
+    apply_suppressions(&ws, &mut diags);
+    Ok(LintResult { files_scanned: ws.files.len(), diagnostics: diags })
+}
+
+/// Marks diagnostics covered by justified inline suppressions and emits
+/// `suppression` diagnostics for malformed waivers.
+fn apply_suppressions(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let mut meta = Vec::new();
+    for file in &ws.files {
+        for s in &file.lexed.suppressions {
+            // The line a suppression covers: its own when trailing code,
+            // the next one when it stands alone.
+            let covered = if s.trailing { s.line } else { s.line + 1 };
+            for rule in &s.rules {
+                if !diag::RULES.contains(&rule.as_str()) {
+                    meta.push(Diagnostic::new(
+                        "suppression",
+                        &file.rel,
+                        s.line,
+                        format!("`gridlint: allow({rule})` names an unknown rule"),
+                    ));
+                    continue;
+                }
+                if s.justification.is_empty() {
+                    meta.push(Diagnostic::new(
+                        "suppression",
+                        &file.rel,
+                        s.line,
+                        format!(
+                            "`gridlint: allow({rule})` lacks a justification; write \
+                             `-- <why this site is safe>`"
+                        ),
+                    ));
+                    continue;
+                }
+                let mut hit = false;
+                for d in diags.iter_mut() {
+                    if d.suppressed.is_none()
+                        && d.rule == rule
+                        && d.file == file.rel
+                        && d.line == covered
+                    {
+                        d.suppressed = Some(s.justification.clone());
+                        hit = true;
+                    }
+                }
+                if !hit {
+                    meta.push(Diagnostic::new(
+                        "suppression",
+                        &file.rel,
+                        s.line,
+                        format!(
+                            "`gridlint: allow({rule})` suppresses nothing on line {covered}; \
+                             stale waivers hide future violations"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags.extend(meta);
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_code_reflects_live_findings() {
+        let clean = LintResult { diagnostics: vec![], files_scanned: 1 };
+        assert_eq!(clean.exit_code(), 0);
+        let mut suppressed = Diagnostic::new("determinism", "a.rs", 1, "m");
+        suppressed.suppressed = Some("ok".into());
+        let r = LintResult { diagnostics: vec![suppressed], files_scanned: 1 };
+        assert_eq!(r.exit_code(), 0);
+        let r = LintResult {
+            diagnostics: vec![Diagnostic::new("determinism", "a.rs", 1, "m")],
+            files_scanned: 1,
+        };
+        assert_eq!(r.exit_code(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Fixture corpus: drives the real `gridlint` binary over three
+//! miniature workspaces and pins down exact diagnostics and exit codes
+//! for every rule family, the suppression meta-rule, and the CLI's
+//! error paths.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn gridlint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gridlint")).args(args).output().expect("spawn gridlint")
+}
+
+fn run_fixture(name: &str, extra: &[&str]) -> (i32, String, String) {
+    let root = fixture(name);
+    let mut args = vec!["--root", root.to_str().expect("utf-8 fixture path")];
+    args.extend_from_slice(extra);
+    let out = gridlint(&args);
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+// ── clean fixture: every rule passes, justified waiver honored ────────
+
+#[test]
+fn clean_fixture_exits_zero_with_one_suppressed_finding() {
+    let (code, stdout, stderr) = run_fixture("clean", &[]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("3 files scanned, 0 live finding(s), 1 suppressed"), "{stdout}");
+    assert!(!stdout.contains("error[gridlint::"), "clean tree must not report errors: {stdout}");
+}
+
+#[test]
+fn clean_fixture_json_reports_the_suppression_as_non_live() {
+    let (code, stdout, _) = run_fixture("clean", &["--format", "json"]);
+    assert_eq!(code, 0);
+    assert!(
+        stdout.contains(
+            "{\"rule\":\"determinism\",\"file\":\"crates/sim/src/engine.rs\",\"line\":6,\
+             \"suppressed\":true,"
+        ),
+        "{stdout}"
+    );
+    assert!(stdout.contains("{\"summary\":true,\"files\":3,\"live\":0,\"suppressed\":1}"));
+}
+
+#[test]
+fn quiet_mode_prints_nothing_but_keeps_the_exit_code() {
+    let (code, stdout, _) = run_fixture("clean", &["--quiet"]);
+    assert_eq!(code, 0);
+    assert!(stdout.is_empty(), "{stdout}");
+}
+
+// ── dirty fixture: one of everything, all live ────────────────────────
+
+/// Every diagnostic the dirty tree must produce, as (rule, file, line,
+/// message fragment). The corpus is the spec: adding a rule without a
+/// bad-fixture witness fails this list.
+const DIRTY_EXPECTED: &[(&str, &str, u32, &str)] = &[
+    (
+        "privacy-taint",
+        "crates/core/src/broker.rs",
+        3,
+        "key-blind module references secret item `PlainCounter`",
+    ),
+    (
+        "privacy-taint",
+        "crates/core/src/broker.rs",
+        4,
+        "key-blind module calls decrypting method `.open(\u{2026})`",
+    ),
+    (
+        "privacy-taint",
+        "crates/paillier/src/keys.rs",
+        2,
+        "secret type `PrivateKey` derives Debug/Display",
+    ),
+    ("panic-freedom", "crates/core/src/broker.rs", 8, "slice indexing in a wire-decode module"),
+    ("panic-freedom", "crates/core/src/broker.rs", 9, "`unwrap` in a protocol module"),
+    (
+        "determinism",
+        "crates/sim/src/engine.rs",
+        6,
+        "`SystemTime` in a module reachable from deterministic replay",
+    ),
+    // Reached from the replay root across the crate graph, not by any
+    // static deny entry.
+    (
+        "determinism",
+        "crates/core/src/miner.rs",
+        4,
+        "`thread_rng` in a module reachable from deterministic replay",
+    ),
+    (
+        "obs-parity",
+        "crates/core/src/broker.rs",
+        13,
+        "tally `crashes` incremented without an adjacent `Event::ResourceCrashed` emission",
+    ),
+    ("obs-parity", "crates/obs/src/event.rs", 2, "`Event::ResourceCrashed` is declared but never"),
+    ("obs-parity", "crates/obs/src/event.rs", 3, "`Event::NeverEmitted` is declared but never"),
+    ("suppression", "crates/core/src/miner.rs", 9, "lacks a justification"),
+    ("suppression", "crates/sim/src/engine.rs", 7, "suppresses nothing on line 8"),
+    ("suppression", "crates/sim/src/engine.rs", 9, "names an unknown rule"),
+];
+
+#[test]
+fn dirty_fixture_reports_every_expected_diagnostic_and_exits_one() {
+    let (code, stdout, _) = run_fixture("dirty", &[]);
+    assert_eq!(code, 1, "{stdout}");
+    for (rule, file, line, fragment) in DIRTY_EXPECTED {
+        let header = format!("error[gridlint::{rule}]: {file}:{line}: ");
+        let hit = stdout.lines().any(|l| l.starts_with(&header) && l.contains(fragment));
+        assert!(hit, "missing diagnostic {header}…{fragment}\n{stdout}");
+    }
+    assert!(
+        stdout.contains("5 files scanned, 13 live finding(s), 0 suppressed"),
+        "no unexpected extras allowed:\n{stdout}"
+    );
+}
+
+#[test]
+fn dirty_fixture_json_counts_match_the_table() {
+    let (code, stdout, _) = run_fixture("dirty", &["--format", "json"]);
+    assert_eq!(code, 1);
+    assert_eq!(
+        stdout.lines().count(),
+        DIRTY_EXPECTED.len() + 1,
+        "one object per finding: {stdout}"
+    );
+    assert!(stdout.contains("{\"summary\":true,\"files\":5,\"live\":13,\"suppressed\":0}"));
+    assert!(stdout.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+}
+
+// ── error paths ───────────────────────────────────────────────────────
+
+#[test]
+fn broken_config_exits_two_with_a_parse_error() {
+    let (code, _, stderr) = run_fixture("broken", &[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unterminated array"), "{stderr}");
+}
+
+#[test]
+fn missing_config_exits_two() {
+    let dir = std::env::temp_dir().join("gridlint-no-config");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let out = gridlint(&["--root", dir.to_str().expect("utf-8 temp path")]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read config"));
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = gridlint(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}

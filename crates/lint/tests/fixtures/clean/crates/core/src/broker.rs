@@ -1,0 +1,24 @@
+//! Key-blind: nothing here may name decryption or plaintext items.
+
+pub fn aggregate(cipher: &C, a: &Ct, b: &Ct) -> Result<Ct, CipherError> {
+    let sum = cipher.add(a, b)?;
+    let Some(first) = recv.get(&v) else {
+        return Err(CipherError::NotAUnit);
+    };
+    cipher.add(&sum, first)
+}
+
+pub fn send(stats: &mut Stats, rec: &SharedRecorder) {
+    stats.crashes += 1;
+    emit(rec, || Event::ResourceCrashed { at: 0 });
+    emit(rec, || Event::CounterSent { from: 0 });
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests are the trusted observer: panics and secrets are fine here.
+    fn t() {
+        let p = agg.open(&dec, &key).unwrap();
+        assert_eq!(p.sum, 1);
+    }
+}

@@ -1,0 +1,4 @@
+pub enum Event {
+    ResourceCrashed { at: u64 },
+    CounterSent { from: u64 },
+}

@@ -1,0 +1,9 @@
+//! Deterministic replay driver: seeded RNGs only.
+
+pub fn step(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // gridlint: allow(determinism) -- watchdog latency is telemetry only and never feeds replayed protocol state
+    let t0 = Instant::now();
+    let _ = t0;
+    rng.gen_range(0..10)
+}

@@ -1,0 +1,11 @@
+//! Reached from the replay root across the crate graph.
+
+pub fn mine() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+pub fn unjustified() {
+    // gridlint: allow(panic-freedom)
+    let _ = 0;
+}

@@ -1,0 +1,4 @@
+#[derive(Clone, Debug)]
+pub struct PrivateKey {
+    lambda: u64,
+}

@@ -1,0 +1,12 @@
+//! Replay driver that reads ambient entropy and wall clocks.
+
+use gridmine_core::miner::mine;
+
+pub fn step() -> u64 {
+    let now = SystemTime::now();
+    // gridlint: allow(determinism) -- justified but covering an empty line below
+    let later = 0;
+    // gridlint: allow(nosuchrule) -- rule name does not exist
+    let _ = (now, later);
+    mine()
+}

@@ -105,10 +105,7 @@ impl CandidateGenerator {
                     });
                     if all_siblings_present {
                         push(
-                            CandidateRule::new(
-                                Rule::new(antecedent.clone(), joined),
-                                lambda,
-                            ),
+                            CandidateRule::new(Rule::new(antecedent.clone(), joined), lambda),
                             &mut fresh,
                         );
                     }
@@ -124,10 +121,7 @@ impl CandidateGenerator {
     pub fn from_received(&self, cand: &CandidateRule) -> Vec<CandidateRule> {
         let mut out = vec![cand.clone()];
         if !cand.rule.is_frequency() {
-            out.push(CandidateRule::new(
-                Rule::frequency(cand.rule.union()),
-                self.min_freq,
-            ));
+            out.push(CandidateRule::new(Rule::frequency(cand.rule.union()), self.min_freq));
         }
         out
     }
@@ -158,8 +152,10 @@ mod tests {
         let g = generator();
         let interim: RuleSet = [freq_rule(&[1, 2])].into_iter().collect();
         let fresh = g.expand(&interim, &HashSet::new());
-        let want1 = CandidateRule::new(Rule::new(ItemSet::of(&[1]), ItemSet::of(&[2])), Ratio::new(3, 4));
-        let want2 = CandidateRule::new(Rule::new(ItemSet::of(&[2]), ItemSet::of(&[1])), Ratio::new(3, 4));
+        let want1 =
+            CandidateRule::new(Rule::new(ItemSet::of(&[1]), ItemSet::of(&[2])), Ratio::new(3, 4));
+        let want2 =
+            CandidateRule::new(Rule::new(ItemSet::of(&[2]), ItemSet::of(&[1])), Ratio::new(3, 4));
         assert!(fresh.contains(&want1), "{fresh:?}");
         assert!(fresh.contains(&want2));
     }
@@ -178,9 +174,15 @@ mod tests {
     fn join_requires_all_siblings() {
         let g = generator();
         // {1,2} and {1,3} frequent but {2,3} not → no {1,2,3} candidate.
-        let interim: RuleSet = [freq_rule(&[1, 2]), freq_rule(&[1, 3]), freq_rule(&[1]), freq_rule(&[2]), freq_rule(&[3])]
-            .into_iter()
-            .collect();
+        let interim: RuleSet = [
+            freq_rule(&[1, 2]),
+            freq_rule(&[1, 3]),
+            freq_rule(&[1]),
+            freq_rule(&[2]),
+            freq_rule(&[3]),
+        ]
+        .into_iter()
+        .collect();
         let fresh = g.expand(&interim, &HashSet::new());
         let unwanted = CandidateRule::new(freq_rule(&[1, 2, 3]), Ratio::new(1, 2));
         assert!(!fresh.contains(&unwanted), "{fresh:?}");
@@ -223,7 +225,8 @@ mod tests {
     #[test]
     fn received_rule_implies_union_frequency_candidate() {
         let g = generator();
-        let c = CandidateRule::new(Rule::new(ItemSet::of(&[1]), ItemSet::of(&[2])), Ratio::new(3, 4));
+        let c =
+            CandidateRule::new(Rule::new(ItemSet::of(&[1]), ItemSet::of(&[2])), Ratio::new(3, 4));
         let implied = g.from_received(&c);
         assert_eq!(implied.len(), 2);
         assert!(implied.contains(&CandidateRule::new(freq_rule(&[1, 2]), Ratio::new(1, 2))));

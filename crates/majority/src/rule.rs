@@ -63,13 +63,8 @@ impl MajorityRuleMiner {
         items: &[Item],
         neighbors: Vec<usize>,
     ) -> Self {
-        let mut miner = MajorityRuleMiner {
-            id,
-            generator,
-            neighbors,
-            nodes: HashMap::new(),
-            msgs_sent: 0,
-        };
+        let mut miner =
+            MajorityRuleMiner { id, generator, neighbors, nodes: HashMap::new(), msgs_sent: 0 };
         for cand in generator.initial(items) {
             miner.ensure_node(cand);
         }
@@ -127,7 +122,12 @@ impl MajorityRuleMiner {
                 let pair = ResourceVote::compute(&implied, db);
                 let node = self.nodes.get_mut(&implied).expect("just inserted");
                 for m in node.set_input(pair) {
-                    out.push(RuleMsg { from: self.id, to: m.to, cand: implied.clone(), pair: m.pair });
+                    out.push(RuleMsg {
+                        from: self.id,
+                        to: m.to,
+                        cand: implied.clone(),
+                        pair: m.pair,
+                    });
                 }
             }
         }
@@ -257,13 +257,16 @@ mod tests {
     use gridmine_topology::Tree;
 
     fn mk_db(rows: &[(u64, &[u32])]) -> Database {
-        Database::from_transactions(rows.iter().map(|&(id, items)| Transaction::of(id, items)).collect())
+        Database::from_transactions(
+            rows.iter().map(|&(id, items)| Transaction::of(id, items)).collect(),
+        )
     }
 
     #[test]
     fn vote_pairs_follow_the_reduction() {
         let db = mk_db(&[(0, &[1, 2]), (1, &[1]), (2, &[2])]);
-        let freq = CandidateRule::new(Rule::frequency(gridmine_arm::ItemSet::of(&[1])), Ratio::new(1, 2));
+        let freq =
+            CandidateRule::new(Rule::frequency(gridmine_arm::ItemSet::of(&[1])), Ratio::new(1, 2));
         assert_eq!(ResourceVote::compute(&freq, &db), VotePair::new(2, 3));
         let conf = CandidateRule::new(
             Rule::new(gridmine_arm::ItemSet::of(&[1]), gridmine_arm::ItemSet::of(&[2])),

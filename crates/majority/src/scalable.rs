@@ -124,17 +124,13 @@ impl MajorityNode {
 
     /// `Δ^u`: the node's view of the global majority.
     pub fn delta(&self) -> i64 {
-        let total = self
-            .edges
-            .values()
-            .fold(self.local, |acc, e| acc.add(&e.recv));
+        let total = self.edges.values().fold(self.local, |acc, e| acc.add(&e.recv));
         self.lambda.delta(total.sum, total.count)
     }
 
     /// `Δ^uv` for a neighbor.
     fn delta_uv(&self, e: &EdgeState) -> i64 {
-        self.lambda
-            .delta(e.sent.sum + e.recv.sum, e.sent.count + e.recv.count)
+        self.lambda.delta(e.sent.sum + e.recv.sum, e.sent.count + e.recv.count)
     }
 
     /// The node's current decision: majority reached (`Δ^u ≥ 0`).
@@ -329,7 +325,8 @@ mod tests {
                 queue.push_back((u, m));
             }
         }
-        let drain = |nodes: &mut Vec<MajorityNode>, queue: &mut std::collections::VecDeque<(usize, OutMsg)>| {
+        let drain = |nodes: &mut Vec<MajorityNode>,
+                     queue: &mut std::collections::VecDeque<(usize, OutMsg)>| {
             let mut budget = 10_000;
             while let Some((from, msg)) = queue.pop_front() {
                 budget -= 1;

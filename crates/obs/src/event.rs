@@ -402,9 +402,7 @@ impl Event {
                 kind: SfeKind::parse(&s("kind")?)?,
                 answer: b("answer")?,
             },
-            EventKind::SfeRetry => {
-                Event::SfeRetry { resource: u("resource")?, spent: u("spent")? }
-            }
+            EventKind::SfeRetry => Event::SfeRetry { resource: u("resource")?, spent: u("spent")? },
             EventKind::OutputDecision => Event::OutputDecision {
                 resource: u("resource")?,
                 rule: s("rule")?,
@@ -432,14 +430,10 @@ impl Event {
             EventKind::ResourceDegraded => {
                 Event::ResourceDegraded { resource: u("resource")?, reason: s("reason")? }
             }
-            EventKind::MessageDropped => {
-                Event::MessageDropped { from: u("from")?, to: u("to")? }
+            EventKind::MessageDropped => Event::MessageDropped { from: u("from")?, to: u("to")? },
+            EventKind::MessageDuplicated => {
+                Event::MessageDuplicated { from: u("from")?, to: u("to")?, copies: u("copies")? }
             }
-            EventKind::MessageDuplicated => Event::MessageDuplicated {
-                from: u("from")?,
-                to: u("to")?,
-                copies: u("copies")?,
-            },
             EventKind::MessageDelayed => {
                 Event::MessageDelayed { from: u("from")?, to: u("to")?, ticks: u("ticks")? }
             }
@@ -674,8 +668,8 @@ mod tests {
         assert_eq!(events.len(), EventKind::COUNT, "exemplar list covers every variant");
         for e in events {
             let line = e.to_json();
-            let back = Event::from_json(&line)
-                .unwrap_or_else(|| panic!("failed to parse back: {line}"));
+            let back =
+                Event::from_json(&line).unwrap_or_else(|| panic!("failed to parse back: {line}"));
             assert_eq!(back, e, "round-trip mismatch for {line}");
         }
     }

@@ -68,11 +68,7 @@ impl Metrics {
             modpow: LatencyStats {
                 count: self.modpow_count.load(Ordering::Relaxed),
                 total_nanos: self.modpow_total_nanos.load(Ordering::Relaxed),
-                buckets: self
-                    .modpow_buckets
-                    .iter()
-                    .map(|b| b.load(Ordering::Relaxed))
-                    .collect(),
+                buckets: self.modpow_buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             },
         }
     }
@@ -145,11 +141,7 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Count for one event kind (0 if the snapshot is empty/default).
     pub fn of(&self, kind: EventKind) -> u64 {
-        self.by_kind
-            .iter()
-            .find(|(name, _)| *name == kind.name())
-            .map(|(_, n)| *n)
-            .unwrap_or(0)
+        self.by_kind.iter().find(|(name, _)| *name == kind.name()).map(|(_, n)| *n).unwrap_or(0)
     }
 
     /// Counters mailed between resources.

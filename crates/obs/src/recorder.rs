@@ -193,8 +193,7 @@ mod tests {
     fn fanout_broadcasts_and_ors_enabled() {
         let a = MemoryRecorder::shared();
         let b = MemoryRecorder::shared();
-        let fan: SharedRecorder =
-            Arc::new(FanoutRecorder::new(vec![a.clone(), null(), b.clone()]));
+        let fan: SharedRecorder = Arc::new(FanoutRecorder::new(vec![a.clone(), null(), b.clone()]));
         assert!(fan.enabled());
         crate::emit(&fan, || Event::RoundAdvanced { tick: 0 });
         assert_eq!(a.len(), 1);

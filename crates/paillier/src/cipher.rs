@@ -35,8 +35,8 @@ struct NoisePool {
 /// the hot-path exponentiations (`encrypt_residue`, CRT decryption,
 /// `scalar_raw`, noise refills) stop re-deriving `n'` and `R² mod n` per
 /// call. Kept outside [`PublicKey`] (which is `Eq`) and shared across
-/// clones of the handle.
-#[derive(Debug)]
+/// clones of the handle. Not `Debug`: the `p²`/`q²` contexts embed the
+/// private factorization.
 struct MontCache {
     /// Context for the ciphertext modulus `n²` (always odd: `p`, `q` odd).
     n2: Option<MontgomeryCtx>,
@@ -123,7 +123,7 @@ impl Ciphertext {
 /// The handle owns a seeded RNG behind a mutex so that `&self` methods can
 /// draw randomness; contention is negligible because each protocol entity
 /// owns its own handle.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct PaillierCtx {
     pk: Arc<PublicKey>,
     sk: Option<Arc<PrivateKey>>,
@@ -136,6 +136,17 @@ pub struct PaillierCtx {
     /// Observability sink for `Event::KeyOp` timings; `NullRecorder` by
     /// default, in which case the timing instrumentation is skipped.
     rec: RecorderHandle,
+}
+
+/// Redacting `Debug`: names the capability, never the key material
+/// (`PrivateKey` itself is unformattable by design).
+impl std::fmt::Debug for PaillierCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PaillierCtx")
+            .field("bits", &self.pk.bits())
+            .field("can_decrypt", &self.sk.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl PaillierCtx {
@@ -158,6 +169,7 @@ impl PaillierCtx {
         if !self.rec.0.enabled() {
             return f();
         }
+        // gridlint: allow(determinism) -- KeyOp latency telemetry only; the measured nanos feed the recorder and never protocol state, so replay stays byte-identical
         let start = std::time::Instant::now();
         let out = f();
         let nanos = start.elapsed().as_nanos() as u64;
@@ -353,11 +365,7 @@ impl PaillierCtx {
     /// on a malformed (non-unit) ciphertext with a negative scalar.
     pub fn scalar_raw(&self, k: &BigInt, c: &Ciphertext) -> Result<Ciphertext, CipherError> {
         let (sign, mag) = k.clone().into_parts();
-        let base = if sign == Sign::Minus {
-            self.neg_raw(c)?.0
-        } else {
-            c.0.clone()
-        };
+        let base = if sign == Sign::Minus { self.neg_raw(c)?.0 } else { c.0.clone() };
         Ok(Ciphertext(self.powmod_n2(&base, &mag)))
     }
 }
@@ -388,8 +396,7 @@ impl HomCipher for PaillierCtx {
     }
 
     fn scalar(&self, m: i64, c: &Ciphertext) -> Ciphertext {
-        self.try_scalar(m, c)
-            .expect("ciphertext is a unit mod n² (honest ciphertexts always are)")
+        self.try_scalar(m, c).expect("ciphertext is a unit mod n² (honest ciphertexts always are)")
     }
 
     fn try_scalar(&self, m: i64, c: &Ciphertext) -> Result<Ciphertext, CipherError> {
@@ -404,9 +411,7 @@ impl HomCipher for PaillierCtx {
     }
 
     fn rerandomize(&self, c: &Ciphertext) -> Ciphertext {
-        self.timed(KeyOpKind::Rerandomize, || {
-            Ciphertext(&c.0 * self.next_noise() % &self.pk.n2)
-        })
+        self.timed(KeyOpKind::Rerandomize, || Ciphertext(&c.0 * self.next_noise() % &self.pk.n2))
     }
 
     fn can_decrypt(&self) -> bool {
@@ -493,7 +498,7 @@ mod tests {
         use rand::SeedableRng;
         let kp = Keypair::generate_with_seed(512, 0xC127);
         let (e, d) = (kp.encryptor(), kp.decryptor());
-        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(9);
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
         for _ in 0..50 {
             let m = rng.gen_biguint_below(e.public_key().modulus());
             let c = e.encrypt_residue(&m);
@@ -508,10 +513,10 @@ mod tests {
         let e = kp.encryptor();
         // c = n is publicly craftable and gcd(n, n²) = n ≠ 1.
         let evil = Ciphertext::from_bytes_be(&e.public_key().modulus().to_bytes_be());
-        assert_eq!(e.neg_raw(&evil), Err(crate::CipherError::NotAUnit));
+        assert_eq!(e.neg_raw(&evil), Err(CipherError::NotAUnit));
         let honest = e.encrypt_i64(1);
-        assert_eq!(e.try_sub(&honest, &evil), Err(crate::CipherError::NotAUnit));
-        assert_eq!(e.try_scalar(-2, &evil), Err(crate::CipherError::NotAUnit));
+        assert_eq!(e.try_sub(&honest, &evil), Err(CipherError::NotAUnit));
+        assert_eq!(e.try_scalar(-2, &evil), Err(CipherError::NotAUnit));
         // Non-negative scalars never invert, so they stay defined.
         assert!(e.try_scalar(2, &evil).is_ok());
         assert!(!e.is_wellformed(&evil));
@@ -530,8 +535,8 @@ mod tests {
         let c = e.encrypt_residue(&big);
         assert_eq!(d.decrypt_residue(&c), BigUint::from(17u8));
         // The strict path refuses instead.
-        assert_eq!(e.try_encrypt_residue(&big), Err(crate::CipherError::PlaintextOutOfRange));
-        assert_eq!(e.try_encrypt_residue(&n), Err(crate::CipherError::PlaintextOutOfRange));
+        assert_eq!(e.try_encrypt_residue(&big), Err(CipherError::PlaintextOutOfRange));
+        assert_eq!(e.try_encrypt_residue(&n), Err(CipherError::PlaintextOutOfRange));
         let ok = e.try_encrypt_residue(&BigUint::from(17u8)).expect("in range");
         assert_eq!(d.decrypt_residue(&ok), BigUint::from(17u8));
     }
@@ -557,7 +562,7 @@ mod tests {
         let e2 = e.clone();
         // Drain more than one batch through two handles sharing the pool.
         let d = kp.decryptor();
-        for i in 0..(2 * super::NOISE_BATCH as i64 + 3) {
+        for i in 0..(2 * NOISE_BATCH as i64 + 3) {
             let c = if i % 2 == 0 { e.encrypt_i64(i) } else { e2.encrypt_i64(i) };
             assert_eq!(d.decrypt_i64(&c), i);
         }
@@ -575,10 +580,7 @@ mod tests {
         assert_eq!(d.decrypt_i64(&r), 5);
         let events = mem.snapshot();
         let count = |op: KeyOpKind| {
-            events
-                .iter()
-                .filter(|ev| matches!(ev, Event::KeyOp { op: o, .. } if *o == op))
-                .count()
+            events.iter().filter(|ev| matches!(ev, Event::KeyOp { op: o, .. } if *o == op)).count()
         };
         assert_eq!(count(KeyOpKind::Encrypt), 1);
         assert_eq!(count(KeyOpKind::Rerandomize), 1);

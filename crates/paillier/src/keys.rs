@@ -48,7 +48,11 @@ impl PublicKey {
 /// Paillier private key: Carmichael `λ = lcm(p−1, q−1)` and the
 /// precomputed `μ = λ⁻¹ mod n` for the `g = n + 1` decryption shortcut,
 /// plus the CRT residues that quarter the decryption cost.
-#[derive(Clone, Debug)]
+///
+/// Deliberately not `Debug`: a formatted λ/μ (or the CRT residues, which
+/// contain `p` and `q` outright) in a log line or panic message is a full
+/// key disclosure.
+#[derive(Clone)]
 pub struct PrivateKey {
     pub(crate) lambda: BigUint,
     pub(crate) mu: BigUint,
@@ -58,8 +62,8 @@ pub struct PrivateKey {
 /// Precomputed values for CRT decryption: work mod `p²` and `q²`
 /// separately (each exponentiation is ~8× cheaper than mod `n²`), then
 /// recombine — the standard deployment optimization from the Paillier
-/// paper's §7.
-#[derive(Clone, Debug)]
+/// paper's §7. Not `Debug`: it stores the prime factors themselves.
+#[derive(Clone)]
 pub(crate) struct CrtParams {
     pub(crate) p: BigUint,
     pub(crate) q: BigUint,
@@ -73,8 +77,9 @@ pub(crate) struct CrtParams {
     pub(crate) p_inv_q: BigUint,
 }
 
-/// A freshly generated Paillier keypair.
-#[derive(Clone, Debug)]
+/// A freshly generated Paillier keypair. Not `Debug` — it carries the
+/// private key.
+#[derive(Clone)]
 pub struct Keypair {
     pub(crate) pk: PublicKey,
     pub(crate) sk: PrivateKey,
@@ -125,33 +130,20 @@ impl Keypair {
             let g_q = (BigUint::from(1u8) + &n % &q2 * ((&q - 1u32) % &q2)) % &q2;
             let l_gp = ((&g_p - 1u32) / &p) % &p;
             let l_gq = ((&g_q - 1u32) / &q) % &q;
-            match (
-                mod_inverse(&l_gp, &p),
-                mod_inverse(&l_gq, &q),
-                mod_inverse(&(&p % &q), &q),
-            ) {
-                (Some(hp), Some(hq), Some(p_inv_q)) => Some(CrtParams {
-                    p: p.clone(),
-                    q: q.clone(),
-                    p2,
-                    q2,
-                    hp,
-                    hq,
-                    p_inv_q,
-                }),
+            match (mod_inverse(&l_gp, &p), mod_inverse(&l_gq, &q), mod_inverse(&(&p % &q), &q)) {
+                (Some(hp), Some(hq), Some(p_inv_q)) => {
+                    Some(CrtParams { p: p.clone(), q: q.clone(), p2, q2, hp, hq, p_inv_q })
+                }
                 _ => None,
             }
         };
 
-        Keypair {
-            pk: PublicKey { n, n2, half_n },
-            sk: PrivateKey { lambda, mu, crt },
-            seed,
-        }
+        Keypair { pk: PublicKey { n, n2, half_n }, sk: PrivateKey { lambda, mu, crt }, seed }
     }
 
     /// Generates a keypair from OS entropy.
     pub fn generate(n_bits: u64) -> Self {
+        // gridlint: allow(determinism) -- the one deliberate OS-entropy entry point; deterministic drivers use generate_with_seed and never call this
         Self::generate_with_seed(n_bits, rand::random())
     }
 

@@ -32,6 +32,12 @@
 //! assert_eq!(sk.decrypt_i64(&sum), 12);
 //! ```
 
+// Protocol crate: the paper's adversary model makes every panic a
+// denial-of-service lever, so `.unwrap()` outside tests is part of the
+// lint wall (the gridlint panic-freedom rule covers the hot modules;
+// this covers the rest of the crate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod cipher;
 pub mod keys;
 pub mod mock;

@@ -65,7 +65,10 @@ impl HomCipher for MockCipher {
     }
 
     fn decrypt_i64(&self, c: &MockCt) -> i64 {
-        assert!(self.decrypting, "this handle has no decryption capability (broker/accountant side)");
+        assert!(
+            self.decrypting,
+            "this handle has no decryption capability (broker/accountant side)"
+        );
         c.value
     }
 

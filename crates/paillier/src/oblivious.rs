@@ -47,7 +47,9 @@ pub enum ObliviousError {
 impl std::fmt::Display for ObliviousError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ObliviousError::TagMismatch => write!(f, "authentication tag mismatch (forged or spliced counter)"),
+            ObliviousError::TagMismatch => {
+                write!(f, "authentication tag mismatch (forged or spliced counter)")
+            }
             ObliviousError::ArityMismatch { expected, got } => {
                 write!(f, "field arity mismatch: expected {expected}, got {got}")
             }
@@ -64,7 +66,10 @@ impl std::error::Error for ObliviousError {}
 /// while forging a tuple still requires guessing ≥ 20 unknown bits per
 /// altered field — ample for a protocol whose other defence is detection,
 /// not secrecy.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Not `Debug`: formatted coefficients are the forging key. Compare keys
+/// with `==` instead.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TagKey {
     coeffs: Vec<i64>,
 }
@@ -85,14 +90,17 @@ impl TagKey {
         self.coeffs.len()
     }
 
-    /// The secret coefficient of field `i` (used by alternative wire
-    /// formats that need to recompute the linear tag themselves).
-    pub fn coeff(&self, i: usize) -> i64 {
-        self.coeffs[i]
+    /// The secret coefficient of field `i`, or `None` beyond the key's
+    /// arity (used by alternative wire formats that need individual
+    /// coefficients, e.g. for modular share slots).
+    pub fn coeff(&self, i: usize) -> Option<i64> {
+        self.coeffs.get(i).copied()
     }
 
-    /// Plaintext tag of a tuple.
-    fn tag_plain(&self, fields: &[i64]) -> i64 {
+    /// Plaintext tag of a tuple: `Σ sᵢ·mᵢ` over however many fields both
+    /// sides share (honest callers pass exactly `arity()` fields; arity
+    /// enforcement is the caller's door check).
+    pub fn tag_plain(&self, fields: &[i64]) -> i64 {
         debug_assert_eq!(fields.len(), self.coeffs.len());
         self.coeffs.iter().zip(fields).map(|(c, m)| c * m).sum()
     }
@@ -119,11 +127,7 @@ impl<C: HomCipher> PartialEq for CounterMsg<C> {
 impl<C: HomCipher> CounterMsg<C> {
     /// Accountant-side construction: encrypt each field and the tag.
     pub fn seal(cipher: &C, key: &TagKey, fields: &[i64]) -> Self {
-        assert_eq!(
-            fields.len(),
-            key.arity(),
-            "field count must match tag key arity"
-        );
+        assert_eq!(fields.len(), key.arity(), "field count must match tag key arity");
         let cts = fields.iter().map(|&m| cipher.encrypt_i64(m)).collect();
         let tag = cipher.encrypt_i64(key.tag_plain(fields));
         CounterMsg { fields: cts, tag }
@@ -137,24 +141,14 @@ impl<C: HomCipher> CounterMsg<C> {
     /// Key-free component-wise addition (the broker's aggregation step).
     pub fn add(&self, cipher: &C, other: &Self) -> Self {
         assert_eq!(self.arity(), other.arity(), "cannot add tuples of different arity");
-        let fields = self
-            .fields
-            .iter()
-            .zip(&other.fields)
-            .map(|(a, b)| cipher.add(a, b))
-            .collect();
+        let fields = self.fields.iter().zip(&other.fields).map(|(a, b)| cipher.add(a, b)).collect();
         CounterMsg { fields, tag: cipher.add(&self.tag, &other.tag) }
     }
 
     /// Key-free component-wise subtraction.
     pub fn sub(&self, cipher: &C, other: &Self) -> Self {
         assert_eq!(self.arity(), other.arity(), "cannot subtract tuples of different arity");
-        let fields = self
-            .fields
-            .iter()
-            .zip(&other.fields)
-            .map(|(a, b)| cipher.sub(a, b))
-            .collect();
+        let fields = self.fields.iter().zip(&other.fields).map(|(a, b)| cipher.sub(a, b)).collect();
         CounterMsg { fields, tag: cipher.sub(&self.tag, &other.tag) }
     }
 
@@ -258,7 +252,12 @@ mod tests {
         let b = CounterMsg::seal(&e, &key, &[9, 1, 7, 2]);
         // Mix a's counter with b's remaining fields and b's tag.
         let spliced = CounterMsg {
-            fields: vec![a.fields[0].clone(), b.fields[1].clone(), b.fields[2].clone(), b.fields[3].clone()],
+            fields: vec![
+                a.fields[0].clone(),
+                b.fields[1].clone(),
+                b.fields[2].clone(),
+                b.fields[3].clone(),
+            ],
             tag: b.tag.clone(),
         };
         assert_eq!(spliced.open(&d, &key), Err(ObliviousError::TagMismatch));

@@ -156,11 +156,7 @@ impl SlotLayout {
                 // bits were breached.
                 panic!("slot {i} overflowed its width")
             });
-            values[i] = if slot.modular {
-                raw & ((1u64 << slot.capacity) - 1)
-            } else {
-                raw
-            };
+            values[i] = if slot.modular { raw & ((1u64 << slot.capacity) - 1) } else { raw };
             rest >>= slot.width;
         }
         assert!(rest.is_zero(), "packed value wider than layout");
@@ -174,13 +170,15 @@ impl SlotLayout {
             .slots
             .iter()
             .zip(a.values.iter().zip(&b.values))
-            .map(|(slot, (&x, &y))| {
-                if slot.modular {
-                    (x + y) & ((1u64 << slot.capacity) - 1)
-                } else {
-                    x + y
-                }
-            })
+            .map(
+                |(slot, (&x, &y))| {
+                    if slot.modular {
+                        (x + y) & ((1u64 << slot.capacity) - 1)
+                    } else {
+                        x + y
+                    }
+                },
+            )
             .collect();
         SlotVector { values }
     }
@@ -241,7 +239,8 @@ mod tests {
         let pa = l.pack(&a);
         let pb = l.pack(&b);
         let packed_sum = l.unpack(&(pa + pb));
-        let plain_sum = l.add_plain(&SlotVector { values: a.to_vec() }, &SlotVector { values: b.to_vec() });
+        let plain_sum =
+            l.add_plain(&SlotVector { values: a.to_vec() }, &SlotVector { values: b.to_vec() });
         assert_eq!(packed_sum, plain_sum);
     }
 

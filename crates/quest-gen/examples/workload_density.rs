@@ -29,6 +29,9 @@ fn main() {
         let db = gridmine_quest::generate(&p);
         let cfg = AprioriConfig::new(Ratio::from_f64(freq), Ratio::from_f64(conf));
         let rules = correct_rules(&db, &cfg);
-        println!("{name} items={items} patterns={patterns} minfreq={freq}: {} correct rules", rules.len());
+        println!(
+            "{name} items={items} patterns={patterns} minfreq={freq}: {} correct rules",
+            rules.len()
+        );
     }
 }

@@ -45,7 +45,12 @@ fn main() -> ExitCode {
             args.get(*i).cloned()
         };
         match args[i].as_str() {
-            "--workload" => workload = match take(&mut i) { Some(v) => v, None => return usage() },
+            "--workload" => {
+                workload = match take(&mut i) {
+                    Some(v) => v,
+                    None => return usage(),
+                }
+            }
             "--transactions" => match take(&mut i).and_then(|v| v.parse().ok()) {
                 Some(v) => transactions = v,
                 None => return usage(),
@@ -66,7 +71,12 @@ fn main() -> ExitCode {
                 Some(v) => min_freq = v,
                 None => return usage(),
             },
-            "--out" => out = match take(&mut i) { Some(v) => v, None => return usage() },
+            "--out" => {
+                out = match take(&mut i) {
+                    Some(v) => v,
+                    None => return usage(),
+                }
+            }
             "--stats" => stats = true,
             "--help" | "-h" => {
                 usage();
@@ -116,10 +126,7 @@ fn main() -> ExitCode {
         let cfg = AprioriConfig::new(Ratio::from_f64(min_freq), Ratio::from_f64(0.5));
         let freq = frequent_itemsets(&db, &cfg);
         let max_len = freq.keys().map(|s| s.len()).max().unwrap_or(0);
-        eprintln!(
-            "frequent itemsets at MinFreq {min_freq}: {} (longest: {max_len})",
-            freq.len()
-        );
+        eprintln!("frequent itemsets at MinFreq {min_freq}: {} (longest: {max_len})", freq.len());
     }
 
     let json = serde_json::to_string(&db).expect("database serializes");

@@ -43,7 +43,13 @@ pub fn normal<R: Rng + ?Sized>(mean: f64, std_dev: f64, rng: &mut R) -> f64 {
 
 /// Normal sample clipped into `[lo, hi]` (the generator's corruption
 /// levels live in [0, 1]).
-pub fn clipped_normal<R: Rng + ?Sized>(mean: f64, std_dev: f64, lo: f64, hi: f64, rng: &mut R) -> f64 {
+pub fn clipped_normal<R: Rng + ?Sized>(
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) -> f64 {
     normal(mean, std_dev, rng).clamp(lo, hi)
 }
 

@@ -5,12 +5,12 @@ use proptest::prelude::*;
 
 fn small_params() -> impl Strategy<Value = QuestParams> {
     (
-        100usize..800,          // transactions
+        100usize..800,                                   // transactions
         prop_oneof![Just(3.0f64), Just(5.0), Just(8.0)], // T
         prop_oneof![Just(1.5f64), Just(2.0), Just(3.0)], // I
-        20u32..120,             // items
-        5usize..40,             // patterns
-        any::<u64>(),           // seed
+        20u32..120,                                      // items
+        5usize..40,                                      // patterns
+        any::<u64>(),                                    // seed
     )
         .prop_map(|(n, t, i, items, patterns, seed)| QuestParams {
             n_transactions: n,

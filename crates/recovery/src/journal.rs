@@ -163,6 +163,7 @@ fn chain_digest(prev: u64, seq: u64, entry: &JournalEntry) -> Result<u64, Journa
 impl RecoveryLog {
     /// Start a log whose baseline is `state` (an empty journal).
     pub fn baseline(state: ResourceState) -> Self {
+        // gridlint: allow(panic-freedom) -- serde_json serialization of an own, map-free struct is infallible; an Err here is a build defect, not wire input
         let snapshot_digest = state_digest(&state).expect("snapshot state encodes");
         RecoveryLog { snapshot: state, snapshot_digest, entries: Vec::new(), head: snapshot_digest }
     }
@@ -177,6 +178,7 @@ impl RecoveryLog {
     /// Append one delta, sealing it into the digest chain.
     pub fn append(&mut self, entry: JournalEntry) {
         let seq = self.entries.len() as u64;
+        // gridlint: allow(panic-freedom) -- serde_json serialization of an own, map-free enum is infallible; an Err here is a build defect, not wire input
         let digest = chain_digest(self.head, seq, &entry).expect("journal entry encodes");
         self.entries.push(SealedEntry { seq, entry, digest });
         self.head = digest;
@@ -216,25 +218,23 @@ impl RecoveryLog {
         let mut state = self.snapshot.clone();
         for sealed in &self.entries {
             let rule = sealed.entry.rule();
-            let idx = match state.records.iter().position(|r| &r.rule == rule) {
-                Some(idx) => idx,
-                None => {
-                    state.records.push(RuleRecord {
-                        rule: rule.clone(),
-                        frontier: 0,
-                        sum: 0,
-                        count: 0,
-                        clock: 1,
-                        last_sum: 0,
-                        output: None,
-                    });
-                    state.records.len() - 1
-                }
+            if !state.records.iter().any(|r| &r.rule == rule) {
+                state.records.push(RuleRecord {
+                    rule: rule.clone(),
+                    frontier: 0,
+                    sum: 0,
+                    count: 0,
+                    clock: 1,
+                    last_sum: 0,
+                    output: None,
+                });
+            }
+            let Some(rec) = state.records.iter_mut().find(|r| &r.rule == rule) else {
+                continue; // unreachable: the record was just ensured above
             };
             match &sealed.entry {
                 JournalEntry::RuleRegistered { .. } => {}
                 JournalEntry::ScanAdvanced { frontier, sum, count, clock, last_sum, .. } => {
-                    let rec = &mut state.records[idx];
                     rec.frontier = *frontier;
                     rec.sum = *sum;
                     rec.count = *count;
@@ -242,7 +242,7 @@ impl RecoveryLog {
                     rec.last_sum = *last_sum;
                 }
                 JournalEntry::OutputCached { answer, .. } => {
-                    state.records[idx].output = Some(*answer);
+                    rec.output = Some(*answer);
                 }
             }
         }
@@ -253,10 +253,10 @@ impl RecoveryLog {
     /// malicious-behaviour suite): corrupts a mid-journal digest, or the
     /// snapshot digest when the journal is empty. Deterministic.
     pub fn corrupt(&mut self) {
-        if let Some(mid) = self.entries.len().checked_sub(1).map(|last| last / 2) {
-            self.entries[mid].digest ^= 0xDEAD;
-        } else {
-            self.snapshot_digest ^= 0xDEAD;
+        let mid = self.entries.len().saturating_sub(1) / 2;
+        match self.entries.get_mut(mid) {
+            Some(sealed) => sealed.digest ^= 0xDEAD,
+            None => self.snapshot_digest ^= 0xDEAD,
         }
     }
 }
@@ -272,12 +272,12 @@ pub struct RecoveryImage {
 
 impl RecoveryImage {
     pub fn to_bytes(&self) -> Vec<u8> {
+        // gridlint: allow(panic-freedom) -- serde_json serialization of an own, map-free struct is infallible; an Err here is a build defect, not wire input
         serde_json::to_string(self).expect("recovery image encodes").into_bytes()
     }
 
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, JournalError> {
-        let text =
-            std::str::from_utf8(bytes).map_err(|e| JournalError::Codec(e.to_string()))?;
+        let text = std::str::from_utf8(bytes).map_err(|e| JournalError::Codec(e.to_string()))?;
         serde_json::from_str(text).map_err(|e| JournalError::Codec(e.to_string()))
     }
 

@@ -23,6 +23,12 @@
 //! re-audits share totals against its accountant, and converts any
 //! failure into a `MaliciousResource` verdict — never a panic.
 
+// Protocol crate: the paper's adversary model makes every panic a
+// denial-of-service lever, so `.unwrap()` outside tests is part of the
+// lint wall (the gridlint panic-freedom rule covers the hot modules;
+// this covers the rest of the crate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod journal;
 mod policy;
 
@@ -46,7 +52,9 @@ pub(crate) fn digest_bytes(seed: u64, bytes: &[u8]) -> u64 {
     let mut h = mix(seed ^ bytes.len() as u64);
     for chunk in bytes.chunks(8) {
         let mut w = [0u8; 8];
-        w[..chunk.len()].copy_from_slice(chunk);
+        for (dst, &src) in w.iter_mut().zip(chunk) {
+            *dst = src;
+        }
         h = mix(h ^ u64::from_le_bytes(w));
     }
     h

@@ -88,11 +88,8 @@ pub struct RecoveryPolicy {
 }
 
 impl RecoveryPolicy {
-    pub const DEFAULT: RecoveryPolicy = RecoveryPolicy {
-        checkpoint_every: 5,
-        catchup_scan_budget: 8,
-        retry: RetryPolicy::DEFAULT,
-    };
+    pub const DEFAULT: RecoveryPolicy =
+        RecoveryPolicy { checkpoint_every: 5, catchup_scan_budget: 8, retry: RetryPolicy::DEFAULT };
 
     pub fn with_checkpoint_every(mut self, every: u64) -> Self {
         assert!(every > 0, "checkpoint cadence must be positive");
@@ -148,9 +145,7 @@ impl RecoveryMode {
 
     /// The catch-up scan budget in force.
     pub fn catchup_scan_budget(&self) -> u64 {
-        self.policy().map_or(RecoveryPolicy::DEFAULT.catchup_scan_budget, |p| {
-            p.catchup_scan_budget
-        })
+        self.policy().map_or(RecoveryPolicy::DEFAULT.catchup_scan_budget, |p| p.catchup_scan_budget)
     }
 }
 
@@ -176,10 +171,7 @@ mod tests {
         let a = RetryPolicy { seed: 1, ..RetryPolicy::DEFAULT };
         let b = RetryPolicy { seed: 2, ..RetryPolicy::DEFAULT };
         // Some attempt in the capped region must differ between seeds.
-        assert!(
-            (4..24).any(|i| a.backoff_ms(i) != b.backoff_ms(i)),
-            "seeded jitter never fired"
-        );
+        assert!((4..24).any(|i| a.backoff_ms(i) != b.backoff_ms(i)), "seeded jitter never fired");
     }
 
     #[test]

@@ -84,7 +84,12 @@ where
         let overlay = if cfg.n_resources == 1 {
             Overlay::from_tree(gridmine_topology::Tree::singleton(), cfg.delay, cfg.seed)
         } else {
-            Overlay::barabasi(cfg.n_resources, cfg.ba_m.min(cfg.n_resources - 1), cfg.delay, cfg.seed)
+            Overlay::barabasi(
+                cfg.n_resources,
+                cfg.ba_m.min(cfg.n_resources - 1),
+                cfg.delay,
+                cfg.seed,
+            )
         };
         let generator = CandidateGenerator::new(cfg.min_freq, cfg.min_conf);
         let mut resources: Vec<SecureResource<C>> = (0..cfg.n_resources)
@@ -295,10 +300,7 @@ where
     /// nudged so current aggregates flow into the new epoch.
     fn rewire_around(&mut self, u: usize) {
         let neighbors: Vec<usize> = self.overlay.neighbors(u).collect();
-        let epoch = self
-            .step_no
-            .wrapping_mul(0x9E37)
-            .wrapping_add(self.resources.len() as u64);
+        let epoch = self.step_no.wrapping_mul(0x9E37).wrapping_add(self.resources.len() as u64);
         self.resources[u].rewire(neighbors.clone(), epoch);
 
         for &v in &neighbors {
@@ -378,10 +380,7 @@ where
     /// liveness-driven isolation of self-degraded (e.g. mute-controller)
     /// resources.
     fn quarantine(&mut self, u: usize, reason: DegradeReason) {
-        emit(&self.rec, || Event::ResourceQuarantined {
-            resource: u as u64,
-            tick: self.step_no,
-        });
+        emit(&self.rec, || Event::ResourceQuarantined { resource: u as u64, tick: self.step_no });
         let nbrs: Vec<usize> = self.overlay.neighbors(u).collect();
         self.overlay.route_around(u);
         self.departed[u] = true;
@@ -400,9 +399,7 @@ where
         let hub = nbrs
             .iter()
             .copied()
-            .find(|&v| {
-                nbrs.iter().all(|&w| w == v || self.overlay.neighbors(v).any(|x| x == w))
-            })
+            .find(|&v| nbrs.iter().all(|&w| w == v || self.overlay.neighbors(v).any(|x| x == w)))
             .unwrap_or(first);
         self.crash_parent[u] = Some(hub);
         // Pre-pass: adopt the repaired neighbor sets everywhere before any
@@ -410,10 +407,7 @@ where
         // contain the edge, and route_around creates brand-new orphan↔hub
         // edges, so a one-at-a-time rewire would ask a not-yet-rewired hub
         // for a share toward an orphan it never knew.
-        let epoch = self
-            .step_no
-            .wrapping_mul(0x9E37)
-            .wrapping_add(self.resources.len() as u64);
+        let epoch = self.step_no.wrapping_mul(0x9E37).wrapping_add(self.resources.len() as u64);
         for &v in &nbrs {
             let nv: Vec<usize> = self.overlay.neighbors(v).collect();
             self.resources[v].rewire(nv, epoch);
@@ -433,19 +427,15 @@ where
         if !self.departed[u] {
             return;
         }
-        let anchor = self
-            .crash_parent[u]
+        let anchor = self.crash_parent[u]
             .filter(|&p| !self.departed[p])
             .or_else(|| (0..self.departed.len()).find(|&v| v != u && !self.departed[v]));
         let Some(anchor) = anchor else { return };
         self.overlay.rejoin(u, anchor);
         self.departed[u] = false;
         self.resources[u].clear_degraded();
-        let epoch = self
-            .step_no
-            .wrapping_mul(0x9E37)
-            .wrapping_add(self.resources.len() as u64)
-            ^ 0xC0DE;
+        let epoch =
+            self.step_no.wrapping_mul(0x9E37).wrapping_add(self.resources.len() as u64) ^ 0xC0DE;
         self.resources[u].rewire(vec![anchor], epoch);
         if self.mode.wipes() {
             if self.mode.policy().is_some() {
@@ -472,6 +462,7 @@ where
         let t = self.step_no;
         let started = link.plan().outages_at(t);
         let recovered = link.plan().recoveries_at(t);
+        let mut reasons: Vec<(usize, DegradeReason)> = Vec::with_capacity(started.len());
         for &u in &started {
             if self.departed[u] {
                 continue;
@@ -480,10 +471,12 @@ where
                 Some(ResourceFault::Depart { .. }) => {
                     link.stats_mut().departures += 1;
                     emit(&self.rec, || Event::ResourceDeparted { resource: u as u64, tick: t });
+                    reasons.push((u, DegradeReason::Departed));
                 }
                 _ => {
                     link.stats_mut().crashes += 1;
                     emit(&self.rec, || Event::ResourceCrashed { resource: u as u64, tick: t });
+                    reasons.push((u, DegradeReason::Crashed));
                 }
             }
         }
@@ -493,17 +486,6 @@ where
                 emit(&self.rec, || Event::ResourceRecovered { resource: u as u64, tick: t });
             }
         }
-        let reasons: Vec<(usize, DegradeReason)> = started
-            .into_iter()
-            .filter(|&u| !self.departed[u])
-            .map(|u| {
-                let reason = match self.link.as_ref().unwrap().plan().fault_of(u) {
-                    Some(ResourceFault::Depart { .. }) => DegradeReason::Departed,
-                    _ => DegradeReason::Crashed,
-                };
-                (u, reason)
-            })
-            .collect();
         for (u, reason) in reasons {
             self.quarantine(u, reason);
         }
@@ -521,8 +503,8 @@ where
             .resources
             .iter()
             .enumerate()
-            .filter(|(u, r)| !self.departed[*u] && r.degraded().is_some())
-            .map(|(u, r)| (u, r.degraded().expect("filtered on degraded")))
+            .filter(|(u, _)| !self.departed[*u])
+            .filter_map(|(u, r)| r.degraded().map(|reason| (u, reason)))
             .collect();
         for (u, reason) in stuck {
             self.quarantine(u, reason);
@@ -622,9 +604,7 @@ where
         // frozen as of their departure).
         let growth = self.cfg.growth_per_step;
         if growth > 0 {
-            for (u, (r, plan)) in
-                self.resources.iter_mut().zip(self.plans.iter_mut()).enumerate()
-            {
+            for (u, (r, plan)) in self.resources.iter_mut().zip(self.plans.iter_mut()).enumerate() {
                 if self.departed[u] {
                     continue;
                 }
@@ -812,12 +792,9 @@ where
     /// Number of local-database scans completed so far (the x-axis of
     /// Figure 2): steps × budget / current average local size.
     pub fn scans_completed(&self) -> f64 {
-        let avg_size: f64 = self
-            .resources
-            .iter()
-            .map(|r| r.accountant().db_len() as f64)
-            .sum::<f64>()
-            / self.resources.len() as f64;
+        let avg_size: f64 =
+            self.resources.iter().map(|r| r.accountant().db_len() as f64).sum::<f64>()
+                / self.resources.len() as f64;
         if avg_size == 0.0 {
             return 0.0;
         }

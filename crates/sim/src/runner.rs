@@ -76,8 +76,7 @@ fn convergence_inner(
     // counts come back inside the metrics.
     let tally = rec.as_ref().map(|user| {
         let tally = Metrics::shared();
-        let fan: SharedRecorder =
-            Arc::new(FanoutRecorder::new(vec![user.clone(), tally.clone()]));
+        let fan: SharedRecorder = Arc::new(FanoutRecorder::new(vec![user.clone(), tally.clone()]));
         sim.set_recorder(fan);
         tally
     });
@@ -176,8 +175,7 @@ pub fn single_itemset_steps(
     // Only item 0 is voted on ("these experiments were conducted for the
     // special case of a single itemset").
     let mut sim = Simulation::new(cfg, &keys, plans, &[Item(0)]);
-    let truth: RuleSet =
-        [Rule::frequency(gridmine_arm::ItemSet::of(&[0]))].into_iter().collect();
+    let truth: RuleSet = [Rule::frequency(gridmine_arm::ItemSet::of(&[0]))].into_iter().collect();
 
     let mut steps = 0;
     while steps < max_steps {

@@ -74,9 +74,9 @@ pub fn significance_databases(
 ) -> Vec<Database> {
     assert!(n_resources >= 1 && local_size >= 1);
     let total = (n_resources * local_size) as i64;
-    let target_global =
-        ((lambda.as_f64() * (1.0 + significance)) * total as f64).round().clamp(0.0, total as f64)
-            as i64;
+    let target_global = ((lambda.as_f64() * (1.0 + significance)) * total as f64)
+        .round()
+        .clamp(0.0, total as f64) as i64;
 
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     // Per-resource supports are binomial around the global frequency —
@@ -141,8 +141,7 @@ mod tests {
         );
         let plans = split_growth(&global, 4, 0.2, 3);
         assert_eq!(plans.len(), 4);
-        let total: usize =
-            plans.iter().map(|p| p.initial.len() + p.stream.len()).sum();
+        let total: usize = plans.iter().map(|p| p.initial.len() + p.stream.len()).sum();
         assert_eq!(total, 1000);
         for p in &plans {
             let frac = p.stream.len() as f64 / (p.initial.len() + p.stream.len()) as f64;

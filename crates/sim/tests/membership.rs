@@ -26,8 +26,7 @@ fn joined_resource_data_is_incorporated() {
     // 4 resources all voting {1}; a newcomer with {2}-heavy data flips the
     // global picture once enough members joined for the gate (k = 1).
     let keys = GridKeys::<MockCipher>::mock(5);
-    let plans: Vec<GrowthPlan> =
-        (0..4).map(|u| GrowthPlan::fixed(db_of(u, 40, &[1]))).collect();
+    let plans: Vec<GrowthPlan> = (0..4).map(|u| GrowthPlan::fixed(db_of(u, 40, &[1]))).collect();
     let items = vec![Item(1), Item(2)];
     let mut sim = Simulation::new(cfg(4, 1), &keys, plans, &items);
     sim.run(20);
@@ -63,8 +62,7 @@ fn statistics_propagate_after_k_joins() {
     // is pinned down by the k-TTP conformance property tests in
     // gridmine-core; this test checks the end-to-end grid behaviour.)
     let keys = GridKeys::<MockCipher>::mock(8);
-    let plans: Vec<GrowthPlan> =
-        (0..4).map(|u| GrowthPlan::fixed(db_of(u, 40, &[1]))).collect();
+    let plans: Vec<GrowthPlan> = (0..4).map(|u| GrowthPlan::fixed(db_of(u, 40, &[1]))).collect();
     let items = vec![Item(1), Item(2)];
     let mut sim = Simulation::new(cfg(4, 4), &keys, plans, &items);
     sim.run(25);
@@ -99,8 +97,7 @@ fn join_keeps_grid_honest_under_attack_checks() {
     // Rewiring must not make honest traffic look malicious: shares and
     // timestamps survive the epoch change.
     let keys = GridKeys::<MockCipher>::mock(13);
-    let plans: Vec<GrowthPlan> =
-        (0..6).map(|u| GrowthPlan::fixed(db_of(u, 30, &[1, 2]))).collect();
+    let plans: Vec<GrowthPlan> = (0..6).map(|u| GrowthPlan::fixed(db_of(u, 30, &[1, 2]))).collect();
     let items = vec![Item(1), Item(2)];
     let mut sim = Simulation::new(cfg(6, 1), &keys, plans, &items);
     sim.run(15);
@@ -143,9 +140,8 @@ fn departure_rewires_cleanly_and_new_data_reconverges() {
     sim.refresh_outputs();
 
     // Remove some leaf (every tree has at least two).
-    let leaf = (0..5)
-        .find(|&u| sim.overlay().neighbors(u).count() == 1)
-        .expect("a tree has leaves");
+    let leaf =
+        (0..5).find(|&u| sim.overlay().neighbors(u).count() == 1).expect("a tree has leaves");
     sim.leave_resource(leaf);
     assert!(sim.is_departed(leaf));
     assert_eq!(sim.current_size(), 4);

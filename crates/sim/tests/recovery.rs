@@ -124,10 +124,7 @@ fn forged_journal_is_rejected_as_malicious_without_panicking() {
         sim.verdicts
     );
     assert_eq!(
-        sim.verdicts
-            .iter()
-            .filter(|&&(_, v)| matches!(v, Verdict::MaliciousResource(_)))
-            .count(),
+        sim.verdicts.iter().filter(|&&(_, v)| matches!(v, Verdict::MaliciousResource(_))).count(),
         1,
         "exactly one resource is blamed"
     );
@@ -184,10 +181,7 @@ fn recovery_events_agree_with_the_chaos_report() {
 }
 
 fn sim_resend_count(events: &[Event]) -> u64 {
-    events
-        .iter()
-        .filter(|e| matches!(e, Event::CounterSent { resend: true, .. }))
-        .count() as u64
+    events.iter().filter(|e| matches!(e, Event::CounterSent { resend: true, .. })).count() as u64
 }
 
 proptest! {

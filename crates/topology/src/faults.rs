@@ -86,9 +86,7 @@ impl ResourceFault {
     /// True while the resource is out at tick `t`.
     pub fn down_at(&self, t: u64) -> bool {
         match *self {
-            ResourceFault::Crash { at, recover } => {
-                t >= at && recover.is_none_or(|r| t < r)
-            }
+            ResourceFault::Crash { at, recover } => t >= at && recover.is_none_or(|r| t < r),
             ResourceFault::Depart { at } => t >= at,
         }
     }
@@ -335,12 +333,11 @@ impl FaultyLink {
         }
         let seq = self.seq.entry((from, to)).or_insert(0);
         *seq += 1;
-        let base = mix(
-            self.plan
-                .seed
-                .wrapping_add(mix(((from as u64) << 32) | to as u64))
-                .wrapping_add(*seq),
-        );
+        let base = mix(self
+            .plan
+            .seed
+            .wrapping_add(mix(((from as u64) << 32) | to as u64))
+            .wrapping_add(*seq));
         if unit_f64(mix(base ^ 0xD609)) < faults.drop {
             self.stats.dropped += 1;
             return Delivery::dropped();
@@ -379,8 +376,11 @@ mod tests {
 
     #[test]
     fn same_seed_same_decisions() {
-        let plan = FaultPlan::new(42)
-            .with_default_edge(EdgeFaults { drop: 0.3, duplicate: 0.2, jitter: 4 });
+        let plan = FaultPlan::new(42).with_default_edge(EdgeFaults {
+            drop: 0.3,
+            duplicate: 0.2,
+            jitter: 4,
+        });
         let mut a = FaultyLink::new(plan.clone());
         let mut b = FaultyLink::new(plan);
         let va: Vec<Delivery> = (0..200).map(|i| a.on_send(i % 7, (i + 1) % 7)).collect();
@@ -412,9 +412,11 @@ mod tests {
 
     #[test]
     fn edge_overrides_beat_the_default() {
-        let plan = FaultPlan::new(3)
-            .with_default_edge(EdgeFaults::dropping(1.0))
-            .with_edge(2, 1, EdgeFaults::default());
+        let plan = FaultPlan::new(3).with_default_edge(EdgeFaults::dropping(1.0)).with_edge(
+            2,
+            1,
+            EdgeFaults::default(),
+        );
         let mut link = FaultyLink::new(plan);
         assert!(link.on_send(0, 1).is_dropped());
         // The (1,2) link is overridden clean — in both directions.
@@ -424,9 +426,7 @@ mod tests {
 
     #[test]
     fn outage_windows() {
-        let plan = FaultPlan::new(0)
-            .with_crash(3, 10, Some(20))
-            .with_departure(5, 15);
+        let plan = FaultPlan::new(0).with_crash(3, 10, Some(20)).with_departure(5, 15);
         assert!(!plan.down(3, 9));
         assert!(plan.down(3, 10));
         assert!(plan.down(3, 19));
@@ -442,9 +442,8 @@ mod tests {
 
     #[test]
     fn onset_of_link_faults_is_zero() {
-        let plan = FaultPlan::new(0)
-            .with_default_edge(EdgeFaults::dropping(0.1))
-            .with_crash(1, 50, None);
+        let plan =
+            FaultPlan::new(0).with_default_edge(EdgeFaults::dropping(0.1)).with_crash(1, 50, None);
         assert_eq!(plan.onset(), Some(0));
         assert_eq!(FaultPlan::none().onset(), None);
         assert!(FaultPlan::none().is_quiet());
@@ -452,8 +451,8 @@ mod tests {
 
     #[test]
     fn jitter_delays_without_dropping() {
-        let plan = FaultPlan::new(11)
-            .with_default_edge(EdgeFaults { jitter: 5, ..EdgeFaults::default() });
+        let plan =
+            FaultPlan::new(11).with_default_edge(EdgeFaults { jitter: 5, ..EdgeFaults::default() });
         let mut link = FaultyLink::new(plan);
         let mut seen_delay = false;
         for _ in 0..100 {

@@ -205,10 +205,7 @@ impl Tree {
         if n == 0 {
             return;
         }
-        let edges: usize = self
-            .nodes()
-            .map(|u| self.neighbors(u).filter(|&v| v > u).count())
-            .sum();
+        let edges: usize = self.nodes().map(|u| self.neighbors(u).filter(|&v| v > u).count()).sum();
         assert_eq!(edges, n - 1, "tree must have exactly n-1 edges");
         // Reachability from any present node.
         let start = self.nodes().next().expect("n > 0");

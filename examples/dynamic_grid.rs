@@ -37,8 +37,7 @@ fn main() {
     cfg.min_conf = Ratio::new(1, 2);
 
     // Six clinics reporting co-occurring diagnoses {1,2}.
-    let plans: Vec<GrowthPlan> =
-        (0..6).map(|u| GrowthPlan::fixed(db_of(u, 50, &[1, 2]))).collect();
+    let plans: Vec<GrowthPlan> = (0..6).map(|u| GrowthPlan::fixed(db_of(u, 50, &[1, 2]))).collect();
     let keys = GridKeys::<MockCipher>::mock(3);
     let items = vec![Item(1), Item(2), Item(3)];
     let mut sim: Simulation<MockCipher> = Simulation::new(cfg, &keys, plans, &items);

@@ -15,11 +15,8 @@ fn main() {
     // The paper runs Figure 4 on T10I4; the k-dependence is a property of
     // the aggregation wave, so a lighter workload shows the same shape in
     // seconds (the fig4 bench runs the T10I4 version).
-    let params = QuestParams::t5i2()
-        .with_transactions(4_000)
-        .with_items(30)
-        .with_patterns(12)
-        .with_seed(11);
+    let params =
+        QuestParams::t5i2().with_transactions(4_000).with_items(30).with_patterns(12).with_seed(11);
     println!("workload: {} with {} transactions\n", params.name(), params.n_transactions);
     let global = gridmine::quest::generate(&params);
 
@@ -36,8 +33,12 @@ fn main() {
         let (steps, metrics) = time_to_recall(cfg, &global, 0.9, 5, 300);
         match steps {
             Some(s) => {
-                let delta = previous.map(|p| format!(" (+{})", s.saturating_sub(p))).unwrap_or_default();
-                println!("{k:>4} {s:>16}{delta} {:>10.2}", metrics.scans_at_90_recall.unwrap_or(f64::NAN));
+                let delta =
+                    previous.map(|p| format!(" (+{})", s.saturating_sub(p))).unwrap_or_default();
+                println!(
+                    "{k:>4} {s:>16}{delta} {:>10.2}",
+                    metrics.scans_at_90_recall.unwrap_or(f64::NAN)
+                );
                 previous = Some(s);
             }
             None => println!("{k:>4} {:>16} {:>10}", "> budget", "-"),

@@ -61,10 +61,8 @@ fn main() {
 
     // Compare against what a (hypothetical, privacy-violating) central
     // miner would have found.
-    let truth = correct_rules(
-        &global,
-        &AprioriConfig::new(Ratio::from_f64(0.3), Ratio::from_f64(0.6)),
-    );
+    let truth =
+        correct_rules(&global, &AprioriConfig::new(Ratio::from_f64(0.3), Ratio::from_f64(0.6)));
     println!("centralized ground truth ({} rules):", truth.len());
     for rule in truth.sorted() {
         println!("  {rule}");

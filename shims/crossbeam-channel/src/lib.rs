@@ -192,8 +192,7 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (guard, result) =
-                self.shared.ready.wait_timeout(inner, deadline - now).unwrap();
+            let (guard, result) = self.shared.ready.wait_timeout(inner, deadline - now).unwrap();
             inner = guard;
             if result.timed_out() && inner.items.is_empty() {
                 if inner.senders == 0 {
@@ -273,10 +272,7 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), Err(RecvError));
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(1)),
-            Err(RecvTimeoutError::Disconnected)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
 
         let (tx, rx) = unbounded::<u32>();
         drop(rx);
@@ -286,10 +282,7 @@ mod tests {
     #[test]
     fn timeout_fires() {
         let (_tx, rx) = unbounded::<u32>();
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(10)),
-            Err(RecvTimeoutError::Timeout)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
     }
 
     #[test]

@@ -535,12 +535,7 @@ impl BigUint {
         self.div_rem(rhs).1
     }
     fn do_bitand(&self, rhs: &BigUint) -> BigUint {
-        let out = self
-            .limbs
-            .iter()
-            .zip(rhs.limbs.iter())
-            .map(|(a, b)| a & b)
-            .collect();
+        let out = self.limbs.iter().zip(rhs.limbs.iter()).map(|(a, b)| a & b).collect();
         BigUint::from_limbs(out)
     }
 }
@@ -1073,10 +1068,7 @@ mod tests {
         assert_eq!(big("120034005600789").to_string(), "120034005600789");
         assert_eq!(BigUint::default().to_string(), "0");
         let big_num = big("12345678901234567890123456789012345678901234567890");
-        assert_eq!(
-            big_num.to_string(),
-            "12345678901234567890123456789012345678901234567890"
-        );
+        assert_eq!(big_num.to_string(), "12345678901234567890123456789012345678901234567890");
     }
 
     #[test]

@@ -393,7 +393,14 @@ impl MontgomeryCtx {
     }
 
     #[inline(always)]
-    fn montsqr_body(&self, k: usize, a: &[u64], wide: &mut [u64], c_out: &mut [u64], out: &mut [u64]) {
+    fn montsqr_body(
+        &self,
+        k: usize,
+        a: &[u64],
+        wide: &mut [u64],
+        c_out: &mut [u64],
+        out: &mut [u64],
+    ) {
         let n = &self.n_limbs[..k];
         debug_assert!(
             k >= 2
@@ -438,10 +445,10 @@ impl MontgomeryCtx {
             carry = (hi >> 64) as u64;
         }
         debug_assert_eq!(carry, 0); // a² fits exactly 2k limbs
-        // Montgomery reduction: fold each low limb to zero. Row i's carry
-        // lands at limb i+k ≥ k, and the fold multiplier m only ever reads
-        // limbs < k, so all k row carries can be deferred and applied in
-        // one pass — no per-row carry ripple.
+                                    // Montgomery reduction: fold each low limb to zero. Row i's carry
+                                    // lands at limb i+k ≥ k, and the fold multiplier m only ever reads
+                                    // limbs < k, so all k row carries can be deferred and applied in
+                                    // one pass — no per-row carry ripple.
         let inv = self.n0_inv;
         for i in 0..k {
             let m = wide[i].wrapping_mul(inv) as u128;

@@ -382,7 +382,9 @@ pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Skips the current case unless `cond` holds.
@@ -453,9 +455,10 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr) => {{
         let (__l, __r) = (&$left, &$right);
         if *__l == *__r {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!("assertion failed: `left != right`\n  both: `{:?}`", __l),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`",
+                __l
+            )));
         }
     }};
 }

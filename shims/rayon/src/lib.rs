@@ -33,10 +33,7 @@ impl<I: Iterator> ParIter<I> {
     }
 
     /// Zips with anything convertible to a "parallel" iterator.
-    pub fn zip<J: IntoParallelIterator>(
-        self,
-        other: J,
-    ) -> ParIter<std::iter::Zip<I, J::Inner>> {
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Inner>> {
         ParIter { inner: self.inner.zip(other.into_par_iter().inner) }
     }
 
@@ -196,9 +193,7 @@ impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
 
 /// The traits call sites import with `use rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
-    };
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
 #[cfg(test)]

@@ -407,10 +407,10 @@ impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) 
         match d.deserialize_value()? {
             Value::Array(items) if items.len() == 2 => {
                 let mut it = items.into_iter();
-                let a = A::deserialize(it.next().unwrap())
-                    .map_err(<D::Error as de::Error>::custom)?;
-                let b = B::deserialize(it.next().unwrap())
-                    .map_err(<D::Error as de::Error>::custom)?;
+                let a =
+                    A::deserialize(it.next().unwrap()).map_err(<D::Error as de::Error>::custom)?;
+                let b =
+                    B::deserialize(it.next().unwrap()).map_err(<D::Error as de::Error>::custom)?;
                 Ok((a, b))
             }
             other => Err(<D::Error as de::Error>::custom(format!(

@@ -120,9 +120,7 @@ impl Cursor {
                         if let Some(TokenTree::Ident(i)) = inner.first() {
                             if i.to_string() == "serde" {
                                 if let Some(TokenTree::Group(payload)) = inner.get(1) {
-                                    return Some(Some(
-                                        payload.stream().into_iter().collect(),
-                                    ));
+                                    return Some(Some(payload.stream().into_iter().collect()));
                                 }
                             }
                         }
@@ -144,7 +142,11 @@ fn unquote(lit: &str) -> String {
 }
 
 /// Container-level `#[serde(bound(...))]` payload.
-fn parse_bound(tokens: &[TokenTree], bound_ser: &mut Option<String>, bound_de: &mut Option<String>) {
+fn parse_bound(
+    tokens: &[TokenTree],
+    bound_ser: &mut Option<String>,
+    bound_de: &mut Option<String>,
+) {
     // Payload shape: bound ( serialize = "..." , deserialize = "..." )
     let mut i = 0;
     while i < tokens.len() {
@@ -325,8 +327,7 @@ fn token_to_text(t: &TokenTree) -> String {
                 Delimiter::Brace => ("{", "}"),
                 Delimiter::None => ("", ""),
             };
-            let inner: Vec<String> =
-                g.stream().into_iter().map(|t| token_to_text(&t)).collect();
+            let inner: Vec<String> = g.stream().into_iter().map(|t| token_to_text(&t)).collect();
             format!("{}{}{}", open, inner.join(" "), close)
         }
         other => other.to_string(),
@@ -379,8 +380,7 @@ fn parse_input(input: TokenStream) -> Input {
             generic_tokens.push(tok);
         }
     }
-    let generics_decl =
-        generic_tokens.iter().map(token_to_text).collect::<Vec<_>>().join(" ");
+    let generics_decl = generic_tokens.iter().map(token_to_text).collect::<Vec<_>>().join(" ");
 
     // Split generic params on top-level commas; derive the usage form.
     let mut params: Vec<Vec<TokenTree>> = Vec::new();
@@ -520,13 +520,16 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     err = SER_ERR,
                 ));
             }
-            s.push_str("::serde::Serializer::serialize_value(__s, ::serde::Value::Object(__obj))\n");
+            s.push_str(
+                "::serde::Serializer::serialize_value(__s, ::serde::Value::Object(__obj))\n",
+            );
             s
         }
         Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0, __s)\n".to_string(),
         Kind::TupleStruct(n) => {
-            let mut s =
-                String::from("let mut __arr: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n");
+            let mut s = String::from(
+                "let mut __arr: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
             for i in 0..*n {
                 s.push_str(&format!(
                     "__arr.push(::serde::to_value(&self.{i}).map_err({err})?);\n",
@@ -582,8 +585,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     VariantData::Named(fields) => {
-                        let names: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let mut pushes = String::new();
                         for n in &names {
                             pushes.push_str(&format!(
@@ -753,10 +755,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     VariantData::Named(fields) => {
-                        let (binds, ctor) = named_field_bindings(
-                            fields,
-                            &format!("{}::{}", input.name, v.name),
-                        );
+                        let (binds, ctor) =
+                            named_field_bindings(fields, &format!("{}::{}", input.name, v.name));
                         data_arms.push_str(&format!(
                             "\"{v}\" => {{\n\
                              let mut __fields = match __content {{\n\

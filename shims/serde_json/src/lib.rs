@@ -376,9 +376,7 @@ impl<'a> Parser<'a> {
                 return Ok(Value::U64(x));
             }
         }
-        text.parse::<f64>()
-            .map(Value::F64)
-            .map_err(|_| Error(format!("invalid number: {text}")))
+        text.parse::<f64>().map(Value::F64).map_err(|_| Error(format!("invalid number: {text}")))
     }
 }
 

@@ -87,23 +87,23 @@ pub mod prelude {
     #[allow(deprecated)] // the shims stay importable until removal
     pub use gridmine_core::{mine_secure, mine_secure_threaded, mine_secure_threaded_faulty};
     pub use gridmine_core::{
-        BrokerBehavior, ChaosReport, ControllerBehavior, DegradeReason, GridKeys, KTtp,
-        MineConfig, MineSession, MiningOutcome, ResourceStatus, SecureResource, SessionCipher,
-        SessionError, Verdict, WireMsg,
-    };
-    pub use gridmine_recovery::{
-        RecoveryImage, RecoveryLog, RecoveryMode, RecoveryPolicy, RetryPolicy,
+        BrokerBehavior, ChaosReport, ControllerBehavior, DegradeReason, GridKeys, KTtp, MineConfig,
+        MineSession, MiningOutcome, ResourceStatus, SecureResource, SessionCipher, SessionError,
+        Verdict, WireMsg,
     };
     pub use gridmine_majority::{CandidateGenerator, MajorityNode, VotePair};
     pub use gridmine_obs::{
-        Event, EventKind, FanoutRecorder, JsonlRecorder, MemoryRecorder, Metrics,
-        MetricsSnapshot, NullRecorder, Recorder, SharedRecorder,
+        Event, EventKind, FanoutRecorder, JsonlRecorder, MemoryRecorder, Metrics, MetricsSnapshot,
+        NullRecorder, Recorder, SharedRecorder,
     };
     pub use gridmine_paillier::{HomCipher, Keypair, MockCipher, PaillierCtx};
     pub use gridmine_quest::QuestParams;
+    pub use gridmine_recovery::{
+        RecoveryImage, RecoveryLog, RecoveryMode, RecoveryPolicy, RetryPolicy,
+    };
     pub use gridmine_sim::{
-        run_convergence, run_convergence_faulty, run_convergence_observed,
-        single_itemset_steps, time_to_recall, ObsSummary, SimConfig, Simulation,
+        run_convergence, run_convergence_faulty, run_convergence_observed, single_itemset_steps,
+        time_to_recall, ObsSummary, SimConfig, Simulation,
     };
     pub use gridmine_topology::faults::{EdgeFaults, FaultPlan, FaultStats, ResourceFault};
     pub use gridmine_topology::{DelayModel, Overlay, Tree};

@@ -76,11 +76,8 @@ fn build_grid<C: HomCipher>(
 }
 
 fn quest_partitions(n: usize, tx: usize) -> (Vec<Database>, Database, Vec<Item>) {
-    let params = QuestParams::t5i2()
-        .with_transactions(tx)
-        .with_items(24)
-        .with_patterns(10)
-        .with_seed(77);
+    let params =
+        QuestParams::t5i2().with_transactions(tx).with_items(24).with_patterns(10).with_seed(77);
     let global = gridmine::quest::generate(&params);
     let parts = gridmine::quest::partition(&global, n, 5);
     let items = global.item_domain();
@@ -205,9 +202,7 @@ fn every_attack_class_is_detected_on_paillier_too() {
 
 /// Builds a path grid with half of each partition held back, drives three
 /// rounds, appends the rest, drives again, and returns (grid, truth).
-fn dynamic_growth_run(
-    relaxed: bool,
-) -> (Vec<SecureResource<MockCipher>>, RuleSet) {
+fn dynamic_growth_run(relaxed: bool) -> (Vec<SecureResource<MockCipher>>, RuleSet) {
     let (parts, global, items) = quest_partitions(4, 400);
     let min_freq = Ratio::from_f64(0.1);
     let min_conf = Ratio::from_f64(0.6);
