@@ -75,6 +75,36 @@ impl Verdict {
     }
 }
 
+/// Plaintext `(sum, count, num)` last sealed toward one neighbor. A named
+/// struct rather than a 3-tuple so the serde derive surface stays small.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SentAggregate {
+    pub sum: i64,
+    pub count: i64,
+    pub num: i64,
+}
+
+/// Durable per-rule controller state for *process-level* warm restarts.
+///
+/// The threaded driver keeps the controller object alive across a
+/// simulated crash, so its Lamport clock and k-privacy gates survive by
+/// construction. A real killed process loses them — and a rejoiner whose
+/// clock restarted at zero can seal outgoing timestamps *below* what its
+/// neighbors already audited, getting itself blamed as a replayer. This
+/// image carries exactly the state that must not regress: the outgoing
+/// clock, the disclosure registers of the k-gates, and the duplicate-send
+/// suppressor. Timestamp traces are deliberately absent: a rejoin is a
+/// membership epoch, and traces restart from zero just as
+/// [`Controller::set_layout`] does.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct AuditImage {
+    pub rule: CandidateRule,
+    pub clock: i64,
+    pub output_gate: KGate,
+    pub send_gates: Vec<(usize, KGate)>,
+    pub last_sent: Vec<(usize, SentAggregate)>,
+}
+
 /// Per-rule audit state.
 #[derive(Clone, Debug)]
 struct RuleAudit {
@@ -187,6 +217,58 @@ impl<C: HomCipher> Controller<C> {
     pub fn reset_edge(&mut self, v: usize) {
         for audit in self.rules.values_mut() {
             audit.last_sent.remove(&v);
+        }
+    }
+
+    /// Exports the durable audit state of every rule, sorted by rule
+    /// display form so the image is deterministic. See [`AuditImage`].
+    pub fn export_audits(&self) -> Vec<AuditImage> {
+        let mut out: Vec<AuditImage> = self
+            .rules
+            .iter()
+            .map(|(rule, audit)| {
+                let mut send_gates: Vec<(usize, KGate)> =
+                    audit.send_gates.iter().map(|(&v, g)| (v, *g)).collect();
+                send_gates.sort_by_key(|&(v, _)| v);
+                let mut last_sent: Vec<(usize, SentAggregate)> = audit
+                    .last_sent
+                    .iter()
+                    .map(|(&v, &(sum, count, num))| (v, SentAggregate { sum, count, num }))
+                    .collect();
+                last_sent.sort_by_key(|&(v, _)| v);
+                AuditImage {
+                    rule: rule.clone(),
+                    clock: audit.clock,
+                    output_gate: audit.output_gate,
+                    send_gates,
+                    last_sent,
+                }
+            })
+            .collect();
+        out.sort_by_key(|img| img.rule.to_string());
+        out
+    }
+
+    /// Re-seats exported audit state after a process-level warm restart.
+    /// Timestamp traces restart from zero (rejoin = membership epoch);
+    /// clocks, gates and suppressors resume where the crashed process
+    /// left off, so this resource's outgoing timestamps never regress at
+    /// its neighbors.
+    pub fn import_audits(&mut self, images: Vec<AuditImage>) {
+        let slots = self.layout.arity() - crate::counter::F_TS;
+        for img in images {
+            let audit = RuleAudit {
+                output_gate: img.output_gate,
+                send_gates: img.send_gates.into_iter().collect(),
+                traces: vec![0; slots],
+                clock: img.clock,
+                last_sent: img
+                    .last_sent
+                    .into_iter()
+                    .map(|(v, a)| (v, (a.sum, a.count, a.num)))
+                    .collect(),
+            };
+            self.rules.insert(img.rule, audit);
         }
     }
 
@@ -561,6 +643,46 @@ mod tests {
             f.ctl.send_query(&rule(), 1, &receiver_layout, &full, &minus, &bogus_recv, &share),
             Err(Verdict::MaliciousBroker(0))
         );
+    }
+
+    #[test]
+    fn exported_audits_keep_clocks_monotone_across_a_process_restart() {
+        let mut f = fix(1);
+        let (full, minus, recv) = triple(&f, (4, 10, 1), (6, 10, 1), 5, 9);
+        let receiver_layout = CounterLayout::new(1, vec![0]);
+        let share = f.keys.enc.encrypt_i64(5);
+        let out = f
+            .ctl
+            .send_query(&rule(), 1, &receiver_layout, &full, &minus, &recv, &share)
+            .unwrap()
+            .expect("first contact sends");
+        let key = f.keys.tags.key(receiver_layout.arity());
+        let sent_ts = out.open(&f.keys.dec, &key).unwrap().ts
+            [receiver_layout.ts_slot(0).unwrap() - crate::counter::F_TS];
+        assert_eq!(sent_ts, 10, "clock ran past the max seen timestamp");
+
+        // Serialize the image, kill the controller, restart a fresh one.
+        let images = f.ctl.export_audits();
+        let json = serde_json::to_string(&images).unwrap();
+        let restored: Vec<AuditImage> = serde_json::from_str(&json).unwrap();
+        let mut fresh =
+            Controller::new(0, f.keys.dec.clone(), f.keys.tags.clone(), 1, f.layout.clone());
+        fresh.import_audits(restored);
+
+        // A fresh controller without the import would reseal at ts
+        // max(0, seen)+1; with it, the clock stays strictly monotone and
+        // the duplicate-send suppressor still recognizes the aggregate.
+        let dup =
+            fresh.send_query(&rule(), 1, &receiver_layout, &full, &minus, &recv, &share).unwrap();
+        assert!(dup.is_none(), "suppressor state survived the restart");
+        let (full2, minus2, recv2) = triple(&f, (5, 12, 1), (6, 10, 1), 6, 9);
+        let out2 = fresh
+            .send_query(&rule(), 1, &receiver_layout, &full2, &minus2, &recv2, &share)
+            .unwrap()
+            .expect("new data sends");
+        let ts2 = out2.open(&f.keys.dec, &key).unwrap().ts
+            [receiver_layout.ts_slot(0).unwrap() - crate::counter::F_TS];
+        assert!(ts2 > sent_ts, "imported clock never regresses ({ts2} > {sent_ts})");
     }
 
     #[test]

@@ -26,8 +26,9 @@
 //!
 //! The driving API is [`session::MineSession`]: a builder covering the
 //! synchronous driver, the threaded driver, fault injection and
-//! structured observability (`gridmine-obs` recorders). The older
-//! `mine_secure*` free functions remain as deprecated shims.
+//! structured observability (`gridmine-obs` recorders). A third,
+//! multi-process backend lives in the `gridmine-net` crate and drives
+//! the same resources over real loopback TCP sockets.
 
 // Protocol crate: the paper's adversary model makes every panic a
 // denial-of-service lever, so `.unwrap()` outside tests is part of the
@@ -56,19 +57,15 @@ pub use accountant::Accountant;
 pub use attack::{BrokerBehavior, ControllerBehavior};
 pub use broker::{Broker, BrokerMsg};
 pub use chaos::{ChaosReport, DegradeReason, ResourceStatus};
-pub use controller::{Controller, Verdict};
+pub use controller::{AuditImage, Controller, SentAggregate, Verdict};
 pub use counter::{CounterLayout, SecureCounter};
 pub use gridmine_recovery::{RecoveryMode, RecoveryPolicy, RetryPolicy};
 pub use keyring::GridKeys;
 pub use kttp::KTtp;
-#[allow(deprecated)]
-pub use miner::mine_secure;
 pub use miner::{MineConfig, MiningOutcome};
 pub use packed::PackedCounter;
 pub use plain::PlainCounter;
 pub use resource::{SecureResource, WireMsg};
 pub use session::{MineSession, SessionCipher, SessionError};
 pub use sfe::{GateMode, KGate};
-#[allow(deprecated)]
-pub use threaded::{mine_secure_threaded, mine_secure_threaded_faulty};
 pub use threaded::{run_threaded, run_threaded_full, run_threaded_with};

@@ -1,21 +1,16 @@
-//! Synchronous mining outcome/config types and the deprecated
-//! [`mine_secure`] shim.
+//! Mining outcome/config types shared by every driver.
 //!
-//! The library's front door is now [`crate::session::MineSession`]: one
+//! The library's front door is [`crate::session::MineSession`]: one
 //! builder covering the synchronous driver, the threaded driver and
 //! fault injection, with observability via `gridmine-obs` recorders.
-//! [`mine_secure`] remains as a thin deprecated wrapper so existing
-//! callers keep compiling.
+//! The multi-process TCP backend in `gridmine-net` returns the same
+//! [`MiningOutcome`].
 
-use gridmine_arm::{Database, Ratio, RuleSet};
+use gridmine_arm::{Ratio, RuleSet};
 use gridmine_obs::MetricsSnapshot;
-use gridmine_paillier::HomCipher;
-use gridmine_topology::Tree;
 
 use crate::chaos::{ChaosReport, ResourceStatus};
 use crate::controller::Verdict;
-use crate::keyring::GridKeys;
-use crate::session::MineSession;
 
 /// Outcome of a synchronous mining run.
 #[derive(Debug)]
@@ -75,53 +70,16 @@ impl MineConfig {
     }
 }
 
-/// Runs Secure-Majority-Rule over `dbs` (one partition per tree node) to a
-/// fixpoint and returns every resource's mined rules.
-///
-/// The item domain is the union of the partitions' domains — in a
-/// deployment every resource knows the shared item catalog.
-///
-/// ```
-/// # #![allow(deprecated)]
-/// use gridmine_arm::{Database, Ratio, Transaction};
-/// use gridmine_core::{mine_secure, GridKeys, MineConfig};
-/// use gridmine_paillier::MockCipher;
-/// use gridmine_topology::Tree;
-///
-/// let dbs: Vec<Database> = (0..3u64)
-///     .map(|u| Database::from_transactions(
-///         (0..10).map(|j| Transaction::of(u * 10 + j, &[1, 2])).collect(),
-///     ))
-///     .collect();
-/// let keys = GridKeys::<MockCipher>::mock(7);
-/// let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
-/// let outcome = mine_secure(&keys, &Tree::path(3), dbs, cfg);
-/// assert!(outcome.verdicts.is_empty());
-/// assert!(outcome.solutions[0].contains(
-///     &gridmine_arm::Rule::frequency(gridmine_arm::ItemSet::of(&[1, 2]))
-/// ));
-/// ```
-///
-/// # Panics
-/// Panics if the database count mismatches the tree size.
-#[deprecated(note = "use MineSession")]
-pub fn mine_secure<C: HomCipher + 'static>(
-    keys: &GridKeys<C>,
-    tree: &Tree,
-    dbs: Vec<Database>,
-    cfg: MineConfig,
-) -> MiningOutcome {
-    MineSession::over(cfg, keys.clone()).with_topology(tree.clone()).with_databases(dbs).run()
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the shims must keep working until removal
 mod tests {
     use super::*;
+    use crate::keyring::GridKeys;
     use crate::resource::{wire_grid, SecureResource, WireMsg};
-    use gridmine_arm::{correct_rules, AprioriConfig, Transaction};
+    use crate::session::MineSession;
+    use gridmine_arm::{correct_rules, AprioriConfig, Database, Transaction};
     use gridmine_majority::CandidateGenerator;
     use gridmine_paillier::MockCipher;
+    use gridmine_topology::Tree;
     use std::collections::VecDeque;
 
     fn dbs() -> Vec<Database> {
@@ -151,7 +109,8 @@ mod tests {
             &Database::union_of(dbs().iter()),
             &AprioriConfig::new(cfg.min_freq, cfg.min_conf),
         );
-        let outcome = mine_secure(&keys, &Tree::path(4), dbs(), cfg);
+        let outcome =
+            MineSession::over(cfg, keys).with_topology(Tree::path(4)).with_databases(dbs()).run();
         assert!(outcome.verdicts.is_empty());
         assert!(outcome.messages > 0);
         for (u, sol) in outcome.solutions.iter().enumerate() {
@@ -163,7 +122,8 @@ mod tests {
     fn one_call_mining_over_star_topology() {
         let keys = GridKeys::<MockCipher>::mock(4);
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(3, 4));
-        let outcome = mine_secure(&keys, &Tree::star(4), dbs(), cfg);
+        let outcome =
+            MineSession::over(cfg, keys).with_topology(Tree::star(4)).with_databases(dbs()).run();
         let truth = correct_rules(
             &Database::union_of(dbs().iter()),
             &AprioriConfig::new(cfg.min_freq, cfg.min_conf),

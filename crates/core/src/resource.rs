@@ -730,6 +730,22 @@ impl<C: HomCipher> SecureResource<C> {
         Some(RecoveryImage { resource: self.id as u64, log: log.clone() }.to_bytes())
     }
 
+    /// Durable controller state (Lamport clocks, k-gate registers,
+    /// duplicate-send suppressors) for a *process-level* warm restart.
+    /// In-process drivers never need this — their controller objects
+    /// survive a simulated crash — but a killed OS process loses them,
+    /// and a rejoiner with a reset clock would be blamed as a replayer by
+    /// its neighbors. See [`crate::controller::AuditImage`].
+    pub fn export_controller_audits(&self) -> Vec<crate::controller::AuditImage> {
+        self.ctl.export_audits()
+    }
+
+    /// Re-seats exported controller audit state after a warm restart.
+    /// Call before [`SecureResource::restore_from_image`].
+    pub fn import_controller_audits(&mut self, images: Vec<crate::controller::AuditImage>) {
+        self.ctl.import_audits(images);
+    }
+
     /// Restores from a serialized [`RecoveryImage`]. Decode failures and
     /// mismatched ownership take the same rejection path as a forged
     /// journal — bytes from disk are as untrusted as bytes off the wire.

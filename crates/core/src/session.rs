@@ -20,12 +20,13 @@
 //! assert!(outcome.verdicts.is_empty());
 //! ```
 //!
-//! The old entry points remain as thin `#[deprecated]` shims over this
-//! type. A session defaults to the plaintext [`MockCipher`], a path
-//! topology over the databases, no faults and the zero-cost
-//! `NullRecorder`; every default has a `with_*` override. Attaching a
-//! real recorder also arms the [`Metrics`] registry, whose snapshot
-//! lands in [`MiningOutcome::metrics`].
+//! The old free-function entry points are gone; the `gridmine-net`
+//! crate adds a third, multi-process backend that drives the same
+//! resources over loopback TCP. A session defaults to the plaintext
+//! [`MockCipher`], a path topology over the databases, no faults and
+//! the zero-cost `NullRecorder`; every default has a `with_*` override.
+//! Attaching a real recorder also arms the [`Metrics`] registry, whose
+//! snapshot lands in [`MiningOutcome::metrics`].
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -333,7 +334,7 @@ impl<C: HomCipher + 'static> MineSession<C> {
 
     /// Runs the synchronous driver: rounds of scan → FIFO delivery to
     /// quiescence → candidate generation → delivery, halting early on
-    /// any verdict. Equivalent to the deprecated `mine_secure`.
+    /// any verdict.
     ///
     /// # Panics
     /// Panics if a non-quiet fault plan is armed (the synchronous driver
@@ -418,8 +419,6 @@ impl<C: HomCipher + 'static> MineSession<C> {
     /// Runs the threaded driver — one OS thread per resource, channel
     /// links, the armed fault plan injected (plan ticks = protocol
     /// rounds) and the armed [`RecoveryMode`] governing crash-recovery.
-    /// Equivalent to the deprecated `mine_secure_threaded` /
-    /// `mine_secure_threaded_faulty`.
     ///
     /// # Panics
     /// Panics if the session fails validation
@@ -471,15 +470,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn session_matches_deprecated_mine_secure() {
+    fn explicit_keys_match_the_seed_derived_default() {
+        // `MineSession::new` derives keys from the config seed;
+        // `MineSession::over` takes them explicitly. Same seed, same run —
+        // the invariant the removed `mine_secure` shim used to pin.
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
         let keys = GridKeys::mock(cfg.seed);
-        let old = crate::miner::mine_secure(&keys, &Tree::path(4), dbs(4), cfg);
-        let new = MineSession::new(cfg).with_topology(Tree::path(4)).with_databases(dbs(4)).run();
-        assert_eq!(old.solutions, new.solutions);
-        assert_eq!(old.messages, new.messages);
-        assert_eq!(old.verdicts, new.verdicts);
+        let explicit =
+            MineSession::over(cfg, keys).with_topology(Tree::path(4)).with_databases(dbs(4)).run();
+        let derived =
+            MineSession::new(cfg).with_topology(Tree::path(4)).with_databases(dbs(4)).run();
+        assert_eq!(explicit.solutions, derived.solutions);
+        assert_eq!(explicit.messages, derived.messages);
+        assert_eq!(explicit.verdicts, derived.verdicts);
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Asynchronous multithreaded mining — the paper's "asynchronous …
 //! involves no global communication patterns" claim, executed literally.
 //!
-//! [`mine_secure_threaded`] runs every resource on its own OS thread;
-//! links are crossbeam channels; message processing happens whenever a
-//! message arrives, in whatever order the scheduler produces (per-edge
-//! FIFO is preserved by the channels, which is all the protocol needs —
-//! see the controller's Lamport-trace documentation).
+//! [`MineSession::run_threaded`] runs every resource on its own OS
+//! thread; links are crossbeam channels; message processing happens
+//! whenever a message arrives, in whatever order the scheduler produces
+//! (per-edge FIFO is preserved by the channels, which is all the
+//! protocol needs — see the controller's Lamport-trace documentation).
 //!
 //! Quiescence is detected with an atomic in-flight counter: a sender
 //! increments it before each send and the receiver decrements after fully
@@ -15,7 +15,7 @@
 //!
 //! # Fault tolerance
 //!
-//! [`mine_secure_threaded_faulty`] threads every send through a
+//! Under [`MineSession::with_faults`] every send is threaded through a
 //! [`FaultyLink`], injecting the deterministic drop/duplication/jitter
 //! and crash schedules of a [`FaultPlan`] (ticks = rounds here). The
 //! driver degrades rather than aborts:
@@ -42,60 +42,15 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use gridmine_arm::{Database, RuleSet};
+use gridmine_arm::RuleSet;
 use gridmine_obs::{emit, Event, SharedRecorder};
 use gridmine_paillier::HomCipher;
 use gridmine_recovery::{RecoveryMode, RetryPolicy};
 use gridmine_topology::faults::{FaultPlan, FaultStats, FaultyLink, ResourceFault};
-use gridmine_topology::Tree;
 
 use crate::chaos::{ChaosReport, DegradeReason, ResourceStatus};
-use crate::keyring::GridKeys;
-use crate::miner::{MineConfig, MiningOutcome};
+use crate::miner::MiningOutcome;
 use crate::resource::{SecureResource, WireMsg};
-use crate::session::MineSession;
-
-/// Runs Secure-Majority-Rule with one thread per resource and channel
-/// links. Functionally equivalent to [`crate::miner::mine_secure`] — an
-/// integration test pins the two to identical solutions — but exercises
-/// the protocol under true concurrency.
-///
-/// # Panics
-/// Panics if the database count mismatches the tree size.
-#[deprecated(note = "use MineSession")]
-pub fn mine_secure_threaded<C: HomCipher + 'static>(
-    keys: &GridKeys<C>,
-    tree: &Tree,
-    dbs: Vec<Database>,
-    cfg: MineConfig,
-) -> MiningOutcome {
-    MineSession::over(cfg, keys.clone())
-        .with_topology(tree.clone())
-        .with_databases(dbs)
-        .run_threaded()
-}
-
-/// [`mine_secure_threaded`] under a fault plan: link faults and crash
-/// schedules are injected (plan ticks = protocol rounds), surviving
-/// resources keep mining, and the damage is accounted in
-/// [`MiningOutcome::chaos`].
-///
-/// # Panics
-/// Panics if the database count mismatches the tree size.
-#[deprecated(note = "use MineSession")]
-pub fn mine_secure_threaded_faulty<C: HomCipher + 'static>(
-    keys: &GridKeys<C>,
-    tree: &Tree,
-    dbs: Vec<Database>,
-    cfg: MineConfig,
-    plan: FaultPlan,
-) -> MiningOutcome {
-    MineSession::over(cfg, keys.clone())
-        .with_topology(tree.clone())
-        .with_databases(dbs)
-        .with_faults(plan)
-        .run_threaded()
-}
 
 /// Sends `msgs` through the fault layer: dropped messages vanish,
 /// duplicated ones go out twice, jittered ones are parked in `held`
@@ -561,13 +516,21 @@ pub fn run_threaded_full<C: HomCipher + 'static>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims must keep working until removal
 mod tests {
     use super::*;
-    use crate::miner::mine_secure;
-    use gridmine_arm::{correct_rules, AprioriConfig, Ratio, Transaction};
+    use crate::keyring::GridKeys;
+    use crate::miner::MineConfig;
+    use crate::session::MineSession;
+    use gridmine_arm::{correct_rules, AprioriConfig, Database, Ratio, Transaction};
     use gridmine_paillier::MockCipher;
     use gridmine_topology::faults::EdgeFaults;
+    use gridmine_topology::Tree;
+
+    fn session(seed: u64, cfg: MineConfig, tree: Tree, n: u64) -> MineSession<MockCipher> {
+        MineSession::over(cfg, GridKeys::<MockCipher>::mock(seed))
+            .with_topology(tree)
+            .with_databases(dbs(n))
+    }
 
     fn dbs(n: u64) -> Vec<Database> {
         (0..n)
@@ -597,9 +560,8 @@ mod tests {
 
     #[test]
     fn threaded_mining_matches_centralized_truth() {
-        let keys = GridKeys::<MockCipher>::mock(11);
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
-        let outcome = mine_secure_threaded(&keys, &Tree::path(6), dbs(6), cfg);
+        let outcome = session(11, cfg, Tree::path(6), 6).run_threaded();
         assert!(outcome.verdicts.is_empty());
         assert!(outcome.statuses.iter().all(|s| s.is_ok()));
         assert!(outcome.chaos.is_clean());
@@ -610,10 +572,9 @@ mod tests {
 
     #[test]
     fn threaded_and_synchronous_agree() {
-        let keys = GridKeys::<MockCipher>::mock(12);
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(3, 4));
-        let sync = mine_secure(&keys, &Tree::star(5), dbs(5), cfg);
-        let threaded = mine_secure_threaded(&keys, &Tree::star(5), dbs(5), cfg);
+        let sync = session(12, cfg, Tree::star(5), 5).run();
+        let threaded = session(12, cfg, Tree::star(5), 5).run_threaded();
         assert_eq!(sync.solutions, threaded.solutions, "schedulers must not change answers");
     }
 
@@ -622,23 +583,21 @@ mod tests {
         // Hand-corrupted grids under the threaded driver are covered in
         // tests/threaded_faults.rs via run_threaded; here we pin that an
         // honest grid stays clean under concurrency.
-        let keys = GridKeys::<MockCipher>::mock(13);
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
-        let outcome = mine_secure_threaded(&keys, &Tree::path(4), dbs(4), cfg);
+        let outcome = session(13, cfg, Tree::path(4), 4).run_threaded();
         assert!(outcome.verdicts.is_empty(), "honest grid stays clean under threads");
         assert!(outcome.messages > 0);
     }
 
     #[test]
     fn dropped_messages_are_healed_by_anti_entropy() {
-        let keys = GridKeys::<MockCipher>::mock(14);
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
         let plan = FaultPlan::new(99).with_default_edge(EdgeFaults {
             drop: 0.2,
             duplicate: 0.1,
             jitter: 1,
         });
-        let outcome = mine_secure_threaded_faulty(&keys, &Tree::path(5), dbs(5), cfg, plan);
+        let outcome = session(14, cfg, Tree::path(5), 5).with_faults(plan).run_threaded();
         assert!(outcome.verdicts.is_empty(), "link faults must not look malicious");
         assert!(outcome.chaos.faults.dropped > 0, "faults must actually fire");
         for (u, sol) in outcome.surviving_solutions() {
@@ -648,11 +607,10 @@ mod tests {
 
     #[test]
     fn crashed_resource_degrades_without_stalling_the_grid() {
-        let keys = GridKeys::<MockCipher>::mock(15);
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
         // Resource 4 (a path leaf) crashes from round 2 onward.
         let plan = FaultPlan::new(1).with_crash(4, 2, None);
-        let outcome = mine_secure_threaded_faulty(&keys, &Tree::path(5), dbs(5), cfg, plan);
+        let outcome = session(15, cfg, Tree::path(5), 5).with_faults(plan).run_threaded();
         assert_eq!(outcome.statuses[4], ResourceStatus::Degraded(DegradeReason::Crashed));
         assert!(outcome.statuses[..4].iter().all(|s| s.is_ok()));
         assert_eq!(outcome.chaos.faults.crashes, 1);
@@ -664,10 +622,9 @@ mod tests {
 
     #[test]
     fn crash_and_recovery_rejoins_the_round_loop() {
-        let keys = GridKeys::<MockCipher>::mock(16);
         let cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
         let plan = FaultPlan::new(2).with_crash(2, 1, Some(3));
-        let outcome = mine_secure_threaded_faulty(&keys, &Tree::path(5), dbs(5), cfg, plan);
+        let outcome = session(16, cfg, Tree::path(5), 5).with_faults(plan).run_threaded();
         assert!(
             outcome.statuses.iter().all(|s| s.is_ok()),
             "a recovered resource is not degraded: {:?}",

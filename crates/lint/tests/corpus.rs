@@ -81,6 +81,14 @@ const DIRTY_EXPECTED: &[(&str, &str, u32, &str)] = &[
         2,
         "secret type `PrivateKey` derives Debug/Display",
     ),
+    // The net crate's wire modules are key-blind by the same contract
+    // as the broker: a decode path naming a decryptor is a taint leak.
+    (
+        "privacy-taint",
+        "crates/net/src/wire.rs",
+        5,
+        "key-blind module references secret item `decrypt_i64`",
+    ),
     ("panic-freedom", "crates/core/src/broker.rs", 8, "slice indexing in a wire-decode module"),
     ("panic-freedom", "crates/core/src/broker.rs", 9, "`unwrap` in a protocol module"),
     (
@@ -120,7 +128,7 @@ fn dirty_fixture_reports_every_expected_diagnostic_and_exits_one() {
         assert!(hit, "missing diagnostic {header}…{fragment}\n{stdout}");
     }
     assert!(
-        stdout.contains("5 files scanned, 13 live finding(s), 0 suppressed"),
+        stdout.contains("6 files scanned, 14 live finding(s), 0 suppressed"),
         "no unexpected extras allowed:\n{stdout}"
     );
 }
@@ -134,7 +142,7 @@ fn dirty_fixture_json_counts_match_the_table() {
         DIRTY_EXPECTED.len() + 1,
         "one object per finding: {stdout}"
     );
-    assert!(stdout.contains("{\"summary\":true,\"files\":5,\"live\":13,\"suppressed\":0}"));
+    assert!(stdout.contains("{\"summary\":true,\"files\":6,\"live\":14,\"suppressed\":0}"));
     assert!(stdout.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
 }
 

@@ -1,0 +1,476 @@
+//! One resource as one OS process.
+//!
+//! `run` hosts a single [`SecureResource`] (accountant + broker +
+//! controller), peers with the hub over loopback TCP and then mirrors
+//! the threaded driver's per-round structure message by message: the
+//! hub's `PhaseStart` frames stand in for the barriers, `Processed` acks
+//! stand in for the in-flight counter, and the anti-entropy /
+//! checkpoint / crash-wipe logic runs on exactly the same tick
+//! conditions as `run_threaded_full` — that equivalence is what the
+//! parity e2e tests pin.
+//!
+//! Crash-survival is process-level: at a scheduled crash tick the node
+//! wipes volatile state, persists its recovery image, controller audits
+//! and protocol tallies under `state_dir`, and **exits**. The hub
+//! respawns a fresh process at the recovery tick, which warm-restarts
+//! from those files (`resume_tick` in its spec) — the file-backed
+//! version of the byte-image hand-off the threaded driver keeps in
+//! memory.
+
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, RecvTimeoutError};
+use gridmine_arm::{Item, Ratio, Rule};
+use gridmine_core::{
+    AuditImage, CounterLayout, DegradeReason, RecoveryMode, SecureResource, WireMsg,
+};
+use gridmine_majority::CandidateGenerator;
+use gridmine_obs::{Event, Recorder, SharedRecorder};
+use gridmine_paillier::HomCipher;
+
+use crate::codec::{Frame, NodeReport, Phase, Tallies};
+use crate::error::NetError;
+use crate::hub::NetCipher;
+use crate::spec::NodeSpec;
+use crate::transport::{self, HEARTBEAT_EVERY};
+
+/// Exit code of a scheduled crash (process-level `crash_wipe`). The hub
+/// treats it as an expected death, not a supervision failure.
+pub const EXIT_CRASHED: i32 = 13;
+
+/// Exit code when the hub goes silent for longer than the orphan
+/// deadline — the node assumes the session died and stops.
+pub const EXIT_ORPHANED: i32 = 3;
+
+/// Exit code for transport/internal failures.
+pub const EXIT_FAILED: i32 = 4;
+
+/// A node declares the hub dead after this much silence.
+const ORPHAN_DEADLINE: Duration = Duration::from_secs(20);
+
+/// A recorder buffering event JSON lines for batched forwarding to the
+/// hub (`Frame::Obs`). Lock poisoning is tolerated: observability must
+/// never take the protocol down.
+#[derive(Default)]
+struct BufRecorder {
+    lines: Mutex<Vec<String>>,
+}
+
+impl BufRecorder {
+    fn drain(&self) -> Vec<String> {
+        match self.lines.lock() {
+            Ok(mut l) => std::mem::take(&mut *l),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+impl Recorder for BufRecorder {
+    fn record(&self, event: &Event) {
+        if let Ok(mut l) = self.lines.lock() {
+            l.push(event.to_json());
+        }
+    }
+}
+
+fn state_path(spec: &NodeSpec, ext: &str) -> PathBuf {
+    PathBuf::from(&spec.state_dir).join(format!("{}.{ext}", spec.resource))
+}
+
+fn live_tallies<C: HomCipher>(r: &SecureResource<C>) -> Tallies {
+    Tallies {
+        msgs_sent: r.msgs_sent(),
+        retries: r.retries_spent(),
+        resends: r.resends_sent(),
+        checkpoints: r.recovery_checkpoints(),
+        replays: r.recovery_replays(),
+        rejected: r.recovery_rejected(),
+        exhausted: r.retry_exhausted(),
+    }
+}
+
+fn total_tallies<C: HomCipher>(r: &SecureResource<C>, carried: &Tallies) -> Tallies {
+    let live = live_tallies(r);
+    Tallies {
+        msgs_sent: carried.msgs_sent + live.msgs_sent,
+        retries: carried.retries + live.retries,
+        resends: carried.resends + live.resends,
+        checkpoints: carried.checkpoints + live.checkpoints,
+        replays: carried.replays + live.replays,
+        rejected: carried.rejected + live.rejected,
+        exhausted: carried.exhausted || live.exhausted,
+    }
+}
+
+/// Persists everything a future incarnation of this resource needs:
+/// recovery image (warm mode only), controller audits, total tallies.
+/// Best-effort — a failed write degrades recovery fidelity, not the run.
+fn persist_state<C: HomCipher>(spec: &NodeSpec, r: &SecureResource<C>, carried: &Tallies) {
+    let _ = std::fs::create_dir_all(&spec.state_dir);
+    if let Some(image) = r.encode_recovery_image() {
+        let _ = std::fs::write(state_path(spec, "image"), image);
+    }
+    if let Ok(json) = serde_json::to_string(&r.export_controller_audits()) {
+        let _ = std::fs::write(state_path(spec, "audits"), json);
+    }
+    if let Ok(json) = serde_json::to_string(&total_tallies(r, carried)) {
+        let _ = std::fs::write(state_path(spec, "tallies"), json);
+    }
+}
+
+/// Runs `f`, converting a panic into a poisoned flag and a default
+/// result — mirroring the threaded driver's `guarded`, so a protocol
+/// panic degrades this resource instead of killing the process mid-run.
+fn guarded<T: Default>(poisoned: &mut bool, f: impl FnOnce() -> T) -> T {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(_) => {
+            *poisoned = true;
+            T::default()
+        }
+    }
+}
+
+/// Entry point of the `gridmine-node` process: returns the exit code.
+pub fn run<C: NetCipher>(spec: &NodeSpec) -> i32 {
+    match try_run::<C>(spec) {
+        Ok(code) => code,
+        Err(_) => EXIT_FAILED,
+    }
+}
+
+struct Node<'a, C: HomCipher> {
+    spec: &'a NodeSpec,
+    resource: SecureResource<C>,
+    rec_buf: Arc<BufRecorder>,
+    carried: Tallies,
+    neighbors: Vec<usize>,
+    mode: RecoveryMode,
+    poisoned: bool,
+}
+
+impl<C: NetCipher> Node<'_, C> {
+    fn flush_obs(&self, w: &mut std::net::TcpStream) -> Result<(), NetError> {
+        for line in self.rec_buf.drain() {
+            transport::send_frame::<C, _>(w, &Frame::Obs { line })?;
+        }
+        Ok(())
+    }
+
+    fn send_counters(
+        &self,
+        w: &mut std::net::TcpStream,
+        outs: Vec<WireMsg<C>>,
+    ) -> Result<u32, NetError> {
+        let n = outs.len() as u32;
+        for m in outs {
+            transport::send_frame::<C, _>(w, &Frame::Counter(m))?;
+        }
+        Ok(n)
+    }
+
+    fn report(&self) -> NodeReport {
+        let interim = self.resource.interim();
+        let solutions: Vec<Rule> = interim.sorted().into_iter().cloned().collect();
+        NodeReport {
+            resource: self.spec.resource as u32,
+            solutions,
+            verdict: self.resource.verdict(),
+            degraded: if self.poisoned {
+                Some(DegradeReason::Panicked)
+            } else {
+                self.resource.degraded()
+            },
+            tallies: total_tallies(&self.resource, &self.carried),
+        }
+    }
+
+    /// True when this resource is scheduled down at tick `t` (the
+    /// node-local slice of `FaultPlan::down`).
+    fn down_at(&self, t: u64) -> bool {
+        let crashed = self
+            .spec
+            .crash_at
+            .is_some_and(|at| t >= at && self.spec.crash_recover.is_none_or(|r| t < r));
+        let departed = self.spec.depart_at.is_some_and(|at| t >= at);
+        crashed || departed
+    }
+}
+
+fn try_run<C: NetCipher>(spec: &NodeSpec) -> Result<i32, NetError> {
+    let u = spec.resource;
+    let mode = spec.recovery.mode();
+    let retry = mode.retry();
+    let warm = matches!(mode, RecoveryMode::Checkpoint(_));
+
+    let rec_buf = Arc::new(BufRecorder::default());
+    let rec: SharedRecorder = rec_buf.clone();
+    let keys = C::session_keys(spec.seed).with_recorder(&rec);
+    let generator = CandidateGenerator::new(
+        Ratio::new(spec.min_freq.0, spec.min_freq.1),
+        Ratio::new(spec.min_conf.0, spec.min_conf.1),
+    );
+    let items: Vec<Item> = spec.items.iter().map(|&i| Item(i)).collect();
+    let neighbors: Vec<usize> = spec.adjacency.get(u).cloned().unwrap_or_default();
+    let seed = spec.seed ^ (u as u64).wrapping_mul(0x9E37_79B9);
+    let mut resource = SecureResource::new(
+        u,
+        &keys,
+        neighbors.clone(),
+        spec.db.clone(),
+        spec.k,
+        generator,
+        &items,
+        seed,
+    );
+    resource.set_recorder(rec.clone());
+    if let Some(policy) = mode.policy() {
+        resource.arm_recovery();
+        resource.set_retry_policy(&policy.retry);
+    }
+    for &v in &neighbors {
+        let vn = spec.adjacency.get(v).cloned().unwrap_or_default();
+        resource.set_neighbor_layout(v, CounterLayout::new(v, vn));
+    }
+
+    // Warm restart: re-import what the previous incarnation persisted.
+    // Audits must land before the journal replay (the controller screens
+    // replayed traffic against its Lamport traces and send gates).
+    let mut carried = Tallies::default();
+    if spec.resume_tick.is_some() {
+        if let Ok(json) = std::fs::read_to_string(state_path(spec, "tallies")) {
+            carried = serde_json::from_str(&json).unwrap_or_default();
+        }
+        if let Ok(json) = std::fs::read_to_string(state_path(spec, "audits")) {
+            if let Ok(audits) = serde_json::from_str::<Vec<AuditImage>>(&json) {
+                resource.import_controller_audits(audits);
+            }
+        }
+        match mode.policy() {
+            Some(policy) => {
+                let t0 = Instant::now();
+                if let Ok(bytes) = std::fs::read(state_path(spec, "image")) {
+                    let mut poisoned = false;
+                    guarded(&mut poisoned, || resource.restore_from_image(&bytes));
+                    if poisoned {
+                        resource.mark_degraded(DegradeReason::Panicked);
+                    }
+                }
+                if t0.elapsed().as_nanos() > policy.retry.deadline_nanos() {
+                    resource.mark_degraded(DegradeReason::RecoveryStalled);
+                }
+            }
+            None => resource.recover_reset(),
+        }
+    }
+
+    // Peer with the hub: capped-backoff dial + versioned handshake.
+    let resumed = spec.resume_tick.is_some();
+    let (stream, attempts) = transport::dial(&spec.hub, &retry)?;
+    let mut reader = stream;
+    let mut writer = reader.try_clone()?;
+    transport::client_handshake::<C>(&mut reader, spec.session, u as u32, resumed, attempts)?;
+
+    if spec.hostile {
+        // The Byzantine fixture: after a clean handshake, feed the hub
+        // bytes that are not frames. The hub's codec door must convert
+        // this into a MaliciousResource verdict + quarantine.
+        writer.write_all(&[0xA5; 64])?;
+        writer.flush()?;
+        std::thread::sleep(Duration::from_millis(500));
+        return Ok(0);
+    }
+
+    // Blocking reader thread; the main loop paces itself on the channel
+    // so a read timeout can never split a frame mid-stream.
+    let (tx, rx) = unbounded::<Result<Frame<C>, NetError>>();
+    std::thread::spawn(move || loop {
+        let msg = transport::recv_frame::<C, _>(&mut reader);
+        let stop = msg.is_err();
+        if tx.send(msg).is_err() || stop {
+            break;
+        }
+    });
+
+    let mut node = Node {
+        spec,
+        resource,
+        rec_buf,
+        carried: Tallies::default(),
+        neighbors,
+        mode,
+        poisoned: false,
+    };
+    node.carried = carried;
+    let resend_due = |rt: u64, tick: u64| {
+        if warm {
+            tick == rt
+        } else {
+            tick >= rt && (tick - rt).is_multiple_of(retry.resend_every.max(1))
+        }
+    };
+
+    let mut last_heard = Instant::now();
+    let mut nonce = 0u64;
+    loop {
+        let frame = match rx.recv_timeout(HEARTBEAT_EVERY) {
+            Ok(Ok(f)) => f,
+            Ok(Err(NetError::Closed)) => return Ok(0),
+            Ok(Err(_)) => return Ok(EXIT_FAILED),
+            Err(RecvTimeoutError::Timeout) => {
+                if last_heard.elapsed() > ORPHAN_DEADLINE {
+                    return Ok(EXIT_ORPHANED);
+                }
+                nonce += 1;
+                transport::send_frame::<C, _>(&mut writer, &Frame::Heartbeat { nonce })?;
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return Ok(0),
+        };
+        last_heard = Instant::now();
+
+        match frame {
+            Frame::PhaseStart { tick, phase: Phase::Wiring } => {
+                let mut sent = 0u32;
+                for &v in &node.neighbors.clone() {
+                    let ct = node.resource.share_for_neighbor(v);
+                    transport::send_frame::<C, _>(
+                        &mut writer,
+                        &Frame::Share { from: u as u32, to: v as u32, ct },
+                    )?;
+                    sent += 1;
+                }
+                node.flush_obs(&mut writer)?;
+                transport::send_frame::<C, _>(
+                    &mut writer,
+                    &Frame::PhaseSent { tick, phase: Phase::Wiring, sent },
+                )?;
+            }
+            Frame::Share { from, to, ct } => {
+                if to as usize == u {
+                    node.resource.store_share_from(from as usize, ct);
+                }
+                transport::send_frame::<C, _>(&mut writer, &Frame::Processed)?;
+            }
+            Frame::ShareResend { to } => {
+                let ct = node.resource.share_for_neighbor(to as usize);
+                transport::send_frame::<C, _>(
+                    &mut writer,
+                    &Frame::Share { from: u as u32, to, ct },
+                )?;
+                transport::send_frame::<C, _>(&mut writer, &Frame::Processed)?;
+            }
+            Frame::PhaseStart { tick, phase: Phase::Scan } => {
+                // Scheduled crash: wipe volatile state, persist the
+                // recovery image + audits + tallies, and die. The hub
+                // sees the process exit; a successor may be respawned at
+                // the recovery tick.
+                if node.mode.wipes() && spec.crash_at == Some(tick) {
+                    node.resource.crash_wipe();
+                    persist_state(spec, &node.resource, &node.carried);
+                    node.flush_obs(&mut writer)?;
+                    return Ok(EXIT_CRASHED);
+                }
+                if spec.depart_at == Some(tick) {
+                    // A departed resource keeps its interim outputs as-is
+                    // (no final refresh) — same as the threaded driver.
+                    node.flush_obs(&mut writer)?;
+                    transport::send_frame::<C, _>(&mut writer, &Frame::Report(node.report()))?;
+                    return Ok(0);
+                }
+                let mut outs: Vec<WireMsg<C>> = Vec::new();
+                if !node.poisoned {
+                    let mut heal: Vec<usize> = Vec::new();
+                    if spec.has_edge_faults {
+                        heal.extend(node.neighbors.iter().copied());
+                    }
+                    if node.mode.wipes() {
+                        if spec.crash_recover.is_some_and(|rt| tick >= rt && resend_due(rt, tick)) {
+                            heal.extend(node.neighbors.iter().copied());
+                        }
+                        for &(v, rt) in &spec.nbr_recovers {
+                            if tick >= rt && resend_due(rt, tick) {
+                                heal.push(v);
+                            }
+                        }
+                    }
+                    if !heal.is_empty() {
+                        heal.sort_unstable();
+                        heal.dedup();
+                        for v in heal {
+                            node.resource.reset_edge(v);
+                        }
+                        let p = &mut node.poisoned;
+                        outs.extend(guarded(p, || node.resource.nudge()));
+                    }
+                    if node.resource.recovery_armed()
+                        && tick > 0
+                        && node
+                            .mode
+                            .policy()
+                            .is_some_and(|p| tick.is_multiple_of(p.checkpoint_every))
+                    {
+                        node.resource.take_checkpoint(tick);
+                        // Net addition: a checkpoint is only worth its
+                        // name if it survives a process kill.
+                        persist_state(spec, &node.resource, &node.carried);
+                    }
+                    let p = &mut node.poisoned;
+                    outs.extend(guarded(p, || node.resource.step(usize::MAX)));
+                }
+                let sent = node.send_counters(&mut writer, outs)?;
+                node.flush_obs(&mut writer)?;
+                transport::send_frame::<C, _>(
+                    &mut writer,
+                    &Frame::PhaseSent { tick, phase: Phase::Scan, sent },
+                )?;
+            }
+            Frame::PhaseStart { tick, phase: Phase::Candidate } => {
+                let mut outs: Vec<WireMsg<C>> = Vec::new();
+                if !node.poisoned {
+                    let p = &mut node.poisoned;
+                    outs.extend(guarded(p, || node.resource.generate_candidates()));
+                }
+                let sent = node.send_counters(&mut writer, outs)?;
+                node.flush_obs(&mut writer)?;
+                transport::send_frame::<C, _>(
+                    &mut writer,
+                    &Frame::PhaseSent { tick, phase: Phase::Candidate, sent },
+                )?;
+            }
+            Frame::Counter(msg) => {
+                let mut outs: Vec<WireMsg<C>> = Vec::new();
+                if !node.poisoned {
+                    let p = &mut node.poisoned;
+                    let r = &mut node.resource;
+                    outs.extend(guarded(p, || r.on_receive(&msg)));
+                }
+                // Consequent sends go out *before* the ack, so the hub's
+                // pending counter can never read zero while traffic is
+                // still being produced (per-connection FIFO).
+                let _ = node.send_counters(&mut writer, outs)?;
+                node.flush_obs(&mut writer)?;
+                transport::send_frame::<C, _>(&mut writer, &Frame::Processed)?;
+            }
+            Frame::Finish => {
+                let rounds_tick = spec.rounds as u64;
+                if !node.poisoned && !node.down_at(rounds_tick) {
+                    let p = &mut node.poisoned;
+                    let r = &mut node.resource;
+                    guarded(p, || r.refresh_outputs());
+                }
+                node.flush_obs(&mut writer)?;
+                transport::send_frame::<C, _>(&mut writer, &Frame::Report(node.report()))?;
+                return Ok(0);
+            }
+            Frame::HeartbeatAck { .. } => {}
+            // Anything else from the hub is a protocol bug, not an
+            // attack surface (the hub is trusted); ignore it.
+            _ => {}
+        }
+    }
+}

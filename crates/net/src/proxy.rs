@@ -1,0 +1,168 @@
+//! The in-path chaos proxy: one seeded [`FaultPlan`] drives byte-level
+//! socket faults exactly like the threaded driver's in-memory link.
+//!
+//! The hub routes every counter through a [`ChaosProxy`] sitting between
+//! the sender's socket and the receiver's. Decisions come from the same
+//! [`FaultyLink`] the threaded driver uses — a pure function of
+//! `(seed, directed edge, per-edge sequence number)` — so the same plan
+//! produces the same drop/duplicate/delay schedule in the simulator, the
+//! threaded driver, and the real-socket deployment.
+//!
+//! Delay semantics mirror `run_threaded_full`: a delayed copy is parked
+//! until the next phase's flush, and while an edge has parked traffic
+//! every later copy on that edge parks too (FIFO links must not reorder
+//! — a reordering link is indistinguishable from a replaying broker and
+//! would draw a verdict). Flushed messages are delivered **without**
+//! re-rolling chaos, again matching the threaded driver.
+
+use gridmine_obs::{emit, Event, SharedRecorder};
+use gridmine_topology::{FaultPlan, FaultStats, FaultyLink};
+
+/// A chaos layer for in-flight protocol messages of payload type `T`.
+pub struct ChaosProxy<T> {
+    link: FaultyLink,
+    held: Vec<(usize, usize, T)>,
+}
+
+impl<T: Clone> ChaosProxy<T> {
+    /// A proxy executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosProxy { link: FaultyLink::new(plan), held: Vec::new() }
+    }
+
+    /// Fault counters accumulated so far.
+    pub fn stats(&self) -> FaultStats {
+        self.link.stats()
+    }
+
+    /// Re-parks a message (a held flush whose sender is down this tick
+    /// keeps its traffic parked, exactly like a down threaded worker).
+    pub fn park(&mut self, from: usize, to: usize, msg: T) {
+        self.held.push((from, to, msg));
+    }
+
+    /// True while some edge has parked traffic awaiting a flush.
+    pub fn has_held(&self) -> bool {
+        !self.held.is_empty()
+    }
+
+    /// Routes one message from `from` to `to`: rolls the link's fault
+    /// decision, emits the matching observability events, parks delayed
+    /// (and FIFO-blocked) copies, and returns the copies to deliver now.
+    pub fn route(&mut self, from: usize, to: usize, msg: T, rec: &SharedRecorder) -> Vec<T> {
+        let delivery = self.link.on_send(from, to);
+        if delivery.is_dropped() {
+            emit(rec, || Event::MessageDropped { from: from as u64, to: to as u64 });
+            return Vec::new();
+        }
+        if delivery.copies > 1 {
+            emit(rec, || Event::MessageDuplicated {
+                from: from as u64,
+                to: to as u64,
+                copies: u64::from(delivery.copies),
+            });
+        }
+        if delivery.extra_delay > 0 {
+            emit(rec, || Event::MessageDelayed {
+                from: from as u64,
+                to: to as u64,
+                ticks: delivery.extra_delay,
+            });
+        }
+        let edge_blocked = self.held.iter().any(|(f, t, _)| *f == from && *t == to);
+        let mut now = Vec::new();
+        for _ in 0..delivery.copies {
+            if delivery.extra_delay > 0 || edge_blocked {
+                self.held.push((from, to, msg.clone()));
+            } else {
+                now.push(msg.clone());
+            }
+        }
+        now
+    }
+
+    /// Releases every parked message for delivery, in arrival order,
+    /// without re-rolling chaos.
+    pub fn flush(&mut self) -> Vec<(usize, usize, T)> {
+        std::mem::take(&mut self.held)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmine_obs::{EventKind, MemoryRecorder};
+    use gridmine_topology::EdgeFaults;
+
+    fn recorder() -> (SharedRecorder, std::sync::Arc<MemoryRecorder>) {
+        let mem = MemoryRecorder::shared();
+        (mem.clone() as SharedRecorder, mem)
+    }
+
+    #[test]
+    fn clean_plan_routes_one_copy_immediately() {
+        let (rec, mem) = recorder();
+        let mut proxy: ChaosProxy<u8> = ChaosProxy::new(FaultPlan::none());
+        for i in 0..32 {
+            assert_eq!(proxy.route(0, 1, i, &rec), vec![i]);
+        }
+        assert!(!proxy.has_held());
+        assert_eq!(mem.count_of(EventKind::MessageDropped), 0);
+        assert_eq!(proxy.stats().total(), 0);
+    }
+
+    #[test]
+    fn always_drop_edge_drops_everything_and_counts() {
+        let (rec, mem) = recorder();
+        let plan = FaultPlan::new(11).with_default_edge(EdgeFaults::dropping(1.0));
+        let mut proxy: ChaosProxy<u8> = ChaosProxy::new(plan);
+        for i in 0..16 {
+            assert!(proxy.route(0, 1, i, &rec).is_empty());
+        }
+        assert_eq!(proxy.stats().dropped, 16);
+        assert_eq!(mem.count_of(EventKind::MessageDropped), 16);
+    }
+
+    #[test]
+    fn delayed_copies_park_and_keep_fifo_order() {
+        let (rec, _) = recorder();
+        let plan = FaultPlan::new(5).with_default_edge(EdgeFaults {
+            drop: 0.0,
+            duplicate: 0.0,
+            jitter: 2,
+        });
+        let mut proxy: ChaosProxy<u32> = ChaosProxy::new(plan);
+        let mut now = Vec::new();
+        for i in 0..24u32 {
+            now.extend(proxy.route(2, 3, i, &rec));
+        }
+        assert!(proxy.has_held(), "jitter must park at least one copy");
+        let flushed = proxy.flush();
+        let parked: Vec<u32> = flushed.iter().map(|(_, _, m)| *m).collect();
+        assert_eq!(now.len() + parked.len(), 24, "no copy may vanish under pure jitter");
+        let sorted = {
+            let mut s = parked.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(parked, sorted, "flush must preserve per-edge FIFO order");
+        // Once an edge has parked traffic, everything after it parks too:
+        // the immediately-delivered set must be a strict prefix.
+        let first_parked = parked.first().copied().unwrap_or(24);
+        assert!(now.iter().all(|m| *m < first_parked), "delivery reordered across a parked copy");
+        assert!(!proxy.has_held());
+    }
+
+    #[test]
+    fn decisions_match_a_threaded_style_link_on_the_same_plan() {
+        let (rec, _) = recorder();
+        let plan = FaultPlan::new(0xC0FFEE).with_default_edge(EdgeFaults::dropping(0.5));
+        let mut proxy: ChaosProxy<u8> = ChaosProxy::new(plan.clone());
+        let mut reference = FaultyLink::new(plan);
+        for i in 0..64 {
+            let got = !proxy.route(1, 4, i, &rec).is_empty();
+            let want = !reference.on_send(1, 4).is_dropped();
+            assert_eq!(got, want, "decision {i} diverged from the reference link");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The spawn contract between hub and node processes.
+//!
+//! A [`NodeSpec`] is everything one resource process needs to rebuild
+//! its share of the grid deterministically: config, topology, database
+//! partition, fault schedule slice, and the recovery mode. The hub
+//! writes it as JSON to a per-resource file and passes the path as the
+//! single CLI argument — keeping secrets (none live here; keys are
+//! re-derived from the session seed exactly like `MineSession::build`)
+//! and large payloads off the command line.
+
+use gridmine_arm::Database;
+use gridmine_core::{RecoveryMode, RecoveryPolicy};
+
+/// Recovery mode, flattened for the serde shim (no enum payload
+/// variants on the wire format of the spec file).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct RecoverySpec {
+    /// One of `"disabled"`, `"cold"`, `"checkpoint"`.
+    pub kind: String,
+    /// Policy, present iff `kind == "checkpoint"`.
+    pub policy: Option<RecoveryPolicy>,
+}
+
+impl RecoverySpec {
+    /// Flattens a [`RecoveryMode`] into its spec form.
+    pub fn of(mode: &RecoveryMode) -> Self {
+        match mode {
+            RecoveryMode::Disabled => RecoverySpec { kind: "disabled".into(), policy: None },
+            RecoveryMode::ColdRestart => RecoverySpec { kind: "cold".into(), policy: None },
+            RecoveryMode::Checkpoint(p) => {
+                RecoverySpec { kind: "checkpoint".into(), policy: Some(*p) }
+            }
+        }
+    }
+
+    /// Rebuilds the [`RecoveryMode`]. Unknown kinds fall back to
+    /// `Disabled` — the spec file comes from the hub, not a hostile
+    /// peer, so a mismatch is a version skew bug, not an attack.
+    pub fn mode(&self) -> RecoveryMode {
+        match (self.kind.as_str(), &self.policy) {
+            ("checkpoint", Some(p)) => RecoveryMode::Checkpoint(*p),
+            ("cold", _) => RecoveryMode::ColdRestart,
+            _ => RecoveryMode::Disabled,
+        }
+    }
+}
+
+/// Everything a `gridmine-node` process needs to join a session.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct NodeSpec {
+    /// Session id this process belongs to (echoed in the handshake).
+    pub session: u64,
+    /// This process's resource id.
+    pub resource: usize,
+    /// Cipher tag: `"mock"` or `"paillier"`.
+    pub cipher: String,
+    /// The session seed; the node derives its resource seed and the
+    /// grid keys from it exactly like `MineSession::build`.
+    pub seed: u64,
+    /// Minimum frequency threshold as `(num, den)`.
+    pub min_freq: (u32, u32),
+    /// Minimum confidence threshold as `(num, den)`.
+    pub min_conf: (u32, u32),
+    /// k-privacy parameter.
+    pub k: i64,
+    /// Protocol rounds.
+    pub rounds: usize,
+    /// Full grid adjacency (`adjacency[u]` = neighbors of `u`), shared
+    /// so the node can pre-compute every neighbor's counter layout.
+    pub adjacency: Vec<Vec<usize>>,
+    /// The unified item domain (sorted union over all partitions).
+    pub items: Vec<u32>,
+    /// This resource's database partition.
+    pub db: Database,
+    /// Soft-crash tick from the fault plan (`crash_wipe` + exit).
+    pub crash_at: Option<u64>,
+    /// Recovery tick from the fault plan.
+    pub crash_recover: Option<u64>,
+    /// Departure tick from the fault plan.
+    pub depart_at: Option<u64>,
+    /// Set on a respawned process: the tick it rejoins at (drives the
+    /// warm-restore path and the self-rejoin anti-entropy heal).
+    pub resume_tick: Option<u64>,
+    /// Neighbors scheduled to recover, as `(neighbor, recover_tick)` —
+    /// drives the same neighbor-heal resends the threaded driver does.
+    pub nbr_recovers: Vec<(usize, u64)>,
+    /// Whether the plan carries edge faults (enables the every-round
+    /// anti-entropy heal the threaded driver uses under lossy links).
+    pub has_edge_faults: bool,
+    /// Recovery mode.
+    pub recovery: RecoverySpec,
+    /// Hub address to dial (`127.0.0.1:port`).
+    pub hub: String,
+    /// Directory for persisted state: `{u}.image`, `{u}.audits`,
+    /// `{u}.tallies` survive a process kill for warm restart.
+    pub state_dir: String,
+    /// When set, the node sends garbage bytes after the handshake —
+    /// the Byzantine fixture for codec-door verdict tests.
+    pub hostile: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmine_arm::Transaction;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = NodeSpec {
+            session: 7,
+            resource: 1,
+            cipher: "mock".into(),
+            seed: 0x417E,
+            min_freq: (1, 3),
+            min_conf: (1, 2),
+            k: 1,
+            rounds: 6,
+            adjacency: vec![vec![1], vec![0, 2], vec![1]],
+            items: vec![1, 2, 3],
+            db: Database::from_transactions(vec![Transaction::of(0, &[1, 2])]),
+            crash_at: Some(2),
+            crash_recover: Some(4),
+            depart_at: None,
+            resume_tick: None,
+            nbr_recovers: vec![(0, 4)],
+            has_edge_faults: false,
+            recovery: RecoverySpec::of(&RecoveryMode::Checkpoint(RecoveryPolicy::default())),
+            hub: "127.0.0.1:9".into(),
+            state_dir: "/tmp/x".into(),
+            hostile: false,
+        };
+        let json = serde_json::to_string(&spec).expect("encode");
+        let back: NodeSpec = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back.resource, 1);
+        assert_eq!(back.adjacency, spec.adjacency);
+        assert_eq!(back.nbr_recovers, spec.nbr_recovers);
+        assert!(matches!(back.recovery.mode(), RecoveryMode::Checkpoint(_)));
+    }
+}

@@ -1,0 +1,201 @@
+//! Supervised TCP transport: framed send/receive, the peering
+//! handshake, capped-backoff dialing, and liveness constants.
+//!
+//! The handshake pins three facts before any protocol traffic flows:
+//! the **wire protocol version** (a peer speaking a different layout is
+//! refused before it can feed the codec), the **role**, and the
+//! **session id** (a stale process from a previous run cannot wander
+//! into a new session). Dialing reuses the recovery layer's
+//! [`RetryPolicy`] — the same capped exponential backoff with
+//! deterministic jitter that paces SFE retries and channel drains paces
+//! reconnects here, and the same budget bounds them.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use gridmine_core::RetryPolicy;
+use gridmine_paillier::HomCipher;
+
+use crate::codec::{self, Frame, Role};
+use crate::error::{NetError, WireError};
+use crate::frame::{self, WIRE_VERSION};
+
+/// Idle nodes probe the hub at this cadence.
+pub const HEARTBEAT_EVERY: Duration = Duration::from_millis(100);
+
+/// A peer silent for longer than this is presumed dead (supervisor
+/// deadline; generous next to the heartbeat cadence so scheduling
+/// hiccups do not degrade healthy peers).
+pub const LIVENESS_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Sends one frame on a stream (single `write_all`; frames are small
+/// enough that per-frame vectoring is not worth the complexity).
+pub fn send_frame<C: HomCipher, W: Write>(w: &mut W, f: &Frame<C>) -> Result<(), NetError> {
+    let bytes = codec::encode(f);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Receives one frame from a stream: framing errors and hostile bytes
+/// surface as typed errors, never panics.
+pub fn recv_frame<C: HomCipher, R: std::io::Read>(r: &mut R) -> Result<Frame<C>, NetError> {
+    let bytes = frame::read_frame_bytes(r)?;
+    Ok(codec::decode::<C>(&bytes)?)
+}
+
+/// Dials `addr` under `policy`: one attempt per budget unit, sleeping
+/// `backoff_ms(attempt)` between failures. Returns the stream (with
+/// `TCP_NODELAY`, so phase barriers aren't Nagle-delayed) and the number
+/// of attempts spent.
+pub fn dial(addr: &str, policy: &RetryPolicy) -> Result<(TcpStream, u32), NetError> {
+    let attempts_cap = u32::try_from(policy.budget.max(1)).unwrap_or(u32::MAX);
+    let mut attempt = 0u32;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                return Ok((stream, attempt + 1));
+            }
+            Err(e) => {
+                attempt += 1;
+                if attempt >= attempts_cap {
+                    return Err(NetError::Io(e));
+                }
+                std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt - 1)));
+            }
+        }
+    }
+}
+
+/// What a node announces about itself when peering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// The dialer's resource id.
+    pub resource: u32,
+    /// True when resuming after a process restart.
+    pub resumed: bool,
+    /// Dial attempts the peer spent reaching us.
+    pub attempts: u32,
+}
+
+/// Client side of the handshake: announce, await the ack, verify the
+/// echo. Any mismatch is a typed [`NetError::Handshake`].
+pub fn client_handshake<C: HomCipher>(
+    stream: &mut TcpStream,
+    session: u64,
+    resource: u32,
+    resumed: bool,
+    attempts: u32,
+) -> Result<(), NetError> {
+    send_frame::<C, _>(
+        stream,
+        &Frame::Hello {
+            version: WIRE_VERSION,
+            role: Role::Node,
+            session,
+            resource,
+            resumed,
+            attempts,
+        },
+    )?;
+    match recv_frame::<C, _>(stream)? {
+        Frame::HelloAck { session: s, resource: r } if s == session && r == resource => Ok(()),
+        Frame::HelloAck { .. } => Err(NetError::Handshake("ack echoed a different identity")),
+        _ => Err(NetError::Handshake("expected a hello ack")),
+    }
+}
+
+/// Server side of the handshake: read the hello, screen version / role /
+/// session, ack. Returns who peered.
+pub fn server_handshake<C: HomCipher>(
+    stream: &mut TcpStream,
+    session: u64,
+) -> Result<HelloInfo, NetError> {
+    match recv_frame::<C, _>(stream)? {
+        Frame::Hello { version, .. } if version != WIRE_VERSION => {
+            Err(NetError::Wire(WireError::UnsupportedVersion(version)))
+        }
+        Frame::Hello { role, .. } if role != Role::Node => {
+            Err(NetError::Handshake("only node peers may join a session"))
+        }
+        Frame::Hello { session: s, .. } if s != session => {
+            Err(NetError::Handshake("peer belongs to a different session"))
+        }
+        Frame::Hello { resource, resumed, attempts, .. } => {
+            send_frame::<C, _>(stream, &Frame::HelloAck { session, resource })?;
+            stream.set_nodelay(true)?;
+            Ok(HelloInfo { resource, resumed, attempts })
+        }
+        _ => Err(NetError::Handshake("expected a hello")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmine_paillier::MockCipher;
+    use std::net::TcpListener;
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let dialer = std::thread::spawn(move || TcpStream::connect(addr).expect("connect"));
+        let (accepted, _) = listener.accept().expect("accept");
+        (dialer.join().expect("join"), accepted)
+    }
+
+    #[test]
+    fn handshake_agrees_on_both_sides() {
+        let (mut client, mut server) = loopback_pair();
+        let t = std::thread::spawn(move || {
+            client_handshake::<MockCipher>(&mut client, 0xBEEF, 2, false, 1).expect("client")
+        });
+        let hello = server_handshake::<MockCipher>(&mut server, 0xBEEF).expect("server");
+        t.join().expect("join");
+        assert_eq!(hello, HelloInfo { resource: 2, resumed: false, attempts: 1 });
+    }
+
+    #[test]
+    fn wrong_session_is_refused() {
+        let (mut client, mut server) = loopback_pair();
+        let t = std::thread::spawn(move || {
+            // The hub drops the connection instead of acking, so the
+            // client sees either a handshake error or a closed socket.
+            client_handshake::<MockCipher>(&mut client, 0xDEAD, 0, false, 1)
+        });
+        let err = server_handshake::<MockCipher>(&mut server, 0xBEEF).expect_err("must refuse");
+        assert!(matches!(err, NetError::Handshake(_)), "got {err:?}");
+        drop(server);
+        assert!(t.join().expect("join").is_err());
+    }
+
+    #[test]
+    fn garbage_at_the_door_is_a_wire_error() {
+        let (mut client, mut server) = loopback_pair();
+        client.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+        drop(client);
+        let err = server_handshake::<MockCipher>(&mut server, 1).expect_err("must refuse");
+        assert!(matches!(err, NetError::Wire(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn frames_cross_a_real_socket() {
+        let (mut client, mut server) = loopback_pair();
+        send_frame::<MockCipher, _>(&mut client, &Frame::Heartbeat { nonce: 77 }).expect("send");
+        match recv_frame::<MockCipher, _>(&mut server).expect("recv") {
+            Frame::Heartbeat { nonce } => assert_eq!(nonce, 77),
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dial_budget_is_finite_against_a_dead_port() {
+        // Port 1 on loopback is essentially never listening; the dial
+        // must give up after its budget, not spin forever.
+        let policy = RetryPolicy { budget: 2, base_ms: 1, cap_ms: 1, ..RetryPolicy::DEFAULT };
+        let err = dial("127.0.0.1:1", &policy).expect_err("must fail");
+        assert!(matches!(err, NetError::Io(_)));
+    }
+}

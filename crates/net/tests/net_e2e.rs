@@ -1,0 +1,234 @@
+//! Multi-process e2e: real `gridmine-node` OS processes over loopback
+//! TCP, driven by [`NetSession`], pinned against the threaded driver.
+//!
+//! These tests spawn 3+ child processes (the `gridmine-node` binary
+//! cargo builds for this crate), so they exercise the full stack: spec
+//! files, handshake, framed codec, chaos proxy, phase barriers,
+//! crash-wipe persistence, warm restart and the codec-door quarantine.
+
+use gridmine_arm::{correct_rules, AprioriConfig, Database, Ratio, Transaction};
+use gridmine_core::{
+    DegradeReason, MineConfig, MineSession, RecoveryMode, RecoveryPolicy, ResourceStatus, Verdict,
+};
+use gridmine_net::NetSession;
+use gridmine_obs::{EventKind, MemoryRecorder, SharedRecorder};
+use gridmine_paillier::MockCipher;
+use gridmine_topology::{FaultPlan, Tree};
+
+const NODE_BIN: &str = env!("CARGO_BIN_EXE_gridmine-node");
+
+/// Identical-distribution partitions (the threaded-faults idiom): any
+/// subset of resources mines the same ruleset, so convergence targets
+/// stay meaningful even when some resources drop out.
+fn partition(u: u64) -> Database {
+    Database::from_transactions(
+        (0..40)
+            .map(|j| {
+                let id = u * 40 + j;
+                if j % 4 == 0 {
+                    Transaction::of(id, &[3])
+                } else {
+                    Transaction::of(id, &[1, 2])
+                }
+            })
+            .collect(),
+    )
+}
+
+fn dbs(n: usize) -> Vec<Database> {
+    (0..n as u64).map(partition).collect()
+}
+
+fn cfg(rounds: usize) -> MineConfig {
+    let mut cfg = MineConfig::new(Ratio::new(1, 2), Ratio::new(1, 2));
+    cfg.rounds = rounds;
+    cfg
+}
+
+#[test]
+fn three_process_grid_matches_the_threaded_driver() {
+    let n = 3;
+    let net = NetSession::<MockCipher>::new(cfg(6))
+        .with_topology(Tree::path(n))
+        .with_databases(dbs(n))
+        .with_node_binary(NODE_BIN)
+        .try_run()
+        .expect("net session");
+    let thr =
+        MineSession::new(cfg(6)).with_topology(Tree::path(n)).with_databases(dbs(n)).run_threaded();
+
+    assert_eq!(net.solutions, thr.solutions, "solutions diverged from the threaded driver");
+    assert_eq!(net.verdicts, thr.verdicts);
+    assert_eq!(net.statuses, thr.statuses);
+    assert_eq!(net.chaos, thr.chaos, "chaos reports diverged");
+    // `messages` is compared loosely: the tally counts consequent sends,
+    // which depend on per-node receipt interleaving within a phase —
+    // inherently racy across OS processes (duplicate-send suppression
+    // can merge two updates into one send). The protocol is confluent,
+    // so everything above is still exactly equal.
+    assert!(
+        net.messages.abs_diff(thr.messages) <= n as u64,
+        "{} vs {}",
+        net.messages,
+        thr.messages
+    );
+    let truth = correct_rules(
+        &Database::union_of(dbs(n).iter()),
+        &AprioriConfig::new(Ratio::new(1, 2), Ratio::new(1, 2)),
+    );
+    for (u, sol) in net.solutions.iter().enumerate() {
+        assert_eq!(sol, &truth, "resource {u} did not converge to the Apriori truth");
+    }
+}
+
+#[test]
+fn crash_and_warm_restart_match_the_threaded_driver() {
+    // Resource 2 crashes at tick 2 and warm-restarts at tick 4 — in the
+    // net run that is a real process exiting and a fresh process
+    // restoring from the persisted recovery image.
+    let n = 5;
+    let rounds = 12;
+    let plan = FaultPlan::new(7).with_crash(2, 2, Some(4));
+    let mode = RecoveryMode::Checkpoint(RecoveryPolicy::DEFAULT);
+
+    let mem = MemoryRecorder::shared();
+    let net = NetSession::<MockCipher>::new(cfg(rounds))
+        .with_topology(Tree::path(n))
+        .with_databases(dbs(n))
+        .with_faults(plan.clone())
+        .with_recovery(mode)
+        .with_recorder(mem.clone() as SharedRecorder)
+        .with_node_binary(NODE_BIN)
+        .try_run()
+        .expect("net session");
+    let thr = MineSession::new(cfg(rounds))
+        .with_topology(Tree::path(n))
+        .with_databases(dbs(n))
+        .with_faults(plan)
+        .with_recovery(mode)
+        .run_threaded();
+
+    assert_eq!(net.solutions, thr.solutions, "solutions diverged from the threaded driver");
+    assert_eq!(net.verdicts, thr.verdicts);
+    assert_eq!(net.statuses, thr.statuses);
+    // `messages` is deliberately not compared: under rejoin healing the
+    // count is schedule-sensitive (consequent sends depend on receipt
+    // interleaving), and even two threaded runs disagree by a few.
+    assert!(net.messages > 0);
+    assert_eq!(net.chaos, thr.chaos, "chaos reports diverged");
+    assert_eq!(net.chaos.replays, 1, "exactly one journal replay: {:?}", net.chaos);
+    assert!(net.chaos.checkpoints > 0);
+    assert!(net.statuses.iter().all(ResourceStatus::is_ok), "{:?}", net.statuses);
+
+    // Per-event observability counts must equal the protocol tallies —
+    // the events crossed process boundaries as Obs frames and still add
+    // up (the obs-parity invariant, network edition).
+    assert_eq!(mem.count_of(EventKind::ResourceCrashed) as u64, net.chaos.faults.crashes);
+    assert_eq!(mem.count_of(EventKind::ResourceRecovered) as u64, net.chaos.faults.recoveries);
+    assert_eq!(mem.count_of(EventKind::CheckpointTaken) as u64, net.chaos.checkpoints);
+    assert_eq!(mem.count_of(EventKind::JournalReplayed) as u64, net.chaos.replays);
+    assert_eq!(mem.count_of(EventKind::RecoveryRejected) as u64, net.chaos.rejected);
+    assert_eq!(mem.count_of(EventKind::MessageDropped) as u64, net.chaos.faults.dropped);
+    assert_eq!(mem.count_of(EventKind::RoundAdvanced), rounds);
+    assert_eq!(mem.count_of(EventKind::PeerConnected), n);
+    assert_eq!(mem.count_of(EventKind::PeerReconnected), 1, "one warm restart rejoined");
+
+    // Export the trace for the CI artifact: one JSON line per event.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/gridmine-obs");
+    std::fs::create_dir_all(dir).expect("obs dir");
+    let lines: Vec<String> = mem.snapshot().iter().map(gridmine_obs::Event::to_json).collect();
+    std::fs::write(format!("{dir}/net_crash_restart.jsonl"), lines.join("\n") + "\n")
+        .expect("obs trace");
+}
+
+#[test]
+fn hard_process_kill_is_survived_with_a_warm_restart() {
+    // The hub SIGKILLs resource 1's process at tick 6 — no goodbye, no
+    // crash-time persist; the successor has only the tick-5 checkpoint
+    // (image + controller audits) on disk — and respawns it at tick 8.
+    // The session must complete without a panic and the rejoined
+    // resource must converge with everyone else. (The kill lands after
+    // a checkpoint on purpose: a kill before the first checkpoint
+    // leaves nothing to warm-restart from, so the successor's reset
+    // Lamport clock is correctly blamed as a replayer.)
+    let n = 4;
+    let truth = correct_rules(
+        &Database::union_of(dbs(n).iter()),
+        &AprioriConfig::new(Ratio::new(1, 2), Ratio::new(1, 2)),
+    );
+    let outcome = NetSession::<MockCipher>::new(cfg(12))
+        .with_topology(Tree::path(n))
+        .with_databases(dbs(n))
+        .with_recovery(RecoveryMode::Checkpoint(RecoveryPolicy::DEFAULT))
+        .with_process_kill(1, 6, Some(8))
+        .with_node_binary(NODE_BIN)
+        .try_run()
+        .expect("net session");
+    assert!(outcome.statuses.iter().all(ResourceStatus::is_ok), "{:?}", outcome.statuses);
+    assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);
+    assert_eq!(outcome.chaos.faults.crashes, 1);
+    assert_eq!(outcome.chaos.faults.recoveries, 1);
+    for (u, sol) in outcome.solutions.iter().enumerate() {
+        assert_eq!(sol, &truth, "resource {u} did not converge after the process kill");
+    }
+}
+
+#[test]
+fn hostile_bytes_draw_a_verdict_and_quarantine_not_a_panic() {
+    // Resource 2 handshakes cleanly, then feeds the hub garbage. The
+    // codec door must convert that into a MaliciousResource verdict and
+    // a quarantine; the survivors keep mining.
+    let n = 3;
+    let mem = MemoryRecorder::shared();
+    let outcome = NetSession::<MockCipher>::new(cfg(6))
+        .with_topology(Tree::path(n))
+        .with_databases(dbs(n))
+        .with_hostile(2)
+        .with_recorder(mem.clone() as SharedRecorder)
+        .with_node_binary(NODE_BIN)
+        .try_run()
+        .expect("net session");
+    assert!(
+        outcome.verdicts.contains(&Verdict::MaliciousResource(2)),
+        "codec door must issue a verdict: {:?}",
+        outcome.verdicts
+    );
+    assert_eq!(outcome.statuses[2], ResourceStatus::Degraded(DegradeReason::Disconnected));
+    assert!(outcome.statuses[0].is_ok() && outcome.statuses[1].is_ok(), "{:?}", outcome.statuses);
+    assert!(mem.count_of(EventKind::FrameRejected) >= 1, "the bad bytes must be accounted");
+    assert_eq!(mem.count_of(EventKind::ResourceQuarantined), 1);
+    // The survivors still converge on their joint truth (identical
+    // partition distributions, so the target ruleset is unchanged).
+    let truth = correct_rules(
+        &Database::union_of(dbs(2).iter()),
+        &AprioriConfig::new(Ratio::new(1, 2), Ratio::new(1, 2)),
+    );
+    for u in 0..2 {
+        assert_eq!(&outcome.solutions[u], &truth, "survivor {u} diverged");
+    }
+}
+
+#[test]
+fn sessions_without_a_binary_or_with_bad_plans_are_refused() {
+    let err = NetSession::<MockCipher>::new(cfg(6))
+        .with_databases(dbs(2))
+        .try_run()
+        .expect_err("binary is mandatory");
+    assert!(format!("{err}").contains("binary"), "{err}");
+
+    let err = NetSession::<MockCipher>::new(cfg(6))
+        .with_databases(dbs(2))
+        .with_node_binary(NODE_BIN)
+        .with_faults(FaultPlan::new(1).with_crash(0, 2, Some(4)))
+        .try_run()
+        .expect_err("crashes need a wiping recovery mode");
+    assert!(format!("{err}").contains("recovery mode"), "{err}");
+
+    let err = NetSession::<MockCipher>::new(cfg(6))
+        .with_databases(dbs(2))
+        .with_node_binary(NODE_BIN)
+        .with_faults(FaultPlan::new(1).with_crash(7, 2, None))
+        .try_run()
+        .expect_err("fault target out of range");
+    assert!(format!("{err}").contains("capacity"), "{err}");
+}

@@ -145,6 +145,17 @@ pub enum Event {
     /// A bounded-retry budget ran dry (`spent` = retries consumed); the
     /// operation's owner degrades rather than retrying forever.
     RetryExhausted { resource: u64, spent: u64 },
+    /// Transport: a peer completed the version/role/session handshake.
+    PeerConnected { resource: u64, session: u64 },
+    /// Transport: a peer's connection closed or its heartbeat deadline
+    /// lapsed.
+    PeerDisconnected { resource: u64, reason: String },
+    /// Transport: the supervisor re-admitted a peer after `attempts`
+    /// capped-backoff reconnect attempts.
+    PeerReconnected { resource: u64, attempts: u64 },
+    /// Transport: an inbound frame failed the wire codec's total decode
+    /// (bad magic/version/checksum, truncation, hostile payload).
+    FrameRejected { from: u64, reason: String },
 }
 
 /// Fieldless mirror of [`Event`], for counting and filtering.
@@ -173,11 +184,15 @@ pub enum EventKind {
     JournalReplayed,
     RecoveryRejected,
     RetryExhausted,
+    PeerConnected,
+    PeerDisconnected,
+    PeerReconnected,
+    FrameRejected,
 }
 
 impl EventKind {
     /// Number of distinct kinds (array-index bound for tallies).
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 26;
 
     /// All kinds, in declaration order (index = `as usize`).
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -203,6 +218,10 @@ impl EventKind {
         EventKind::JournalReplayed,
         EventKind::RecoveryRejected,
         EventKind::RetryExhausted,
+        EventKind::PeerConnected,
+        EventKind::PeerDisconnected,
+        EventKind::PeerReconnected,
+        EventKind::FrameRejected,
     ];
 
     /// The `"type"` tag used on the wire.
@@ -230,6 +249,10 @@ impl EventKind {
             EventKind::JournalReplayed => "JournalReplayed",
             EventKind::RecoveryRejected => "RecoveryRejected",
             EventKind::RetryExhausted => "RetryExhausted",
+            EventKind::PeerConnected => "PeerConnected",
+            EventKind::PeerDisconnected => "PeerDisconnected",
+            EventKind::PeerReconnected => "PeerReconnected",
+            EventKind::FrameRejected => "FrameRejected",
         }
     }
 
@@ -264,6 +287,10 @@ impl Event {
             Event::JournalReplayed { .. } => EventKind::JournalReplayed,
             Event::RecoveryRejected { .. } => EventKind::RecoveryRejected,
             Event::RetryExhausted { .. } => EventKind::RetryExhausted,
+            Event::PeerConnected { .. } => EventKind::PeerConnected,
+            Event::PeerDisconnected { .. } => EventKind::PeerDisconnected,
+            Event::PeerReconnected { .. } => EventKind::PeerReconnected,
+            Event::FrameRejected { .. } => EventKind::FrameRejected,
         }
     }
 
@@ -340,6 +367,18 @@ impl Event {
             }
             Event::RetryExhausted { resource, spent } => {
                 w.u64("resource", *resource).u64("spent", *spent);
+            }
+            Event::PeerConnected { resource, session } => {
+                w.u64("resource", *resource).u64("session", *session);
+            }
+            Event::PeerDisconnected { resource, reason } => {
+                w.u64("resource", *resource).str("reason", reason);
+            }
+            Event::PeerReconnected { resource, attempts } => {
+                w.u64("resource", *resource).u64("attempts", *attempts);
+            }
+            Event::FrameRejected { from, reason } => {
+                w.u64("from", *from).str("reason", reason);
             }
         }
         w.finish()
@@ -452,6 +491,18 @@ impl Event {
             }
             EventKind::RetryExhausted => {
                 Event::RetryExhausted { resource: u("resource")?, spent: u("spent")? }
+            }
+            EventKind::PeerConnected => {
+                Event::PeerConnected { resource: u("resource")?, session: u("session")? }
+            }
+            EventKind::PeerDisconnected => {
+                Event::PeerDisconnected { resource: u("resource")?, reason: s("reason")? }
+            }
+            EventKind::PeerReconnected => {
+                Event::PeerReconnected { resource: u("resource")?, attempts: u("attempts")? }
+            }
+            EventKind::FrameRejected => {
+                Event::FrameRejected { from: u("from")?, reason: s("reason")? }
             }
         })
     }
@@ -659,6 +710,10 @@ mod tests {
             Event::JournalReplayed { resource: 5, entries: 12 },
             Event::RecoveryRejected { resource: 5, reason: "journal digest mismatch".into() },
             Event::RetryExhausted { resource: 6, spent: 8 },
+            Event::PeerConnected { resource: 2, session: 0x5E_5510 },
+            Event::PeerDisconnected { resource: 2, reason: "heartbeat deadline".into() },
+            Event::PeerReconnected { resource: 2, attempts: 3 },
+            Event::FrameRejected { from: 4, reason: "checksum mismatch".into() },
         ]
     }
 

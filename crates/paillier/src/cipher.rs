@@ -426,6 +426,21 @@ impl HomCipher for PaillierCtx {
     fn ct_bytes(c: &Ciphertext) -> usize {
         c.byte_len()
     }
+
+    fn ct_encode(c: &Ciphertext) -> Vec<u8> {
+        c.0.to_bytes_be()
+    }
+
+    fn ct_decode(bytes: &[u8]) -> Option<Ciphertext> {
+        // Canonical big-endian residue: no empty strings, no redundant
+        // leading zeros (so decode∘encode is the identity and every
+        // residue has exactly one wire form). Semantic screening is
+        // `is_wellformed`'s job.
+        if bytes.is_empty() || (bytes.len() > 1 && bytes.first() == Some(&0)) {
+            return None;
+        }
+        Some(Ciphertext(BigUint::from_bytes_be(bytes)))
+    }
 }
 
 #[cfg(test)]
@@ -451,6 +466,21 @@ mod tests {
         let kp = small_keys();
         let e = kp.encryptor();
         assert_ne!(e.encrypt_i64(5), e.encrypt_i64(5));
+    }
+
+    #[test]
+    fn ct_bytes_round_trip_is_canonical() {
+        let kp = small_keys();
+        let (e, d) = (kp.encryptor(), kp.decryptor());
+        let ct = e.encrypt_i64(123);
+        let bytes = PaillierCtx::ct_encode(&ct);
+        let back = PaillierCtx::ct_decode(&bytes).expect("canonical bytes decode");
+        assert_eq!(back, ct);
+        assert_eq!(d.decrypt_i64(&back), 123);
+        assert_eq!(PaillierCtx::ct_decode(&[]), None, "empty");
+        let mut padded = vec![0u8];
+        padded.extend_from_slice(&bytes);
+        assert_eq!(PaillierCtx::ct_decode(&padded), None, "redundant leading zero");
     }
 
     #[test]

@@ -164,4 +164,15 @@ pub trait HomCipher: Clone + Send + Sync {
     /// Serialized size of a ciphertext in bytes (the simulator's
     /// bandwidth model).
     fn ct_bytes(c: &Self::Ct) -> usize;
+
+    /// Portable ciphertext bytes for wire codecs. Key-free and total:
+    /// any handle (including broker-side ones) can serialize what it
+    /// already holds.
+    fn ct_encode(c: &Self::Ct) -> Vec<u8>;
+
+    /// Inverse of [`HomCipher::ct_encode`]; `None` on structurally
+    /// malformed bytes. This is a *structural* check only — semantic
+    /// well-formedness of a wire-received ciphertext still goes through
+    /// [`HomCipher::is_wellformed`] before it touches counter algebra.
+    fn ct_decode(bytes: &[u8]) -> Option<Self::Ct>;
 }

@@ -107,6 +107,22 @@ impl HomCipher for MockCipher {
         // bandwidth.
         256
     }
+
+    fn ct_encode(c: &MockCt) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&c.value.to_le_bytes());
+        out.extend_from_slice(&c.nonce.to_le_bytes());
+        out
+    }
+
+    fn ct_decode(bytes: &[u8]) -> Option<MockCt> {
+        let value: [u8; 8] = bytes.get(..8)?.try_into().ok()?;
+        let nonce: [u8; 8] = bytes.get(8..16)?.try_into().ok()?;
+        if bytes.len() != 16 {
+            return None;
+        }
+        Some(MockCt { value: i64::from_le_bytes(value), nonce: u64::from_le_bytes(nonce) })
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +155,19 @@ mod tests {
         let c = MockCipher::new(1);
         let ct = c.encrypt_i64(3);
         let _ = c.broker_view().decrypt_i64(&ct);
+    }
+
+    #[test]
+    fn ct_bytes_round_trip() {
+        let c = MockCipher::new(7);
+        let ct = c.encrypt_i64(-42);
+        let bytes = MockCipher::ct_encode(&ct);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(MockCipher::ct_decode(&bytes), Some(ct));
+        assert_eq!(MockCipher::ct_decode(&bytes[..15]), None, "truncated");
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(MockCipher::ct_decode(&long), None, "trailing garbage");
     }
 
     #[test]

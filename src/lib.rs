@@ -19,6 +19,7 @@
 //! | [`sim`] | `gridmine-sim` | the §6 grid simulator and experiment drivers |
 //! | [`obs`] | `gridmine-obs` | structured protocol events, recorders, metrics |
 //! | [`recovery`] | `gridmine-recovery` | checkpoint + journal recovery state, retry policies |
+//! | [`net`] | `gridmine-net` | versioned wire codec, supervised TCP transport, multi-process driver |
 //!
 //! ## Quickstart
 //!
@@ -71,6 +72,7 @@
 pub use gridmine_arm as arm;
 pub use gridmine_core as secure;
 pub use gridmine_majority as majority;
+pub use gridmine_net as net;
 pub use gridmine_obs as obs;
 pub use gridmine_paillier as crypto;
 pub use gridmine_quest as quest;
@@ -84,8 +86,6 @@ pub mod prelude {
         correct_rules, frequent_itemsets, AprioriConfig, Database, Item, ItemSet, Ratio, Rule,
         RuleSet, Transaction,
     };
-    #[allow(deprecated)] // the shims stay importable until removal
-    pub use gridmine_core::{mine_secure, mine_secure_threaded, mine_secure_threaded_faulty};
     pub use gridmine_core::{
         BrokerBehavior, ChaosReport, ControllerBehavior, DegradeReason, GridKeys, KTtp, MineConfig,
         MineSession, MiningOutcome, ResourceStatus, SecureResource, SessionCipher, SessionError,
