@@ -7,8 +7,8 @@
 //! the two SFE questions. [`BrokerBehavior`] hooks let a compromised
 //! broker mis-aggregate in exactly the ways §5.2 analyzes.
 
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use gridmine_arm::CandidateRule;
 use gridmine_paillier::{CipherError, HomCipher};
@@ -49,7 +49,6 @@ struct Instance<C: HomCipher> {
 }
 
 /// The broker of one resource.
-#[derive(Clone)]
 pub struct Broker<C: HomCipher> {
     id: usize,
     cipher: C,
@@ -62,11 +61,33 @@ pub struct Broker<C: HomCipher> {
     /// derived from the driver seed so replays are byte-identical.
     rho_seed: u64,
     /// Blinding draws made so far (each draw uses a fresh stream).
-    rho_ctr: Cell<u64>,
+    /// Atomic (not `Cell`) so a broker can be shared across the worker
+    /// pool's threads; draws stay deterministic because each `&self`
+    /// caller still owns its resource exclusively — the atomic only
+    /// restores `Sync` for read-only fan-out over resources.
+    rho_ctr: AtomicU64,
     /// Injected deviation (Honest in normal operation).
     pub behavior: BrokerBehavior,
     /// Messages sent (protocol-cost accounting).
     pub msgs_sent: u64,
+}
+
+impl<C: HomCipher> Clone for Broker<C> {
+    // Manual because `AtomicU64` is not `Clone`; the clone carries the
+    // same draw counter so replayed brokers stay byte-identical.
+    fn clone(&self) -> Self {
+        Broker {
+            id: self.id,
+            cipher: self.cipher.clone(),
+            layout: self.layout.clone(),
+            shares_from: self.shares_from.clone(),
+            rules: self.rules.clone(),
+            rho_seed: self.rho_seed,
+            rho_ctr: AtomicU64::new(self.rho_ctr.load(Ordering::Relaxed)),
+            behavior: self.behavior,
+            msgs_sent: self.msgs_sent,
+        }
+    }
 }
 
 impl<C: HomCipher> Broker<C> {
@@ -80,7 +101,7 @@ impl<C: HomCipher> Broker<C> {
             shares_from: HashMap::new(),
             rules: HashMap::new(),
             rho_seed: seed ^ (id as u64).wrapping_mul(0xA076_1D64_78BD_642F),
-            rho_ctr: Cell::new(0),
+            rho_ctr: AtomicU64::new(0),
             behavior: BrokerBehavior::Honest,
             msgs_sent: 0,
         }
@@ -130,14 +151,16 @@ impl<C: HomCipher> Broker<C> {
     /// the sender, instead of hitting an undefined `A−`/scalar
     /// mid-aggregate.
     pub fn counter_is_wellformed(&self, counter: &SecureCounter<C>) -> bool {
-        counter.msg.arity() == self.layout.arity()
-            && counter.layout.arity() == self.layout.arity()
-            && counter
-                .msg
-                .fields
-                .iter()
-                .chain(std::iter::once(&counter.msg.tag))
-                .all(|c| self.cipher.is_wellformed(c))
+        if counter.msg.arity() != self.layout.arity()
+            || counter.layout.arity() != self.layout.arity()
+        {
+            return false;
+        }
+        // Batched screen: the whole tuple (fields + tag) goes through one
+        // `all_wellformed` call, which Paillier folds into a single gcd.
+        let cts: Vec<&C::Ct> =
+            counter.msg.fields.iter().chain(std::iter::once(&counter.msg.tag)).collect();
+        self.cipher.all_wellformed(&cts)
     }
 
     /// The stored share for messages toward `v`, or `None` while
@@ -261,8 +284,7 @@ impl<C: HomCipher> Broker<C> {
             &self.cipher.try_scalar(lambda.den() as i64, sum)?,
             &self.cipher.try_scalar(lambda.num() as i64, count)?,
         )?;
-        let draw = self.rho_ctr.get();
-        self.rho_ctr.set(draw.wrapping_add(1));
+        let draw = self.rho_ctr.fetch_add(1, Ordering::Relaxed);
         let mut rng = SmallRng::seed_from_u64(self.rho_seed ^ draw.wrapping_mul(0x9E37_79B9));
         let rho = rng.gen_range(1i64..1 << 16);
         self.cipher.try_scalar(rho, &delta)

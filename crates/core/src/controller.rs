@@ -303,6 +303,14 @@ impl<C: HomCipher> Controller<C> {
             return Err(self.raise(Verdict::MaliciousBroker(self.id)));
         }
         let p = self.open_checked(full)?;
+        self.audit_full_plain(rule, &p)?;
+        Ok(p)
+    }
+
+    /// Plaintext half of the full-aggregate audit, shared between the
+    /// per-counter path and the batched wave of
+    /// [`Controller::send_query`].
+    fn audit_full_plain(&mut self, rule: &CandidateRule, p: &PlainCounter) -> Result<(), Verdict> {
         if p.share != 1 {
             return Err(self.raise(Verdict::MaliciousBroker(self.id)));
         }
@@ -317,7 +325,7 @@ impl<C: HomCipher> Controller<C> {
             }
         }
         self.audit_state(rule).traces.copy_from_slice(&p.ts);
-        Ok(p)
+        Ok(())
     }
 
     /// The `Output()` SFE of Algorithm 1: is the candidate rule's majority
@@ -416,9 +424,38 @@ impl<C: HomCipher> Controller<C> {
         share_for_me: &C::Ct,
     ) -> Result<Option<SecureCounter<C>>, Verdict> {
         self.queries_served += 1;
-        let p_full = self.audit_full(rule, full)?;
-        let p_minus = self.open_checked(minus_v)?;
-        let p_recv = self.open_checked(recv_v)?;
+        // Batched wave: in every honest run all three counters are sealed
+        // under this resource's layout, so their fields decrypt in one
+        // pass over the cipher's cached contexts and the three tags
+        // verify through one combined check. Anything else falls back to
+        // the per-counter path, which raises the matching verdict.
+        let (p_full, p_minus, p_recv) = if full.layout == self.layout
+            && minus_v.layout == self.layout
+            && recv_v.layout == self.layout
+        {
+            let key = self.tags.key(self.layout.arity());
+            let mut wave =
+                SecureCounter::open_many(&self.cipher, &key, &[full, minus_v, recv_v]).into_iter();
+            // Consume in protocol order so the verdict blames the first
+            // failure, exactly as the sequential path did.
+            let p_full = match wave.next() {
+                Some(Ok(p)) => p,
+                _ => return Err(self.raise(Verdict::MaliciousBroker(self.id))),
+            };
+            self.audit_full_plain(rule, &p_full)?;
+            let p_minus = match wave.next() {
+                Some(Ok(p)) => p,
+                _ => return Err(self.raise(Verdict::MaliciousBroker(self.id))),
+            };
+            let p_recv = match wave.next() {
+                Some(Ok(p)) => p,
+                _ => return Err(self.raise(Verdict::MaliciousBroker(self.id))),
+            };
+            (p_full, p_minus, p_recv)
+        } else {
+            let p_full = self.audit_full(rule, full)?;
+            (p_full, self.open_checked(minus_v)?, self.open_checked(recv_v)?)
+        };
 
         // Additive consistency: full = minus_v + recv_v, field by field.
         let consistent = p_full.sum == p_minus.sum + p_recv.sum

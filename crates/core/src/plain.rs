@@ -9,7 +9,7 @@
 //! rule enforces the split: `PlainCounter`, `open` and the `decrypt_*`
 //! family are banned identifiers in every key-blind module.
 
-use gridmine_paillier::{HomCipher, ObliviousError, PaillierCtx, TagKey};
+use gridmine_paillier::{CounterMsg, HomCipher, ObliviousError, PaillierCtx, TagKey};
 
 use crate::counter::{SecureCounter, F_SHARE, F_TS};
 use crate::packed::{PackedCounter, PACKED_SHARE_MODULUS};
@@ -50,6 +50,25 @@ impl<C: HomCipher> SecureCounter<C> {
         let fields = self.msg.open(cipher, key)?;
         let (sum, count, num, share, ts) = split_fields(&fields)?;
         Ok(PlainCounter { sum, count, num, share: share_reduce(share), ts })
+    }
+
+    /// Batch form of [`SecureCounter::open`]: every field of every
+    /// counter decrypts in one wave over the cipher's cached contexts and
+    /// all tags verify through one combined check (see
+    /// [`CounterMsg::open_many`]). Results align with `counters`.
+    pub fn open_many(
+        cipher: &C,
+        key: &TagKey,
+        counters: &[&Self],
+    ) -> Vec<Result<PlainCounter, ObliviousError>> {
+        let msgs: Vec<&CounterMsg<C>> = counters.iter().map(|c| &c.msg).collect();
+        CounterMsg::open_many(cipher, key, &msgs)
+            .into_iter()
+            .map(|r| {
+                let (sum, count, num, share, ts) = split_fields(&r?)?;
+                Ok(PlainCounter { sum, count, num, share: share_reduce(share), ts })
+            })
+            .collect()
     }
 }
 

@@ -45,6 +45,11 @@ pub struct Config {
     pub panic_banned: Vec<String>,
     /// Narrower scope in which slice-indexing is also banned.
     pub index_scope: Scope,
+    /// Scope in which `.lock().expect(…)` / `.lock().unwrap(…)` is
+    /// banned: a poisoned mutex must be recovered with
+    /// `unwrap_or_else(PoisonError::into_inner)`, not escalated into a
+    /// panic cascade.
+    pub lock_scope: Scope,
 
     /// determinism: reachability roots (replay drivers) and the wider
     /// always-deny scope.
@@ -165,6 +170,10 @@ impl Config {
             index_scope: Scope {
                 deny: arr("panic-freedom", "index_deny"),
                 allow: arr("panic-freedom", "index_allow"),
+            },
+            lock_scope: Scope {
+                deny: arr("panic-freedom", "lock_deny"),
+                allow: arr("panic-freedom", "lock_allow"),
             },
             det_roots: arr("determinism", "roots"),
             det_scope: scope("determinism"),

@@ -211,7 +211,13 @@ fn panic_freedom(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
     for file in &ws.files {
         let panics = cfg.panic_scope.contains(&file.rel);
         let indexing = cfg.index_scope.contains(&file.rel);
-        if !panics && !indexing {
+        // Lock-poison hygiene is checked separately from the blanket
+        // `expect` ban so crates holding shared mutexes stay honest even
+        // where `expect` on plain Results is acceptable. Files already
+        // under the blanket ban are skipped — the generic rule reports
+        // the same site once.
+        let locks = cfg.lock_scope.contains(&file.rel) && !panics;
+        if !panics && !indexing && !locks {
             continue;
         }
         let toks = &file.lexed.toks;
@@ -233,6 +239,30 @@ fn panic_freedom(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
                         ),
                     ));
                 }
+            }
+            // `.lock().expect(…)` / `.lock().unwrap(…)`: one panicking
+            // holder poisons the mutex and every later `.lock()` turns
+            // into a cascading panic across threads.
+            if locks
+                && t.kind == TokKind::Ident
+                && t.text == "lock"
+                && i > 0
+                && tok_is(toks.get(i - 1), ".")
+                && tok_is(toks.get(i + 1), "(")
+                && tok_is(toks.get(i + 2), ")")
+                && tok_is(toks.get(i + 3), ".")
+                && toks.get(i + 4).is_some_and(|n| n.text == "expect" || n.text == "unwrap")
+                && tok_is(toks.get(i + 5), "(")
+            {
+                out.push(Diagnostic::new(
+                    "panic-freedom",
+                    &file.rel,
+                    t.line,
+                    "`.lock()` followed by a panicking unwrap poisons into a panic \
+                     cascade; recover the guard with \
+                     `unwrap_or_else(PoisonError::into_inner)`"
+                        .to_string(),
+                ));
             }
             // Slice indexing `expr[…]`: an identifier / `)` / `]`
             // immediately followed by `[`.
@@ -477,6 +507,7 @@ secret_types = ["PrivateKey"]
 deny = ["crates/core/src/broker.rs"]
 banned = ["unwrap", "expect", "panic", "unreachable"]
 index_deny = ["crates/core/src/broker.rs"]
+lock_deny = ["crates/paillier/src"]
 
 [determinism]
 roots = ["crates/sim/src/engine.rs"]
@@ -542,6 +573,40 @@ crashes = "ResourceCrashed"
         )]);
         let d = run_all(&ws, &cfg_base());
         assert_eq!(d.iter().filter(|d| d.rule == "panic-freedom").count(), 4);
+    }
+
+    #[test]
+    fn panic_freedom_flags_panicking_lock_in_lock_scope_only() {
+        let ws = ws_of(vec![
+            (
+                "crates/paillier/src/cipher.rs",
+                "fn f(m: &Mutex<u32>) { let a = m.lock().expect(\"poisoned\"); \
+                 let b = m.lock().unwrap(); \
+                 let c = m.lock().unwrap_or_else(PoisonError::into_inner); \
+                 let d = plain.expect(\"not a lock\"); }",
+            ),
+            // Out of lock scope entirely.
+            ("crates/obs/src/recorder.rs", "fn g(m: &Mutex<u32>) { m.lock().unwrap(); }"),
+        ]);
+        let d = run_all(&ws, &cfg_base());
+        let locks: Vec<_> =
+            d.iter().filter(|d| d.rule == "panic-freedom" && d.message.contains("lock")).collect();
+        assert_eq!(locks.len(), 2, "{locks:?}");
+        assert!(locks.iter().all(|d| d.file == "crates/paillier/src/cipher.rs"));
+    }
+
+    #[test]
+    fn panic_freedom_lock_rule_defers_to_the_blanket_ban() {
+        // broker.rs is in both `deny` and `lock_deny`: the blanket
+        // `expect` ban reports the site once; the lock rule stays quiet.
+        let mut cfg = cfg_base();
+        cfg.lock_scope.deny.push("crates/core/src/broker.rs".to_string());
+        let ws = ws_of(vec![(
+            "crates/core/src/broker.rs",
+            "fn f(m: &Mutex<u32>) { m.lock().expect(\"poisoned\"); }",
+        )]);
+        let d = run_all(&ws, &cfg);
+        assert_eq!(d.iter().filter(|d| d.rule == "panic-freedom").count(), 1);
     }
 
     #[test]

@@ -330,6 +330,19 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Length prefix of a sequence whose elements each consume at least
+    /// `min_elem_bytes` of payload. The count is screened against the
+    /// bytes actually remaining in the frame *before* the caller
+    /// allocates, so a forged `u32::MAX` count costs a typed error and
+    /// zero capacity — never an OOM-sized `Vec::with_capacity`.
+    fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() / min_elem_bytes.max(1) {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
     /// A length-prefixed byte string. The length is screened against the
     /// remaining payload before any allocation.
     fn bytes(&mut self) -> Result<&'a [u8], WireError> {
@@ -345,11 +358,8 @@ impl<'a> Reader<'a> {
     }
 
     fn items(&mut self) -> Result<ItemSet, WireError> {
-        let n = self.u32()? as usize;
-        // Each item costs 4 payload bytes; screen before allocating.
-        if n > self.buf.len() / 4 {
-            return Err(WireError::Truncated);
-        }
+        // Each item costs 4 payload bytes.
+        let n = self.seq_len(4)?;
         let mut items = Vec::with_capacity(n);
         for _ in 0..n {
             items.push(Item(self.u32()?));
@@ -383,20 +393,15 @@ impl<'a> Reader<'a> {
 
     fn counter<C: HomCipher>(&mut self) -> Result<SecureCounter<C>, WireError> {
         let owner = self.u32()? as usize;
-        let n = self.u32()? as usize;
-        if n > self.buf.len() / 4 {
-            return Err(WireError::Truncated);
-        }
+        // Each neighbor id costs 4 payload bytes.
+        let n = self.seq_len(4)?;
         let mut neighbors = Vec::with_capacity(n);
         for _ in 0..n {
             neighbors.push(self.u32()? as usize);
         }
         let layout = CounterLayout::new(owner, neighbors);
-        let fields_n = self.u32()? as usize;
         // Each field costs at least its 4-byte length prefix.
-        if fields_n > self.buf.len() / 4 {
-            return Err(WireError::Truncated);
-        }
+        let fields_n = self.seq_len(4)?;
         let mut fields = Vec::with_capacity(fields_n);
         for _ in 0..fields_n {
             fields.push(self.ct::<C>()?);
@@ -652,10 +657,12 @@ pub fn decode<C: HomCipher>(bytes: &[u8]) -> Result<Frame<C>, WireError> {
         K_FINISH => Frame::Finish,
         K_REPORT => {
             let resource = r.u32()?;
-            let n = r.u32()? as usize;
-            if n > payload.len() / 8 {
-                return Err(WireError::Truncated);
-            }
+            // Each rule costs at least its two item-set count prefixes.
+            // Screened against the reader's *remaining* bytes — the old
+            // check divided the whole payload length, which includes
+            // bytes already consumed, so a fat frame could smuggle a
+            // count past it into `Vec::with_capacity`.
+            let n = r.seq_len(8)?;
             let mut solutions = Vec::with_capacity(n);
             for _ in 0..n {
                 solutions.push(r.rule()?);

@@ -64,6 +64,11 @@ pub enum KeyOpKind {
     Decrypt,
     Rerandomize,
     Modpow,
+    /// One batched multi-ciphertext decryption pass (the whole pass, not
+    /// the per-ciphertext [`KeyOpKind::Decrypt`] timings inside it).
+    BatchDecrypt,
+    /// One Straus/Shamir multi-exponentiation (batched tag verification).
+    MultiExp,
 }
 
 impl KeyOpKind {
@@ -73,6 +78,8 @@ impl KeyOpKind {
             KeyOpKind::Decrypt => "decrypt",
             KeyOpKind::Rerandomize => "rerandomize",
             KeyOpKind::Modpow => "modpow",
+            KeyOpKind::BatchDecrypt => "batch_decrypt",
+            KeyOpKind::MultiExp => "multi_exp",
         }
     }
 
@@ -82,6 +89,8 @@ impl KeyOpKind {
             "decrypt" => Some(KeyOpKind::Decrypt),
             "rerandomize" => Some(KeyOpKind::Rerandomize),
             "modpow" => Some(KeyOpKind::Modpow),
+            "batch_decrypt" => Some(KeyOpKind::BatchDecrypt),
+            "multi_exp" => Some(KeyOpKind::MultiExp),
             _ => None,
         }
     }

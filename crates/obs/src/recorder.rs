@@ -3,9 +3,17 @@
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::event::{Event, EventKind};
+
+/// Locks with poison recovery: recorders are shared across worker
+/// threads, and a panic in one observer must not cascade into every
+/// later `record` call. The guarded state (an event buffer, a line
+/// writer) is valid between operations, so the guard is safe to take.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A sink for protocol events.
 ///
@@ -67,16 +75,16 @@ impl MemoryRecorder {
 
     /// A copy of everything recorded so far.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.events.lock().unwrap().clone()
+        lock(&self.events).clone()
     }
 
     /// How many events of `kind` have been recorded.
     pub fn count_of(&self, kind: EventKind) -> usize {
-        self.events.lock().unwrap().iter().filter(|e| e.kind() == kind).count()
+        lock(&self.events).iter().filter(|e| e.kind() == kind).count()
     }
 
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        lock(&self.events).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -84,13 +92,13 @@ impl MemoryRecorder {
     }
 
     pub fn clear(&self) {
-        self.events.lock().unwrap().clear();
+        lock(&self.events).clear();
     }
 }
 
 impl Recorder for MemoryRecorder {
     fn record(&self, event: &Event) {
-        self.events.lock().unwrap().push(event.clone());
+        lock(&self.events).push(event.clone());
     }
 }
 
@@ -116,13 +124,13 @@ impl JsonlRecorder {
 
 impl Recorder for JsonlRecorder {
     fn record(&self, event: &Event) {
-        let mut out = self.out.lock().unwrap();
+        let mut out = lock(&self.out);
         // Tracing must not abort the protocol: I/O errors are dropped.
         let _ = writeln!(out, "{}", event.to_json());
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().unwrap().flush();
+        let _ = lock(&self.out).flush();
     }
 }
 

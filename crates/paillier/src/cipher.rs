@@ -6,13 +6,14 @@
 //! decodes as negative. Counters in the protocol are far below 2⁶³ so the
 //! embedding is always unambiguous.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use gridmine_obs::{Event, KeyOpKind, SharedRecorder};
-use num_bigint::{BigInt, BigUint, MontgomeryCtx, RandBigInt, Sign};
+use num_bigint::{BigInt, BigUint, FixedBaseTable, MontgomeryCtx, RandBigInt, Sign};
 use num_traits::One;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+use rayon::prelude::*;
 
 use crate::keys::{mod_inverse, PrivateKey, PublicKey};
 use crate::{CipherError, HomCipher};
@@ -23,12 +24,45 @@ use crate::{CipherError, HomCipher};
 /// quickly amortize whole batches through one warm Montgomery context.
 const NOISE_BATCH: usize = 32;
 
+/// Locks a mutex, recovering the guard when a sibling thread panicked
+/// while holding it. Every mutex in this handle protects state that is
+/// valid between any two operations (a pool of finished factors, an RNG
+/// whose words are drawn whole), so poisoning carries no torn-state risk
+/// — and propagating it would turn one panicking worker thread into a
+/// denial of service against every clone of the handle.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// The shared pool of precomputed encryption noise plus its adaptive
 /// refill size.
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct NoisePool {
     ready: Vec<BigUint>,
     refills: u32,
+    /// Factors racing clones are computing right now. Refill sizing
+    /// subtracts this, so concurrent refills top the pool up to
+    /// [`NOISE_BATCH`] instead of multiplying the work per racer.
+    in_flight: usize,
+    /// Fixed-base windowed table over `h = r₀ⁿ mod n²`, built on the
+    /// first refill. Subsequent noise factors are `h^σ` for fresh
+    /// `σ < n` — each a valid noise term (`h^σ = (r₀^σ)ⁿ` and `r₀^σ` is
+    /// a unit) at windowed-multiply cost instead of a full
+    /// exponentiation. `None` until first use, or when no Montgomery
+    /// context exists for `n²`.
+    table: Option<Arc<FixedBaseTable>>,
+}
+
+/// Redacting `Debug`: the table is derived from secret randomness and
+/// the banked factors blind future ciphertexts.
+impl std::fmt::Debug for NoisePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NoisePool")
+            .field("ready", &self.ready.len())
+            .field("refills", &self.refills)
+            .field("in_flight", &self.in_flight)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Montgomery contexts derived once per handle from the key material, so
@@ -185,28 +219,71 @@ impl PaillierCtx {
         })
     }
 
+    /// Builds the fixed-base noise table: one full exponentiation
+    /// `h = r₀ⁿ mod n²` for a fresh unit `r₀`, then windowed
+    /// precomputation for `h` sized to exponents below `n`. Every later
+    /// noise factor is `h^σ` for a fresh secret `σ < n` — the standard
+    /// fixed-base speedup, whose noise ranges over the subgroup `⟨r₀ⁿ⟩`
+    /// instead of all n-th residues (the usual trade accepted for
+    /// precomputed Paillier randomizers).
+    fn build_noise_table(&self) -> Option<Arc<FixedBaseTable>> {
+        let ctx = self.mont.n2.as_ref()?;
+        let r0 = self.sample_unit();
+        let h = self.powmod_n2(&r0, &self.pk.n);
+        Some(Arc::new(ctx.fixed_base(&h, self.pk.n.bits())))
+    }
+
     /// Pops a precomputed noise factor `rⁿ mod n²`, refilling the shared
     /// pool in batch when it runs dry.
     fn next_noise(&self) -> BigUint {
-        let batch_size = {
-            let mut pool = self.noise.lock().expect("noise pool poisoned");
+        let (batch_size, table) = {
+            let mut pool = lock(&self.noise);
             if let Some(rn) = pool.ready.pop() {
                 return rn;
             }
-            let size = (1usize << pool.refills.min(16)).min(NOISE_BATCH);
+            let want = (1usize << pool.refills.min(16)).min(NOISE_BATCH);
             pool.refills += 1;
-            size
+            // Racing clones shrink their refill by whatever is already
+            // being computed, so a refill storm tops the pool up once
+            // instead of once per racer.
+            let size = want.saturating_sub(pool.in_flight).max(1);
+            pool.in_flight += size;
+            if pool.table.is_none() {
+                // One-time, under the pool lock on purpose: racing clones
+                // would otherwise each pay the full `r₀ⁿ` exponentiation.
+                pool.table = self.build_noise_table();
+            }
+            (size, pool.table.clone())
         };
-        // Refill outside the pool lock: sample_unit takes the RNG lock and
-        // the exponentiations dominate. Two racing clones just overfill.
-        let mut batch: Vec<BigUint> = (0..batch_size)
-            .map(|_| {
-                let r = self.sample_unit();
-                self.powmod_n2(&r, &self.pk.n)
-            })
-            .collect();
+        // Refill outside the pool lock: the exponentiations dominate and
+        // must not serialize other clones popping banked factors.
+        let mut batch: Vec<BigUint> = match &table {
+            Some(t) => {
+                // σ draws come out of the shared RNG sequentially (one
+                // lock, fixed order) so replays under a seed stay
+                // byte-identical no matter how the evaluation below is
+                // scheduled across the pool.
+                let sigmas: Vec<BigUint> = {
+                    let mut rng = lock(&self.rng);
+                    (0..batch_size).map(|_| rng.gen_biguint_below(&self.pk.n)).collect()
+                };
+                sigmas.par_iter().map(|s| self.timed(KeyOpKind::Modpow, || t.pow(s))).collect()
+            }
+            None => (0..batch_size)
+                .map(|_| {
+                    let r = self.sample_unit();
+                    self.powmod_n2(&r, &self.pk.n)
+                })
+                .collect(),
+        };
         let out = batch.pop().expect("batch is non-empty");
-        self.noise.lock().expect("noise pool poisoned").ready.extend(batch);
+        let mut pool = lock(&self.noise);
+        pool.in_flight = pool.in_flight.saturating_sub(batch_size);
+        // Bank at most what the pool has room for; racing refills that
+        // both completed must not balloon `ready` past NOISE_BATCH.
+        let room = NOISE_BATCH.saturating_sub(pool.ready.len());
+        batch.truncate(room);
+        pool.ready.append(&mut batch);
         out
     }
 
@@ -253,7 +330,7 @@ impl PaillierCtx {
     /// Draws a unit `r ∈ Z_n*` for encryption randomness.
     fn sample_unit(&self) -> BigUint {
         use num_integer::Integer;
-        let mut rng = self.rng.lock().expect("rng poisoned");
+        let mut rng = lock(&self.rng);
         loop {
             let r = rng.gen_biguint_range(&BigUint::one(), &self.pk.n);
             if r.gcd(&self.pk.n).is_one() {
@@ -383,6 +460,65 @@ impl HomCipher for PaillierCtx {
         self.decode(m)
     }
 
+    fn decrypt_i64_many(&self, cts: &[&Ciphertext]) -> Vec<i64> {
+        if cts.len() < 2 {
+            return cts.iter().map(|c| self.decrypt_i64(c)).collect();
+        }
+        // One batched pass: the CRT contexts are already cached on the
+        // handle, so the whole wave fans across the worker pool with zero
+        // per-element setup. Order-preserving by the pool's contract, so
+        // results are bit-identical to the sequential map.
+        self.timed(KeyOpKind::BatchDecrypt, || {
+            cts.par_iter()
+                .map(|c| {
+                    self.timed(KeyOpKind::Decrypt, || self.decode(self.decrypt_residue_inner(c)))
+                })
+                .collect()
+        })
+    }
+
+    fn verify_tags_batch(&self, tags: &[&Ciphertext], expected: &[i64]) -> bool {
+        if tags.len() != expected.len() {
+            return false;
+        }
+        // The RLC accumulator below bounds Σ ρᵢ·eᵢ inside i128 only for
+        // sane batch sizes; a hostile arity beyond this cap (or a handle
+        // without the n² context) just verifies sequentially.
+        if tags.len() < 2 || tags.len() > 1 << 20 || self.mont.n2.is_none() {
+            return tags.iter().zip(expected).all(|(t, &e)| self.decrypt_i64(t) == e);
+        }
+        // Random linear combination: with fresh 32-bit weights ρᵢ,
+        //   D(∏ tᵢ^ρᵢ) = Σ ρᵢ·D(tᵢ)  (mod n),
+        // so one Straus multi-exponentiation plus ONE decryption checks
+        // all k tag relations at once, accepting a forgery only when the
+        // weights hit a root of the nonzero difference — probability
+        // < 2⁻³² per weight.
+        let rhos: Vec<u64> = {
+            let mut rng = lock(&self.rng);
+            (0..tags.len()).map(|_| rng.gen_range(1u64..1 << 32)).collect()
+        };
+        let combined = self.timed(KeyOpKind::MultiExp, || {
+            let rho_big: Vec<BigUint> = rhos.iter().map(|&r| BigUint::from(r)).collect();
+            let pairs: Vec<(&BigUint, &BigUint)> =
+                tags.iter().map(|t| &t.0).zip(rho_big.iter()).collect();
+            match &self.mont.n2 {
+                Some(ctx) => ctx.multi_modpow(&pairs),
+                None => unreachable!("screened above"),
+            }
+        });
+        let got = self.decrypt_residue(&Ciphertext(combined));
+        // Σ ρᵢ·eᵢ over i128 (|e| < 2⁶³, ρ < 2³², k ≤ 2²⁰ ⇒ |Σ| < 2¹¹⁶),
+        // then reduced into Z_n. Honest expectations sit far below n/2,
+        // so mod-n equality coincides with the per-tag i64 comparison.
+        let want: i128 = rhos.iter().zip(expected).map(|(&r, &e)| r as i128 * e as i128).sum();
+        let want = if want >= 0 {
+            BigUint::from(want as u128) % &self.pk.n
+        } else {
+            &self.pk.n - (BigUint::from(want.unsigned_abs()) % &self.pk.n)
+        };
+        got == want % &self.pk.n
+    }
+
     fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         self.add_raw(a, b)
     }
@@ -408,6 +544,23 @@ impl HomCipher for PaillierCtx {
         // A valid ciphertext is a reduced unit of Z_{n²}*; equivalently
         // gcd(c mod n, n) = 1 — one gcd, no key material needed.
         c.0 < self.pk.n2 && (&c.0 % &self.pk.n).gcd(&self.pk.n).is_one()
+    }
+
+    fn all_wellformed(&self, cts: &[&Ciphertext]) -> bool {
+        use num_integer::Integer;
+        // n = p·q with huge prime factors, so p | ∏(cᵢ mod n) iff
+        // p | some cᵢ mod n: ONE gcd of the running product screens the
+        // whole batch. Range checks stay per-element (they are cheap).
+        if !cts.iter().all(|c| c.0 < self.pk.n2) {
+            return false;
+        }
+        let mut prod = BigUint::one();
+        for c in cts {
+            prod = prod * (&c.0 % &self.pk.n) % &self.pk.n;
+        }
+        // An honest-all batch never hits 0; a zero product short-circuits
+        // the gcd to n itself, which the unit test below rejects anyway.
+        prod.gcd(&self.pk.n).is_one()
     }
 
     fn rerandomize(&self, c: &Ciphertext) -> Ciphertext {
@@ -619,6 +772,98 @@ mod tests {
         // kernel, so at least one modpow timing must have been captured.
         assert!(mem.count_of(EventKind::KeyOp) >= 4);
         assert!(count(KeyOpKind::Modpow) >= 1);
+    }
+
+    #[test]
+    fn batch_decrypt_matches_single_decrypts() {
+        let kp = small_keys();
+        let (e, d) = (kp.encryptor(), kp.decryptor());
+        let plains: Vec<i64> = (-6i64..=6).map(|i| i * 1_000_003).collect();
+        let cts: Vec<Ciphertext> = plains.iter().map(|&m| e.encrypt_i64(m)).collect();
+        let refs: Vec<&Ciphertext> = cts.iter().collect();
+        assert_eq!(d.decrypt_i64_many(&refs), plains);
+        assert_eq!(d.decrypt_i64_many(&[]), Vec::<i64>::new());
+        assert_eq!(d.decrypt_i64_many(&refs[..1]), plains[..1]);
+    }
+
+    #[test]
+    fn batched_tag_verification_accepts_honest_and_rejects_forged() {
+        let kp = small_keys();
+        let (e, d) = (kp.encryptor(), kp.decryptor());
+        let expected = [40i64, -3, 0, 1 << 40, 7];
+        let tags: Vec<Ciphertext> = expected.iter().map(|&m| e.encrypt_i64(m)).collect();
+        let refs: Vec<&Ciphertext> = tags.iter().collect();
+        assert!(d.verify_tags_batch(&refs, &expected));
+        // One altered expectation breaks the whole batch.
+        let mut off = expected;
+        off[2] = 1;
+        assert!(!d.verify_tags_batch(&refs, &off));
+        // Length mismatch is a structural no.
+        assert!(!d.verify_tags_batch(&refs, &expected[..4]));
+        // Degenerate sizes take the sequential path and still agree.
+        assert!(d.verify_tags_batch(&refs[..1], &expected[..1]));
+        assert!(d.verify_tags_batch(&[], &[]));
+    }
+
+    #[test]
+    fn batched_wellformedness_matches_per_ciphertext_screen() {
+        let kp = small_keys();
+        let e = kp.encryptor();
+        let good: Vec<Ciphertext> = (0..4).map(|i| e.encrypt_i64(i)).collect();
+        let refs: Vec<&Ciphertext> = good.iter().collect();
+        assert!(e.all_wellformed(&refs));
+        assert!(e.all_wellformed(&[]));
+        // A multiple of n poisons the product gcd no matter where it sits.
+        let evil = Ciphertext::from_bytes_be(&e.public_key().modulus().to_bytes_be());
+        for pos in 0..=good.len() {
+            let mut batch: Vec<&Ciphertext> = good.iter().collect();
+            batch.insert(pos, &evil);
+            assert!(!e.all_wellformed(&batch), "evil at {pos}");
+        }
+        // Unreduced (≥ n²) fails the range screen even though it is a unit.
+        let unreduced = Ciphertext(good[0].0.clone() + e.public_key().modulus_sq());
+        assert!(!e.all_wellformed(&[&good[1], &unreduced]));
+    }
+
+    #[test]
+    fn racing_refills_top_up_instead_of_multiplying() {
+        use gridmine_obs::MemoryRecorder;
+        let kp = small_keys();
+        let mem = MemoryRecorder::shared();
+        let e = kp.encryptor().with_recorder(mem.clone());
+        // Warm past the doubling ramp so every refill wants a full batch,
+        // then drain whatever is banked.
+        for i in 0..(2 * NOISE_BATCH as i64) {
+            let _ = e.encrypt_i64(i);
+        }
+        while !lock(&e.noise).ready.is_empty() {
+            let _ = e.encrypt_i64(0);
+        }
+        let modpows = |mem: &MemoryRecorder| {
+            mem.snapshot()
+                .iter()
+                .filter(|ev| matches!(ev, Event::KeyOp { op: KeyOpKind::Modpow, .. }))
+                .count()
+        };
+        let before = modpows(&mem);
+        // Eight clones race refills on the empty pool. In-flight
+        // accounting means one racer computes the full batch and each
+        // other racer shrinks to a single factor — without it this storm
+        // would cost 8·NOISE_BATCH exponentiations.
+        let racers: Vec<_> = (0..8)
+            .map(|i| {
+                let h = e.clone();
+                std::thread::spawn(move || {
+                    let _ = h.encrypt_i64(i);
+                })
+            })
+            .collect();
+        for r in racers {
+            r.join().expect("no racer panicked");
+        }
+        let added = modpows(&mem) - before;
+        assert!(added <= NOISE_BATCH + 8, "refill work multiplied: {added} exponentiations");
+        assert!(lock(&e.noise).ready.len() <= NOISE_BATCH, "pool overfilled");
     }
 
     #[test]

@@ -104,6 +104,27 @@ pub trait HomCipher: Clone + Send + Sync {
     /// decryption key.
     fn decrypt_i64(&self, c: &Self::Ct) -> i64;
 
+    /// Decrypt a whole wave of ciphertexts, in order. Semantically
+    /// identical to mapping [`HomCipher::decrypt_i64`]; implementations
+    /// with expensive per-call machinery override it to amortize — see
+    /// [`PaillierCtx`], which runs the wave in one pass over its cached
+    /// CRT contexts and fans the elements across the worker pool.
+    fn decrypt_i64_many(&self, cts: &[&Self::Ct]) -> Vec<i64> {
+        cts.iter().map(|c| self.decrypt_i64(c)).collect()
+    }
+
+    /// Batched tag-relation check: `true` iff `D(tags[i]) == expected[i]`
+    /// for every `i` (and the lengths match). The default decrypts each
+    /// tag; [`PaillierCtx`] replaces the `k` decryptions by one
+    /// random-linear-combination multi-exponentiation plus a single
+    /// decryption, trading a `< 2⁻³²` false-accept probability for the
+    /// speedup — callers that need per-message blame re-verify
+    /// individually on failure.
+    fn verify_tags_batch(&self, tags: &[&Self::Ct], expected: &[i64]) -> bool {
+        tags.len() == expected.len()
+            && tags.iter().zip(expected).all(|(t, &e)| self.decrypt_i64(t) == e)
+    }
+
     /// Homomorphic addition (`A+`): `D(add(E(x), E(y))) == x + y`.
     fn add(&self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct;
 
@@ -138,6 +159,16 @@ pub trait HomCipher: Clone + Send + Sync {
     fn is_wellformed(&self, c: &Self::Ct) -> bool {
         let _ = c;
         true
+    }
+
+    /// Batched well-formedness screen: `true` iff every ciphertext passes
+    /// [`HomCipher::is_wellformed`]. Key-free, like the per-ciphertext
+    /// form. [`PaillierCtx`] folds the whole batch into a single gcd
+    /// (`gcd(∏ cᵢ mod n, n) = 1 ⇔ ∀i gcd(cᵢ mod n, n) = 1`), so a
+    /// broker screens an incoming counter at one gcd instead of
+    /// arity + 1 of them.
+    fn all_wellformed(&self, cts: &[&Self::Ct]) -> bool {
+        cts.iter().all(|c| self.is_wellformed(c))
     }
 
     /// Rerandomize: a different ciphertext of the same plaintext, unlinkable

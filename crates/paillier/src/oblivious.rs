@@ -174,17 +174,64 @@ impl<C: HomCipher> CounterMsg<C> {
     /// Controller-side: verify the tag and decrypt all fields.
     ///
     /// Returns the plaintext tuple or the malicious-behaviour error the
-    /// controller must broadcast (Algorithm 3).
+    /// controller must broadcast (Algorithm 3). Field decryption goes
+    /// through [`HomCipher::decrypt_i64_many`], so even a single open
+    /// fans its tuple across the worker pool.
     pub fn open(&self, cipher: &C, key: &TagKey) -> Result<Vec<i64>, ObliviousError> {
         if self.arity() != key.arity() {
             return Err(ObliviousError::ArityMismatch { expected: key.arity(), got: self.arity() });
         }
-        let fields: Vec<i64> = self.fields.iter().map(|c| cipher.decrypt_i64(c)).collect();
+        let refs: Vec<&C::Ct> = self.fields.iter().collect();
+        let fields = cipher.decrypt_i64_many(&refs);
         let tag = cipher.decrypt_i64(&self.tag);
         if tag != key.tag_plain(&fields) {
             return Err(ObliviousError::TagMismatch);
         }
         Ok(fields)
+    }
+
+    /// Controller-side batch opening: decrypt a whole wave of tuples
+    /// sealed under one key in a single pass.
+    ///
+    /// All fields of all conforming tuples decrypt through one
+    /// [`HomCipher::decrypt_i64_many`] call and all tags verify through
+    /// one [`HomCipher::verify_tags_batch`] check; only when that
+    /// combined check fails does each tuple re-verify alone, so blame
+    /// lands on exactly the forged ones. Results align with `msgs`.
+    pub fn open_many(
+        cipher: &C,
+        key: &TagKey,
+        msgs: &[&Self],
+    ) -> Vec<Result<Vec<i64>, ObliviousError>> {
+        // Arity screen: hostile tuples drop out before the batch.
+        let screened: Vec<Option<&Self>> =
+            msgs.iter().map(|m| (m.arity() == key.arity()).then_some(*m)).collect();
+        let field_refs: Vec<&C::Ct> =
+            screened.iter().flatten().flat_map(|m| m.fields.iter()).collect();
+        let mut plains = cipher.decrypt_i64_many(&field_refs).into_iter();
+        let opened: Vec<Option<Vec<i64>>> =
+            screened.iter().map(|m| m.map(|m| plains.by_ref().take(m.arity()).collect())).collect();
+        let tag_refs: Vec<&C::Ct> = screened.iter().flatten().map(|m| &m.tag).collect();
+        let expected: Vec<i64> =
+            opened.iter().flatten().map(|fields| key.tag_plain(fields)).collect();
+        let wave_ok = cipher.verify_tags_batch(&tag_refs, &expected);
+        msgs.iter()
+            .zip(opened)
+            .map(|(m, fields)| match fields {
+                Some(fields) => {
+                    let ok =
+                        wave_ok || cipher.verify_tags_batch(&[&m.tag], &[key.tag_plain(&fields)]);
+                    if ok {
+                        Ok(fields)
+                    } else {
+                        Err(ObliviousError::TagMismatch)
+                    }
+                }
+                None => {
+                    Err(ObliviousError::ArityMismatch { expected: key.arity(), got: m.arity() })
+                }
+            })
+            .collect()
     }
 }
 
@@ -283,6 +330,40 @@ mod tests {
         assert_eq!(a.add(&mock, &b).open(&mock, &key).unwrap(), vec![10, 1, 5]);
         let forged = CounterMsg { fields: a.fields.clone(), tag: mock.encrypt_i64(0) };
         assert_eq!(forged.open(&mock, &key), Err(ObliviousError::TagMismatch));
+    }
+
+    #[test]
+    fn open_many_opens_an_honest_wave_in_one_pass() {
+        let (e, d, key) = setup();
+        let a = CounterMsg::seal(&e, &key, &[5, 1, 3, 0]);
+        let b = CounterMsg::seal(&e, &key, &[2, 0, 1, 9]);
+        let c = a.add(&e, &b);
+        let opened = CounterMsg::open_many(&d, &key, &[&a, &b, &c]);
+        assert_eq!(opened, vec![Ok(vec![5, 1, 3, 0]), Ok(vec![2, 0, 1, 9]), Ok(vec![7, 1, 4, 9])]);
+    }
+
+    #[test]
+    fn open_many_blames_exactly_the_forged_tuple() {
+        let (e, d, key) = setup();
+        let good = CounterMsg::seal(&e, &key, &[5, 1, 3, 0]);
+        let forged = CounterMsg { fields: good.fields.clone(), tag: e.encrypt_i64(4242) };
+        let short = CounterMsg { fields: good.fields[..2].to_vec(), tag: good.tag.clone() };
+        let opened = CounterMsg::open_many(&d, &key, &[&good, &forged, &short]);
+        assert_eq!(opened.len(), 3);
+        assert_eq!(opened[0], Ok(vec![5, 1, 3, 0]), "honest tuple survives the bad company");
+        assert_eq!(opened[1], Err(ObliviousError::TagMismatch));
+        assert_eq!(opened[2], Err(ObliviousError::ArityMismatch { expected: 4, got: 2 }));
+        assert_eq!(CounterMsg::open_many(&d, &key, &[]), vec![]);
+    }
+
+    #[test]
+    fn open_many_works_over_mock_cipher() {
+        let mock = MockCipher::new(11);
+        let key = TagKey::derive(3, 5);
+        let a = CounterMsg::seal(&mock, &key, &[4, 1, 2]);
+        let forged = CounterMsg { fields: a.fields.clone(), tag: mock.encrypt_i64(0) };
+        let opened = CounterMsg::open_many(&mock, &key, &[&a, &forged]);
+        assert_eq!(opened, vec![Ok(vec![4, 1, 2]), Err(ObliviousError::TagMismatch)]);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use rand::Rng;
 
 mod montgomery;
 
-pub use montgomery::MontgomeryCtx;
+pub use montgomery::{FixedBaseTable, MontgomeryCtx};
 
 const BASE_BITS: u32 = 64;
 

@@ -564,6 +564,211 @@ impl MontgomeryCtx {
         t.truncate(k);
         BigUint::from_limbs(t)
     }
+
+    /// Converts the Montgomery-form accumulator in `acc[..k]` back to a
+    /// plain `BigUint` (multiply by plain 1).
+    fn demont(&self, acc: &[u64], t: &mut [u64]) -> BigUint {
+        let k = self.k;
+        let mut one = vec![0u64; k];
+        one[0] = 1;
+        self.montmul_into(&acc[..k], &one, t);
+        BigUint::from_limbs(t[..k].to_vec())
+    }
+
+    /// Precomputes a fixed-base exponentiation table for `base` covering
+    /// exponents up to `max_exp_bits` bits. Evaluation then costs only
+    /// table multiplies — no squarings at all — which beats the sliding
+    /// window whenever the same base is raised to many exponents (the
+    /// noise pool's `h^σ` refills).
+    pub fn fixed_base(&self, base: &BigUint, max_exp_bits: u64) -> FixedBaseTable {
+        let k = self.k;
+        let base = base % &self.n;
+        let n_windows = (max_exp_bits.max(1) as usize).div_ceil(FB_WINDOW);
+        let mut t = vec![0u64; k + 1];
+        let mut wide = vec![0u64; 2 * k + 1];
+        let mut sq_c = vec![0u64; k];
+        // b = base^(2^(4i)) in Montgomery form, advanced window by window.
+        self.montmul_into(&pad(&base.limbs, k), &self.r2, &mut t);
+        let mut b = t.clone();
+        let mut windows = Vec::with_capacity(n_windows);
+        for _ in 0..n_windows {
+            // digits[d-1] = base^(d·2^(4i)): successive multiplies by b.
+            let mut digits = Vec::with_capacity(FB_DIGITS);
+            digits.push(b[..k].to_vec());
+            for d in 1..FB_DIGITS {
+                self.montmul_into(&digits[d - 1], &b[..k], &mut t);
+                digits.push(t[..k].to_vec());
+            }
+            windows.push(digits);
+            // b ← b^16 for the next window: four squarings.
+            for _ in 0..FB_WINDOW {
+                if k >= 2 {
+                    self.montsqr_into(&b[..k], &mut wide, &mut sq_c, &mut t);
+                } else {
+                    self.montmul_into(&b[..k], &b[..k], &mut t);
+                }
+                std::mem::swap(&mut b, &mut t);
+            }
+        }
+        FixedBaseTable { ctx: self.clone(), base, windows }
+    }
+
+    /// Straus/Shamir multi-exponentiation: `∏ baseⱼ^expⱼ mod n` in one
+    /// ladder. All bases share each window's squarings (4 per window,
+    /// once, instead of per base), so verifying a whole wave of
+    /// ciphertext tags costs little more than one exponentiation.
+    /// Matches `∏ modpow(baseⱼ, expⱼ, n) mod n` exactly; the empty
+    /// product is 1.
+    pub fn multi_modpow(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        let k = self.k;
+        let mut t = vec![0u64; k + 1];
+        let mut wide = vec![0u64; 2 * k + 1];
+        let mut sq_c = vec![0u64; k];
+        // A full 4-bit table per live base: digits[d-1] = baseⱼ^d in
+        // Montgomery form. Zero exponents contribute 1 and are dropped; a
+        // zero base with a nonzero exponent annihilates the product.
+        let mut tables: Vec<(Vec<Vec<u64>>, &BigUint)> = Vec::with_capacity(pairs.len());
+        let mut max_bits = 0u64;
+        for (base, exp) in pairs {
+            if exp.is_zero() {
+                continue;
+            }
+            let b = *base % &self.n;
+            if b.is_zero() {
+                return BigUint::zero();
+            }
+            max_bits = max_bits.max(exp.bits());
+            self.montmul_into(&pad(&b.limbs, k), &self.r2, &mut t);
+            let bm = t[..k].to_vec();
+            let mut digits = Vec::with_capacity(FB_DIGITS);
+            digits.push(bm.clone());
+            for d in 1..FB_DIGITS {
+                self.montmul_into(&digits[d - 1], &bm, &mut t);
+                digits.push(t[..k].to_vec());
+            }
+            tables.push((digits, exp));
+        }
+        if tables.is_empty() {
+            return BigUint::one() % &self.n;
+        }
+        // MSB-first over aligned 4-bit windows (64 % 4 == 0, so a window
+        // never straddles a limb): square the joint accumulator, then
+        // multiply in every base's digit for this window.
+        let mut acc: Option<Vec<u64>> = None;
+        for w in (0..(max_bits as usize).div_ceil(FB_WINDOW)).rev() {
+            if let Some(a) = &mut acc {
+                for _ in 0..FB_WINDOW {
+                    if k >= 2 {
+                        self.montsqr_into(&a[..k], &mut wide, &mut sq_c, &mut t);
+                    } else {
+                        self.montmul_into(&a[..k], &a[..k], &mut t);
+                    }
+                    std::mem::swap(a, &mut t);
+                }
+            }
+            let (limb, off) = (FB_WINDOW * w / 64, FB_WINDOW * w % 64);
+            for (digits, exp) in &tables {
+                let d = match exp.limbs.get(limb) {
+                    Some(l) => (l >> off & 0xF) as usize,
+                    None => continue,
+                };
+                if d == 0 {
+                    continue;
+                }
+                match &mut acc {
+                    Some(a) => {
+                        self.montmul_into(&a[..k], &digits[d - 1], &mut t);
+                        std::mem::swap(a, &mut t);
+                    }
+                    None => {
+                        let mut v = digits[d - 1].clone();
+                        v.push(0);
+                        acc = Some(v);
+                    }
+                }
+            }
+        }
+        match acc {
+            Some(acc) => self.demont(&acc, &mut t),
+            None => BigUint::one() % &self.n,
+        }
+    }
+}
+
+/// Window width (bits) shared by [`FixedBaseTable`] and
+/// [`MontgomeryCtx::multi_modpow`]. Divides 64 so a window never
+/// straddles a limb boundary.
+const FB_WINDOW: usize = 4;
+/// Nonzero digit values per 4-bit window.
+const FB_DIGITS: usize = 15;
+
+/// Fixed-base windowed precomputation: `windows[i][d-1]` holds
+/// `base^(d·2^(4i))` in Montgomery form, so `base^e` for any `e` within
+/// capacity is the product of one table entry per nonzero 4-bit digit of
+/// `e` — pure multiplies, zero squarings per evaluation.
+///
+/// Deliberately not `Debug`: the noise pool's table is derived from
+/// secret encryption randomness and must stay unformattable.
+#[derive(Clone)]
+pub struct FixedBaseTable {
+    ctx: MontgomeryCtx,
+    /// The (reduced) base, kept for the over-capacity fallback path.
+    base: BigUint,
+    windows: Vec<Vec<Vec<u64>>>,
+}
+
+impl FixedBaseTable {
+    /// The largest exponent bit-length the table covers without falling
+    /// back to [`MontgomeryCtx::modpow`].
+    pub fn capacity_bits(&self) -> u64 {
+        (self.windows.len() * FB_WINDOW) as u64
+    }
+
+    /// The modulus the table reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        self.ctx.modulus()
+    }
+
+    /// `base^exp mod n` from the table. Exponents beyond
+    /// [`FixedBaseTable::capacity_bits`] fall back to the sliding-window
+    /// ladder (correct, just not table-accelerated).
+    pub fn pow(&self, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one() % &self.ctx.n;
+        }
+        if exp.bits() > self.capacity_bits() {
+            return self.ctx.modpow(&self.base, exp);
+        }
+        let k = self.ctx.k;
+        let mut t = vec![0u64; k + 1];
+        let mut acc: Option<Vec<u64>> = None;
+        for (i, digits) in self.windows.iter().enumerate() {
+            let (limb, off) = (FB_WINDOW * i / 64, FB_WINDOW * i % 64);
+            let d = match exp.limbs.get(limb) {
+                Some(l) => (l >> off & 0xF) as usize,
+                None => break,
+            };
+            if d == 0 {
+                continue;
+            }
+            match &mut acc {
+                Some(a) => {
+                    self.ctx.montmul_into(&a[..k], &digits[d - 1], &mut t);
+                    std::mem::swap(a, &mut t);
+                }
+                None => {
+                    let mut v = digits[d - 1].clone();
+                    v.push(0);
+                    acc = Some(v);
+                }
+            }
+        }
+        match acc {
+            Some(acc) => self.ctx.demont(&acc, &mut t),
+            // Unreachable (a nonzero exp has a nonzero digit), but total.
+            None => BigUint::one() % &self.ctx.n,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -609,5 +814,66 @@ mod tests {
         let b = BigUint::from(0x0123_4567_89AB_CDEF_u64);
         let e = BigUint::from(0xFFFF_FFFF_FFFF_FFC4u64);
         assert!(ctx.modpow(&b, &e).is_one(), "Fermat little theorem");
+    }
+
+    #[test]
+    fn fixed_base_matches_legacy_across_exponent_shapes() {
+        let n = (&BigUint::one() << 192usize) - 237u32;
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let base = (&BigUint::one() << 150usize) + 12_345u32;
+        let table = ctx.fixed_base(&base, 192);
+        assert_eq!(table.capacity_bits(), 192);
+        for e in [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from(15u8),
+            BigUint::from(16u8),
+            BigUint::from(0xDEAD_BEEFu64),
+            (&BigUint::one() << 191usize) + 99u32,
+        ] {
+            assert_eq!(table.pow(&e), base.modpow_legacy(&e, &n), "e={e:?}");
+        }
+        // Beyond capacity falls back to the ladder, still correct.
+        let big_e = &BigUint::one() << 300usize;
+        assert_eq!(table.pow(&big_e), base.modpow_legacy(&big_e, &n));
+    }
+
+    #[test]
+    fn fixed_base_of_an_unreduced_or_zero_base() {
+        let n = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let big = (&BigUint::one() << 100usize) + 5u32;
+        let table = ctx.fixed_base(&big, 64);
+        let e = BigUint::from(12_345u64);
+        assert_eq!(table.pow(&e), big.modpow_legacy(&e, &n));
+        let zero_base = &n * &n; // ≡ 0 mod n
+        let table = ctx.fixed_base(&zero_base, 64);
+        assert!(table.pow(&e).is_zero());
+        assert!(table.pow(&BigUint::zero()).is_one());
+    }
+
+    #[test]
+    fn multi_modpow_matches_the_product_of_single_exponentiations() {
+        let n = (&BigUint::one() << 192usize) - 237u32;
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let bases: Vec<BigUint> = (1u64..6).map(|i| (&BigUint::one() << 100usize) + i).collect();
+        let exps: Vec<BigUint> =
+            [0u64, 1, 77, u64::MAX, 0x1234_5678_9ABC_DEF0].map(BigUint::from).into();
+        let pairs: Vec<(&BigUint, &BigUint)> = bases.iter().zip(exps.iter()).collect();
+        let mut expect = BigUint::one();
+        for (b, e) in &pairs {
+            expect = expect * b.modpow_legacy(e, &n) % &n;
+        }
+        assert_eq!(ctx.multi_modpow(&pairs), expect);
+        // Empty product and all-zero exponents are both 1.
+        assert!(ctx.multi_modpow(&[]).is_one());
+        let zero = BigUint::zero();
+        assert!(ctx.multi_modpow(&[(&bases[0], &zero)]).is_one());
+        // One annihilating base zeroes the whole product.
+        let zb = &n * 3u8;
+        let e = BigUint::from(9u8);
+        let mut pairs = pairs;
+        pairs.push((&zb, &e));
+        assert!(ctx.multi_modpow(&pairs).is_zero());
     }
 }

@@ -129,6 +129,43 @@ proptest! {
     }
 
     #[test]
+    fn fixed_base_table_bit_identical_to_legacy(
+        m in prop::collection::vec(any::<u64>(), 2..5),
+        b in prop::collection::vec(any::<u64>(), 1..6),
+        e in prop::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let mut m = from_le_limbs(&m);
+        m.set_bit(0, true); // force odd
+        prop_assume!(!m.is_one());
+        let (b, e) = (from_le_limbs(&b), from_le_limbs(&e));
+        let ctx = num_bigint::MontgomeryCtx::new(&m).expect("odd modulus");
+        // Capacity sized to the exponent, so the table path (not the
+        // fallback ladder) is what gets exercised.
+        let table = ctx.fixed_base(&b, 64 * 4);
+        prop_assert_eq!(table.pow(&e), b.modpow_legacy(&e, &m), "m={:?}", m);
+    }
+
+    #[test]
+    fn multi_modpow_bit_identical_to_legacy_products(
+        m in prop::collection::vec(any::<u64>(), 2..5),
+        bases in prop::collection::vec(prop::collection::vec(any::<u64>(), 1..5), 0..5),
+        exps in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..3), 0..5),
+    ) {
+        let mut m = from_le_limbs(&m);
+        m.set_bit(0, true); // force odd
+        prop_assume!(!m.is_one());
+        let ctx = num_bigint::MontgomeryCtx::new(&m).expect("odd modulus");
+        let bases: Vec<BigUint> = bases.iter().map(|l| from_le_limbs(l)).collect();
+        let exps: Vec<BigUint> = exps.iter().map(|l| from_le_limbs(l)).collect();
+        let pairs: Vec<(&BigUint, &BigUint)> = bases.iter().zip(exps.iter()).collect();
+        let mut expect = BigUint::one() % &m;
+        for (b, e) in &pairs {
+            expect = expect * b.modpow_legacy(e, &m) % &m;
+        }
+        prop_assert_eq!(ctx.multi_modpow(&pairs), expect, "m={:?}", m);
+    }
+
+    #[test]
     fn checked_sub_agrees_with_ordering(
         a in prop::collection::vec(any::<u64>(), 1..4),
         b in prop::collection::vec(any::<u64>(), 1..4),
