@@ -13,7 +13,7 @@ use gridmine_arm::{correct_rules, Database, Ratio};
 use gridmine_bench::{hr, write_json};
 use gridmine_obs::Table;
 use gridmine_quest::QuestParams;
-use gridmine_sim::{run_convergence, SimConfig};
+use gridmine_sim::{SimConfig, SimSession};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -58,7 +58,7 @@ fn run(
     rows: &mut Vec<AblationRow>,
     table: &mut Table,
 ) {
-    let m = run_convergence(cfg, global, 0.2, 10, 90);
+    let m = SimSession::new(cfg).with_global(global, 0.2).with_steps(90).convergence(10);
     table.row([
         variant.to_string(),
         m.step_at_90_recall.map(|s| s.to_string()).unwrap_or_else(|| ">max".into()),

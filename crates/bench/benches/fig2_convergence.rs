@@ -15,7 +15,7 @@ use gridmine_arm::Ratio;
 use gridmine_bench::{hr, scale, write_json, Scale};
 use gridmine_obs::Table;
 use gridmine_quest::QuestParams;
-use gridmine_sim::{run_convergence, SimConfig};
+use gridmine_sim::{SimConfig, SimSession};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -70,7 +70,10 @@ fn main() {
         hr(&format!("workload {name}"));
 
         let global = gridmine_quest::generate(&params);
-        let metrics = run_convergence(cfg, &global, growth_frac, sample_every, max_steps);
+        let metrics = SimSession::new(cfg)
+            .with_global(&global, growth_frac)
+            .with_steps(max_steps)
+            .convergence(sample_every);
         let mut table = Table::new(["step", "scans", "recall", "precision", "messages"]);
         for s in &metrics.samples {
             table.row([

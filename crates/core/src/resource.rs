@@ -840,9 +840,11 @@ pub fn wire_grid<C: HomCipher>(resources: &mut [SecureResource<C>]) {
             }
         }
     }
+    let index: HashMap<usize, usize> =
+        resources.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
     for (from, to, share) in deliveries {
-        if let Some(r) = resources.iter_mut().find(|r| r.id == to) {
-            r.store_share_from(from, share);
+        if let Some(&i) = index.get(&to) {
+            resources[i].store_share_from(from, share);
         }
     }
 }

@@ -119,6 +119,30 @@ impl fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+impl SessionError {
+    /// Maps a topology-level [`ScheduleError`] onto the session-error
+    /// vocabulary, so every driver (sync, threaded, sim, net) rejects the
+    /// same malformed fault plan with the same variant. `rounds` is the
+    /// run horizon the schedule was validated against.
+    ///
+    /// [`ScheduleError`]: gridmine_topology::faults::ScheduleError
+    pub fn from_schedule(e: gridmine_topology::faults::ScheduleError, rounds: usize) -> Self {
+        use gridmine_topology::faults::ScheduleError;
+        match e {
+            ScheduleError::ResourceOutOfRange { resource, capacity } => {
+                SessionError::FaultResourceOutOfRange { resource, capacity }
+            }
+            ScheduleError::OnsetBeyondHorizon { resource, at, .. }
+            | ScheduleError::RecoveryNotAfterOnset { resource, at, .. } => {
+                SessionError::FaultTickOutOfRange { resource, tick: at, rounds }
+            }
+            ScheduleError::EdgeOutOfRange { edge, capacity } => {
+                SessionError::FaultEdgeOutOfRange { edge, capacity }
+            }
+        }
+    }
+}
+
 /// Default Paillier modulus size (bits) when a session selects the real
 /// cipher without supplying key material.
 pub const DEFAULT_PAILLIER_BITS: u64 = 512;
@@ -258,24 +282,9 @@ impl<C: HomCipher + 'static> MineSession<C> {
         if !threaded && !self.plan.is_quiet() {
             return Err(SessionError::FaultsRequireThreadedDriver);
         }
-        for (u, fault) in self.plan.resource_faults() {
-            if u >= capacity {
-                return Err(SessionError::FaultResourceOutOfRange { resource: u, capacity });
-            }
-            if fault.onset() >= self.cfg.rounds as u64 {
-                return Err(SessionError::FaultTickOutOfRange {
-                    resource: u,
-                    tick: fault.onset(),
-                    rounds: self.cfg.rounds,
-                });
-            }
-        }
-        for ((u, v), _) in self.plan.edge_overrides() {
-            if u >= capacity || v >= capacity {
-                return Err(SessionError::FaultEdgeOutOfRange { edge: (u, v), capacity });
-            }
-        }
-        Ok(())
+        self.plan
+            .validate_within(capacity, self.cfg.rounds as u64)
+            .map_err(|e| SessionError::from_schedule(e, self.cfg.rounds))
     }
 
     /// The effective recorder for the run plus the metrics registry that

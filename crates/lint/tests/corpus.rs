@@ -32,7 +32,7 @@ fn run_fixture(name: &str, extra: &[&str]) -> (i32, String, String) {
 fn clean_fixture_exits_zero_with_one_suppressed_finding() {
     let (code, stdout, stderr) = run_fixture("clean", &[]);
     assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
-    assert!(stdout.contains("3 files scanned, 0 live finding(s), 1 suppressed"), "{stdout}");
+    assert!(stdout.contains("4 files scanned, 0 live finding(s), 1 suppressed"), "{stdout}");
     assert!(!stdout.contains("error[gridlint::"), "clean tree must not report errors: {stdout}");
 }
 
@@ -47,7 +47,7 @@ fn clean_fixture_json_reports_the_suppression_as_non_live() {
         ),
         "{stdout}"
     );
-    assert!(stdout.contains("{\"summary\":true,\"files\":3,\"live\":0,\"suppressed\":1}"));
+    assert!(stdout.contains("{\"summary\":true,\"files\":4,\"live\":0,\"suppressed\":1}"));
 }
 
 #[test]
@@ -97,6 +97,15 @@ const DIRTY_EXPECTED: &[(&str, &str, u32, &str)] = &[
         6,
         "`SystemTime` in a module reachable from deterministic replay",
     ),
+    // The scheduler module is a replay root of its own; `Instant::now`
+    // witnesses the banned-*path* form of the rule (engine.rs covers the
+    // banned-ident form).
+    (
+        "determinism",
+        "crates/sim/src/wheel.rs",
+        4,
+        "`Instant::now` in a module reachable from deterministic replay",
+    ),
     // Reached from the replay root across the crate graph, not by any
     // static deny entry.
     (
@@ -128,7 +137,7 @@ fn dirty_fixture_reports_every_expected_diagnostic_and_exits_one() {
         assert!(hit, "missing diagnostic {header}…{fragment}\n{stdout}");
     }
     assert!(
-        stdout.contains("6 files scanned, 14 live finding(s), 0 suppressed"),
+        stdout.contains("7 files scanned, 15 live finding(s), 0 suppressed"),
         "no unexpected extras allowed:\n{stdout}"
     );
 }
@@ -142,7 +151,7 @@ fn dirty_fixture_json_counts_match_the_table() {
         DIRTY_EXPECTED.len() + 1,
         "one object per finding: {stdout}"
     );
-    assert!(stdout.contains("{\"summary\":true,\"files\":6,\"live\":14,\"suppressed\":0}"));
+    assert!(stdout.contains("{\"summary\":true,\"files\":7,\"live\":15,\"suppressed\":0}"));
     assert!(stdout.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
 }
 

@@ -1,0 +1,5 @@
+//! Hierarchical timer wheel: logical time only, ordered by (time, seq).
+
+pub fn schedule(now: u64, delay: u64, seq: u64) -> (u64, u64) {
+    (now + delay.max(1), seq)
+}

@@ -1,20 +1,39 @@
-//! The stepped grid simulation.
+//! The grid simulation: event-driven wheel with a legacy tick oracle.
 //!
-//! One step = one unit of simulated time. Messages cross a link in that
-//! link's delay (in steps). Within a step: arriving messages are
-//! delivered, each resource's database grows, each resource scans its
-//! budget and reacts, and — every `candidate_every` steps — runs the
-//! candidate-generation cycle. Resources are stepped in parallel with
-//! rayon; cross-resource interaction happens only through the message
-//! queue, so per-phase parallelism is race-free.
+//! One step = one unit of simulated time. Within a step: arriving
+//! messages are delivered, each resource's database grows, each resource
+//! scans its budget and reacts, and — every `candidate_every` steps —
+//! runs the candidate-generation cycle. Cross-resource interaction
+//! happens only through the message queue, so per-phase parallelism is
+//! race-free.
+//!
+//! Two drivers share those phase semantics:
+//!
+//! * [`Simulation::run_event_driven`] — the scheduler. Every phase is a
+//!   [`Pass`] event on a hierarchical [`TimerWheel`]; timestamps with no
+//!   pending pass are skipped outright, so idle resources cost nothing
+//!   and a 10⁵-node grid advances at the cost of its *active* frontier.
+//!   Per-resource work is gated by tracking sets (`scan_armed`, `dirty`)
+//!   maintained by the passes themselves.
+//! * [`Simulation::step`] / [`Simulation::run`] — the legacy global-tick
+//!   loop, kept as the differential oracle: the wheel-vs-tick suite pins
+//!   identical solutions, verdicts and [`ChaosReport`]s under the same
+//!   seed (the same role `modpow_legacy` plays for the Montgomery
+//!   kernel).
+//!
+//! Determinism-under-seed holds in both drivers: passes fire in a fixed
+//! phase order per timestamp, same-time wheel events pop in schedule
+//! order, per-batch message sorts are unchanged, and every RNG draw is
+//! sequenced at schedule time — so the per-directed-edge message
+//! sequences (which the fault layer keys on) are byte-identical.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use gridmine_arm::{Database, Item, Ratio, RuleSet};
 use gridmine_core::resource::{wire_grid, wire_pair};
 use gridmine_core::{
-    BrokerBehavior, ChaosReport, DegradeReason, GridKeys, RecoveryMode, SecureResource, Verdict,
-    WireMsg,
+    BrokerBehavior, ChaosReport, DegradeReason, GridKeys, RecoveryMode, ResourceStatus,
+    SecureResource, Verdict, WireMsg,
 };
 use gridmine_majority::CandidateGenerator;
 use gridmine_obs::{emit, Event, SharedRecorder};
@@ -24,11 +43,60 @@ use gridmine_topology::Overlay;
 use rayon::prelude::*;
 
 use crate::config::SimConfig;
+use crate::wheel::TimerWheel;
 use crate::workload::GrowthPlan;
 
 // The anti-entropy resend cadence now lives in
 // `gridmine_recovery::RetryPolicy::resend_every` (default 5 steps, the
 // value previously hard-coded here).
+
+/// Per-resource result of a parallel scan pass: (had backlog before,
+/// keep the scan armed, outgoing messages). `None` for resources the
+/// pass skipped.
+type ScanOutcome<C> = Option<(bool, bool, Vec<WireMsg<C>>)>;
+
+/// Per-resource result of a parallel candidate pass: (candidate count
+/// before, count after, outgoing messages). `None` for skipped
+/// resources.
+type CandidateOutcome<C> = Option<(usize, usize, Vec<WireMsg<C>>)>;
+
+/// One phase of a simulation timestamp, as a timer-wheel event. The
+/// declaration order is the within-timestamp firing order and mirrors the
+/// legacy tick loop's phases exactly: faults, delivery, growth, scans,
+/// anti-entropy, rejoin healing, checkpoints, candidate generation, and a
+/// no-op liveness wake (deferred degradation checks run in the timestamp
+/// finalizer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Pass {
+    Faults,
+    Deliver,
+    Growth,
+    Scan,
+    AntiEntropy,
+    Healing,
+    Checkpoint,
+    Candidates,
+    Wake,
+}
+
+/// The event-driven scheduler state. `None` while the simulation is (or
+/// was last) driven by the legacy tick loop; armed lazily by
+/// [`Simulation::run_event_driven`] and invalidated by any mutation the
+/// bookkeeping cannot track (manual ticks, membership changes, fault or
+/// recovery re-arming).
+struct SchedState {
+    timer: TimerWheel<Pass>,
+    /// Future `(time, pass)` pairs already in the wheel, for dedup.
+    scheduled: BTreeSet<(u64, Pass)>,
+    /// Passes still to fire at the timestamp being processed.
+    agenda: BTreeSet<Pass>,
+    /// True while inside `process_timestamp` (same-time ensure calls go
+    /// to the agenda instead of the wheel).
+    processing: bool,
+    /// The pass currently firing; later-ranked passes may still be added
+    /// to the current timestamp, earlier ones must wait for the next.
+    phase: Pass,
+}
 
 /// A running simulation.
 pub struct Simulation<C: HomCipher> {
@@ -38,7 +106,10 @@ pub struct Simulation<C: HomCipher> {
     items: Vec<Item>,
     resources: Vec<SecureResource<C>>,
     plans: Vec<GrowthPlan>,
-    inflight: BTreeMap<u64, Vec<WireMsg<C>>>,
+    /// Scheduled deliveries: arrival time → receiver → messages, both in
+    /// ascending order, message vectors in schedule order (the exact
+    /// per-receiver sequences the legacy flat queue produced).
+    inflight: BTreeMap<u64, BTreeMap<usize, Vec<WireMsg<C>>>>,
     departed: Vec<bool>,
     /// Fault injection, when armed via [`Simulation::inject_faults`].
     link: Option<FaultyLink>,
@@ -57,6 +128,26 @@ pub struct Simulation<C: HomCipher> {
     /// Structured-event sink ([`gridmine_obs::null`] unless armed).
     rec: SharedRecorder,
     step_no: u64,
+    /// Event-driven scheduler, armed while `run_event_driven` drives the
+    /// sim. The tracking sets below are only meaningful while it is
+    /// `Some`; `arm_wheel` rebuilds them from first principles.
+    sched: Option<SchedState>,
+    /// Resources that may still have scan backlog (superset).
+    scan_armed: BTreeSet<usize>,
+    /// Resources whose protocol state changed since their last candidate
+    /// pass — the only ones a restricted candidate pass must visit.
+    dirty: BTreeSet<usize>,
+    /// Resources under external mutation (corrupted brokers): re-examined
+    /// by every candidate pass, like the tick loop does for everyone.
+    always_dirty: BTreeSet<usize>,
+    /// Resources touched at the timestamp being processed (feeds the
+    /// finalizer's liveness + verdict sweep).
+    touched_now: BTreeSet<usize>,
+    /// Resources touched during finalizer repairs, re-examined at the
+    /// next timestamp (the tick loop re-examines everyone every step).
+    deferred_live: BTreeSet<usize>,
+    /// Resources whose growth stream still has transactions.
+    growing: BTreeSet<usize>,
     /// Total protocol messages put on the wire.
     pub total_msgs: u64,
     /// Total protocol bytes put on the wire (per the cipher's bandwidth
@@ -130,6 +221,13 @@ where
             healing: vec![false; cfg.n_resources],
             rec: gridmine_obs::null(),
             step_no: 0,
+            sched: None,
+            scan_armed: BTreeSet::new(),
+            dirty: BTreeSet::new(),
+            always_dirty: BTreeSet::new(),
+            touched_now: BTreeSet::new(),
+            deferred_live: BTreeSet::new(),
+            growing: BTreeSet::new(),
             total_msgs: 0,
             total_bytes: 0,
             verdicts: Vec::new(),
@@ -164,14 +262,22 @@ where
         &self.resources[u]
     }
 
-    /// Mutable access to a resource.
+    /// Mutable access to a resource. External surgery the scheduler's
+    /// bookkeeping cannot see — the event-driven state is invalidated and
+    /// rebuilt from scratch on the next `run_event_driven`.
     pub fn resource_mut(&mut self, u: usize) -> &mut SecureResource<C> {
+        self.sched = None;
         &mut self.resources[u]
     }
 
-    /// Makes one broker malicious.
+    /// Makes one broker malicious. The resource joins the always-dirty
+    /// set: every candidate pass re-examines it (as the tick loop
+    /// re-examines everyone), so detections that surface without any
+    /// message or candidate signal are never missed.
     pub fn corrupt_broker(&mut self, u: usize, behavior: BrokerBehavior) {
         self.resources[u].set_broker_behavior(behavior);
+        self.always_dirty.insert(u);
+        self.note_effect(u);
     }
 
     /// Attaches a structured-event recorder: every resource (present and
@@ -192,6 +298,7 @@ where
     /// [`Simulation::chaos_report`].
     pub fn inject_faults(&mut self, plan: FaultPlan) {
         self.link = Some(FaultyLink::new(plan));
+        self.sched = None;
     }
 
     /// The armed fault plan, if any.
@@ -207,6 +314,7 @@ where
     /// [`Simulation::run`].
     pub fn set_recovery(&mut self, mode: RecoveryMode) {
         self.mode = mode;
+        self.sched = None;
         if let Some(policy) = mode.policy() {
             for r in self.resources.iter_mut() {
                 r.arm_recovery();
@@ -230,6 +338,7 @@ where
     /// new resource's id.
     pub fn join_resource(&mut self, parent: usize, plan: GrowthPlan) -> usize {
         assert!(parent < self.resources.len(), "parent must exist");
+        self.sched = None;
         let mut plan = plan;
         let id = self.overlay.join(parent);
         let generator = CandidateGenerator::new(self.cfg.min_freq, self.cfg.min_conf);
@@ -279,6 +388,7 @@ where
     /// # Panics
     /// Panics if `u` is not a present leaf.
     pub fn leave_resource(&mut self, u: usize) {
+        self.sched = None;
         let neighbors: Vec<usize> = self.overlay.neighbors(u).collect();
         assert!(neighbors.len() <= 1, "only leaf resources can depart");
         self.overlay.leave(u);
@@ -316,10 +426,13 @@ where
         }
 
         let mut msgs = Vec::new();
-        for w in neighbors.into_iter().chain([u]) {
+        for w in neighbors.iter().copied().chain([u]) {
             msgs.extend(self.resources[w].nudge());
         }
         self.schedule(msgs);
+        for w in neighbors.into_iter().chain([u]) {
+            self.mark_touch(w);
+        }
     }
 
     fn schedule(&mut self, mut msgs: Vec<WireMsg<C>>) {
@@ -368,8 +481,9 @@ where
                 *clock = at;
             }
             for _ in 0..delivery.copies {
-                self.inflight.entry(at).or_default().push(m.clone());
+                self.inflight.entry(at).or_default().entry(m.to).or_default().push(m.clone());
             }
+            self.ensure_pass(at, Pass::Deliver);
         }
     }
 
@@ -381,6 +495,7 @@ where
     /// resources.
     fn quarantine(&mut self, u: usize, reason: DegradeReason) {
         emit(&self.rec, || Event::ResourceQuarantined { resource: u as u64, tick: self.step_no });
+        self.note_effect(u);
         let nbrs: Vec<usize> = self.overlay.neighbors(u).collect();
         self.overlay.route_around(u);
         self.departed[u] = true;
@@ -451,7 +566,11 @@ where
                 // rebuild the state until the backlog check clears.
                 self.healing[u] = true;
             }
+            if self.healing[u] {
+                self.ensure_healing_next();
+            }
         }
+        self.mark_touch(u);
         self.rewire_around(anchor);
     }
 
@@ -560,8 +679,13 @@ where
         }
     }
 
-    /// Runs one simulation step.
+    /// Runs one simulation step of the legacy global-tick loop — kept as
+    /// the differential oracle for [`Simulation::run_event_driven`]
+    /// (wheel-vs-tick equivalence is pinned by the test suite). Manual
+    /// ticks invalidate any armed event scheduler; it re-bootstraps on
+    /// the next event-driven run.
     pub fn step(&mut self) {
+        self.sched = None;
         self.step_no += 1;
         let t = self.step_no;
         emit(&self.rec, || Event::RoundAdvanced { tick: t });
@@ -569,36 +693,8 @@ where
         // Phase 0: scheduled faults fire before anything else this step.
         self.apply_fault_schedule();
 
-        // Phase 1: deliver messages scheduled for this step, in parallel
-        // per receiver.
-        let arriving = self.inflight.remove(&t).unwrap_or_default();
-        if !arriving.is_empty() {
-            let n = self.resources.len();
-            let mut buckets: Vec<Vec<WireMsg<C>>> = (0..n).map(|_| Vec::new()).collect();
-            for m in arriving {
-                buckets[m.to].push(m);
-            }
-            let departed = self.departed.clone();
-            let outs: Vec<Vec<WireMsg<C>>> = self
-                .resources
-                .par_iter_mut()
-                .zip(buckets)
-                .enumerate()
-                .map(|(u, (r, msgs))| {
-                    if departed[u] {
-                        return Vec::new();
-                    }
-                    let mut out = Vec::new();
-                    for m in msgs {
-                        out.extend(r.on_receive(&m));
-                    }
-                    out
-                })
-                .collect();
-            for out in outs {
-                self.schedule(out);
-            }
-        }
+        // Phase 1: deliver messages scheduled for this step.
+        self.deliver_due(t);
 
         // Phase 2: database growth (departed resources' partitions are
         // frozen as of their departure).
@@ -650,18 +746,7 @@ where
         if t.is_multiple_of(resend_every)
             && self.link.as_ref().is_some_and(|l| l.plan().has_edge_faults())
         {
-            let mut msgs = Vec::new();
-            for u in 0..self.resources.len() {
-                if self.departed[u] {
-                    continue;
-                }
-                let nbrs: Vec<usize> = self.overlay.neighbors(u).collect();
-                for v in nbrs {
-                    self.resources[u].reset_edge(v);
-                }
-                msgs.extend(self.resources[u].nudge());
-            }
-            self.schedule(msgs);
+            self.anti_entropy_pass();
         }
 
         // Phase 3c: rejoin healing — a recovered resource and its
@@ -671,37 +756,14 @@ where
         // keeps paying resends until rebuilt — that cost difference is
         // the measured value of the journal.
         if wipes && t.is_multiple_of(resend_every) {
-            let mut msgs = Vec::new();
-            for u in 0..self.resources.len() {
-                if !self.healing[u] || self.departed[u] {
-                    continue;
-                }
-                if self.resources[u].candidate_count() > 0
-                    && self.resources[u].accountant().total_backlog() == 0
-                {
-                    self.healing[u] = false;
-                    continue;
-                }
-                let nbrs: Vec<usize> = self.overlay.neighbors(u).collect();
-                for &v in &nbrs {
-                    self.resources[v].reset_edge(u);
-                    msgs.extend(self.resources[v].nudge());
-                    self.resources[u].reset_edge(v);
-                }
-                msgs.extend(self.resources[u].nudge());
-            }
-            self.schedule(msgs);
+            self.healing_pass();
         }
 
         // Phase 3d: checkpoint cadence — snapshot + journal truncation,
         // so replay length stays bounded by the checkpoint interval.
         if let Some(policy) = self.mode.policy() {
             if t.is_multiple_of(policy.checkpoint_every.max(1)) {
-                for u in 0..self.resources.len() {
-                    if !self.departed[u] && self.resources[u].recovery_armed() {
-                        self.resources[u].take_checkpoint(t);
-                    }
-                }
+                self.checkpoint_pass(t);
             }
         }
 
@@ -721,11 +783,615 @@ where
         self.collect_new_verdicts();
     }
 
-    /// Runs `n` steps.
+    /// Runs `n` steps of the legacy tick loop (the differential oracle
+    /// for [`Simulation::run_event_driven`]).
     pub fn run(&mut self, n: u64) {
         for _ in 0..n {
             self.step();
         }
+    }
+
+    // ─────────────────────── event-driven driver ───────────────────────
+
+    /// Shared delivery body (tick phase 1): messages scheduled for `t`
+    /// are handed to their receivers (ascending id, per-receiver schedule
+    /// order) and each receiver's replies are scheduled as one batch.
+    /// Parallel across receivers when most of the grid is busy,
+    /// sequential over the sparse inbox otherwise — output-identical
+    /// either way, because `on_receive` has no cross-resource interaction
+    /// and every reply lands at `t + delay ≥ t + 1`.
+    fn deliver_due(&mut self, t: u64) {
+        let Some(inbox) = self.inflight.remove(&t) else { return };
+        let n = self.resources.len();
+        if inbox.len() * 4 >= n {
+            let mut buckets: Vec<Vec<WireMsg<C>>> = (0..n).map(|_| Vec::new()).collect();
+            for (to, msgs) in inbox {
+                buckets[to] = msgs;
+            }
+            let departed = self.departed.clone();
+            let outs: Vec<(bool, Vec<WireMsg<C>>)> = self
+                .resources
+                .par_iter_mut()
+                .zip(buckets)
+                .enumerate()
+                .map(|(u, (r, msgs))| {
+                    if departed[u] || msgs.is_empty() {
+                        return (false, Vec::new());
+                    }
+                    let mut out = Vec::new();
+                    for m in msgs {
+                        out.extend(r.on_receive(&m));
+                    }
+                    (true, out)
+                })
+                .collect();
+            for (u, (received, out)) in outs.into_iter().enumerate() {
+                if received {
+                    self.mark_touch(u);
+                    self.schedule(out);
+                }
+            }
+        } else {
+            for (to, msgs) in inbox {
+                if to >= n || self.departed[to] {
+                    continue;
+                }
+                let mut out = Vec::new();
+                for m in &msgs {
+                    out.extend(self.resources[to].on_receive(m));
+                }
+                self.mark_touch(to);
+                self.schedule(out);
+            }
+        }
+    }
+
+    /// Records that `u`'s protocol state changed: it joins the touched
+    /// and dirty sets and a candidate pass is guaranteed at the next
+    /// cadence point. No-op while the tick loop drives the sim.
+    fn note_effect(&mut self, u: usize) {
+        if self.sched.is_none() {
+            return;
+        }
+        self.touched_now.insert(u);
+        self.dirty.insert(u);
+        self.ensure_candidates_next();
+    }
+
+    /// [`Simulation::note_effect`] plus scan arming: `u` may now hold
+    /// backlog, so a scan pass must look at it — this timestamp if scans
+    /// have not fired yet, else the next.
+    fn mark_touch(&mut self, u: usize) {
+        if self.sched.is_none() {
+            return;
+        }
+        self.note_effect(u);
+        self.scan_armed.insert(u);
+        self.ensure_pass(self.step_no, Pass::Scan);
+    }
+
+    /// Guarantees `pass` fires at `at`: same-timestamp when it still
+    /// ranks after the pass currently firing, otherwise clamped forward
+    /// to the next timestamp. Deduplicated against the wheel.
+    fn ensure_pass(&mut self, at: u64, pass: Pass) {
+        let t = self.step_no;
+        let Some(s) = self.sched.as_mut() else { return };
+        if s.processing && at <= t && pass > s.phase {
+            s.agenda.insert(pass);
+            return;
+        }
+        let at = at.max(t + 1);
+        if s.scheduled.insert((at, pass)) {
+            s.timer.schedule(at, pass);
+        }
+    }
+
+    /// Guarantees a candidate pass at the next `candidate_every` cadence
+    /// point (including the current timestamp while candidates have not
+    /// fired yet — the tick loop's phase 4 would still cover it).
+    fn ensure_candidates_next(&mut self) {
+        let ce = self.cfg.candidate_every.max(1);
+        let t = self.step_no;
+        let same_t = t.is_multiple_of(ce)
+            && self.sched.as_ref().is_some_and(|s| s.processing && Pass::Candidates > s.phase);
+        let target = if same_t { t } else { (t / ce + 1) * ce };
+        self.ensure_pass(target, Pass::Candidates);
+    }
+
+    /// Guarantees a healing pass at the next resend cadence point.
+    fn ensure_healing_next(&mut self) {
+        let re = self.mode.retry().resend_every.max(1);
+        let t = self.step_no;
+        let same_t = t.is_multiple_of(re)
+            && self.sched.as_ref().is_some_and(|s| s.processing && Pass::Healing > s.phase);
+        let target = if same_t { t } else { (t / re + 1) * re };
+        self.ensure_pass(target, Pass::Healing);
+    }
+
+    /// Bootstraps the event scheduler from the simulation's current
+    /// state: pending deliveries, the fault plan's event times, growth /
+    /// scan / healing arming, and the recurring cadence passes. The first
+    /// candidate pass covers the whole grid (everyone dirty), so the
+    /// wheel starts from tick-identical caches.
+    fn arm_wheel(&mut self) {
+        self.sched = Some(SchedState {
+            timer: TimerWheel::new(self.step_no),
+            scheduled: BTreeSet::new(),
+            agenda: BTreeSet::new(),
+            processing: false,
+            phase: Pass::Faults,
+        });
+        self.touched_now.clear();
+        self.deferred_live.clear();
+        let now = self.step_no;
+
+        let fault_times: Vec<u64> = self
+            .link
+            .as_ref()
+            .map(|l| l.plan().schedule_events().iter().map(|e| e.at).filter(|&a| a > now).collect())
+            .unwrap_or_default();
+        for at in fault_times {
+            self.ensure_pass(at, Pass::Faults);
+        }
+
+        let delivery_times: Vec<u64> = self.inflight.keys().copied().collect();
+        for at in delivery_times {
+            self.ensure_pass(at, Pass::Deliver);
+        }
+
+        self.growing = (0..self.plans.len()).filter(|&u| self.plans[u].remaining() > 0).collect();
+        if self.cfg.growth_per_step > 0 && !self.growing.is_empty() {
+            self.ensure_pass(now + 1, Pass::Growth);
+        }
+
+        self.scan_armed = (0..self.resources.len())
+            .filter(|&u| {
+                !self.departed[u]
+                    && self.resources[u].verdict().is_none()
+                    && self.resources[u].degraded().is_none()
+                    && self.resources[u].accountant().total_backlog() > 0
+            })
+            .collect();
+        if !self.scan_armed.is_empty() {
+            self.ensure_pass(now + 1, Pass::Scan);
+        }
+
+        let resend_every = self.mode.retry().resend_every.max(1);
+        if self.link.as_ref().is_some_and(|l| l.plan().has_edge_faults()) {
+            self.ensure_pass((now / resend_every + 1) * resend_every, Pass::AntiEntropy);
+        }
+        if self.mode.wipes() && self.healing.iter().any(|&h| h) {
+            self.ensure_pass((now / resend_every + 1) * resend_every, Pass::Healing);
+        }
+        if let Some(policy) = self.mode.policy() {
+            let ck = policy.checkpoint_every.max(1);
+            self.ensure_pass((now / ck + 1) * ck, Pass::Checkpoint);
+        }
+
+        self.dirty = (0..self.resources.len()).collect();
+        let ce = self.cfg.candidate_every.max(1);
+        self.ensure_pass((now / ce + 1) * ce, Pass::Candidates);
+
+        self.deferred_live = (0..self.resources.len())
+            .filter(|&u| !self.departed[u] && self.resources[u].degraded().is_some())
+            .collect();
+        if !self.deferred_live.is_empty() {
+            self.ensure_pass(now + 1, Pass::Wake);
+        }
+    }
+
+    /// Runs `n` steps of simulated time on the event scheduler. The
+    /// observable outcome — solutions, verdicts, chaos tallies, message
+    /// and byte counts, obs event counts — is pinned identical to
+    /// [`Simulation::run`] under the same seed (the wheel-vs-tick
+    /// differential suite enforces it); timestamps with no scheduled pass
+    /// cost one round marker and nothing else, so idle resources are
+    /// free.
+    pub fn run_event_driven(&mut self, n: u64) {
+        let end = self.step_no.saturating_add(n);
+        if self.sched.is_none() {
+            self.arm_wheel();
+        }
+        loop {
+            let next = self.sched.as_ref().and_then(|s| s.timer.peek_next_time());
+            let Some(next) = next else { break };
+            if next > end {
+                break;
+            }
+            for t in self.step_no + 1..=next {
+                emit(&self.rec, || Event::RoundAdvanced { tick: t });
+            }
+            self.step_no = next;
+            self.process_timestamp(next);
+        }
+        for t in self.step_no + 1..=end {
+            emit(&self.rec, || Event::RoundAdvanced { tick: t });
+        }
+        self.step_no = end;
+    }
+
+    /// Pops the pass batch due at `t` and fires it in phase order;
+    /// passes ensured mid-timestamp join the agenda when they still rank
+    /// ahead. Ends with the liveness + verdict finalizer.
+    fn process_timestamp(&mut self, t: u64) {
+        {
+            let Some(s) = self.sched.as_mut() else { return };
+            let Some((_, passes)) = s.timer.pop_next() else { return };
+            for p in passes {
+                s.scheduled.remove(&(t, p));
+                s.agenda.insert(p);
+            }
+            s.processing = true;
+        }
+        loop {
+            let pass = {
+                let Some(s) = self.sched.as_mut() else { return };
+                match s.agenda.pop_first() {
+                    Some(p) => {
+                        s.phase = p;
+                        p
+                    }
+                    None => break,
+                }
+            };
+            self.fire_pass(pass, t);
+        }
+        if let Some(s) = self.sched.as_mut() {
+            s.processing = false;
+        }
+        self.finalize_timestamp(t);
+    }
+
+    /// Dispatches one pass, mirroring the tick loop's phase conditions,
+    /// and re-arms the recurring cadences.
+    fn fire_pass(&mut self, pass: Pass, t: u64) {
+        match pass {
+            Pass::Faults => self.apply_fault_schedule(),
+            Pass::Deliver => self.deliver_due(t),
+            Pass::Growth => {
+                self.growth_pass();
+                if self.cfg.growth_per_step > 0 && !self.growing.is_empty() {
+                    self.ensure_pass(t + 1, Pass::Growth);
+                }
+            }
+            Pass::Scan => {
+                self.scan_pass();
+                if !self.scan_armed.is_empty() {
+                    self.ensure_pass(t + 1, Pass::Scan);
+                }
+            }
+            Pass::AntiEntropy => {
+                if self.link.as_ref().is_some_and(|l| l.plan().has_edge_faults()) {
+                    self.anti_entropy_pass();
+                    let re = self.mode.retry().resend_every.max(1);
+                    self.ensure_pass(t + re, Pass::AntiEntropy);
+                }
+            }
+            Pass::Healing => {
+                if self.mode.wipes() {
+                    self.healing_pass();
+                    if self.healing.iter().any(|&h| h) {
+                        let re = self.mode.retry().resend_every.max(1);
+                        self.ensure_pass(t + re, Pass::Healing);
+                    }
+                }
+            }
+            Pass::Checkpoint => {
+                if let Some(policy) = self.mode.policy() {
+                    self.checkpoint_pass(t);
+                    self.ensure_pass(t + policy.checkpoint_every.max(1), Pass::Checkpoint);
+                }
+            }
+            Pass::Candidates => self.candidate_pass(),
+            Pass::Wake => {}
+        }
+    }
+
+    /// End-of-timestamp sweep over the resources touched at `t` — tick
+    /// phase 5 (liveness quarantine) plus verdict collection, restricted.
+    /// Repairs touch further resources; those are deferred to a liveness
+    /// wake at `t + 1`, exactly when the tick loop would next examine
+    /// them.
+    fn finalize_timestamp(&mut self, t: u64) {
+        let mut ids = std::mem::take(&mut self.touched_now);
+        ids.append(&mut self.deferred_live);
+        self.route_around_degraded_in(&ids);
+        let late = std::mem::take(&mut self.touched_now);
+        let mut sweep = ids;
+        sweep.extend(late.iter().copied());
+        self.collect_new_verdicts_in(&sweep);
+        let broadcast_marks = std::mem::take(&mut self.touched_now);
+        if !late.is_empty() || !broadcast_marks.is_empty() {
+            self.deferred_live.extend(late);
+            self.deferred_live.extend(broadcast_marks);
+            self.ensure_pass(t + 1, Pass::Wake);
+        }
+    }
+
+    /// Growth body for the event driver (tick phase 2 restricted to
+    /// resources whose stream still has transactions).
+    fn growth_pass(&mut self) {
+        let growth = self.cfg.growth_per_step;
+        if growth == 0 {
+            return;
+        }
+        let ids: Vec<usize> = self.growing.iter().copied().collect();
+        for u in ids {
+            if self.departed[u] {
+                continue;
+            }
+            let txs = self.plans[u].take(growth);
+            if !txs.is_empty() {
+                self.resources[u].accountant_mut().append(txs);
+                self.mark_touch(u);
+            }
+            if self.plans[u].remaining() == 0 {
+                self.growing.remove(&u);
+            }
+        }
+    }
+
+    /// Scan body for the event driver (tick phase 3 restricted): only
+    /// resources that may hold backlog are stepped; the armed set
+    /// self-maintains (drained, departed and halted resources drop out).
+    fn scan_pass(&mut self) {
+        let n = self.resources.len();
+        let stale: Vec<usize> =
+            self.scan_armed.iter().copied().filter(|&u| u >= n || self.departed[u]).collect();
+        for u in stale {
+            self.scan_armed.remove(&u);
+        }
+        let ids: Vec<usize> = self.scan_armed.iter().copied().collect();
+        if ids.is_empty() {
+            return;
+        }
+        let budget = self.cfg.scan_budget;
+        let catchup = self.mode.catchup_scan_budget() as usize;
+        let wipes = self.mode.wipes();
+        let mut gathered: Vec<(usize, bool, bool, Vec<WireMsg<C>>)> = Vec::new();
+        if ids.len() * 4 >= n {
+            let healing = self.healing.clone();
+            let armed = self.scan_armed.clone();
+            let per: Vec<ScanOutcome<C>> = self
+                .resources
+                .par_iter_mut()
+                .enumerate()
+                .map(|(u, r)| {
+                    if !armed.contains(&u) {
+                        return None;
+                    }
+                    let before = r.accountant().total_backlog();
+                    let out = if wipes && healing[u] { r.step(catchup) } else { r.step(budget) };
+                    let keep = r.accountant().total_backlog() > 0
+                        && r.verdict().is_none()
+                        && r.degraded().is_none();
+                    Some((before > 0, keep, out))
+                })
+                .collect();
+            for (u, slot) in per.into_iter().enumerate() {
+                if let Some((effect, keep, out)) = slot {
+                    gathered.push((u, effect, keep, out));
+                }
+            }
+        } else {
+            for u in ids {
+                let before = self.resources[u].accountant().total_backlog();
+                let out = if wipes && self.healing[u] {
+                    self.resources[u].step(catchup)
+                } else {
+                    self.resources[u].step(budget)
+                };
+                let keep = self.resources[u].accountant().total_backlog() > 0
+                    && self.resources[u].verdict().is_none()
+                    && self.resources[u].degraded().is_none();
+                gathered.push((u, before > 0, keep, out));
+            }
+        }
+        for (u, effect, keep, out) in gathered {
+            if !keep {
+                self.scan_armed.remove(&u);
+            }
+            if effect {
+                self.note_effect(u);
+            }
+            self.schedule(out);
+        }
+    }
+
+    /// Anti-entropy resend body (tick phase 3b): every live resource
+    /// lifts its duplicate-send suppressors and renudges — one schedule
+    /// batch for the whole pass, as in the tick loop (the chaos sort
+    /// canonicalizes whole batches, so batching is part of the pinned
+    /// behavior).
+    fn anti_entropy_pass(&mut self) {
+        let mut msgs = Vec::new();
+        let mut touched = Vec::new();
+        for u in 0..self.resources.len() {
+            if self.departed[u] {
+                continue;
+            }
+            let nbrs: Vec<usize> = self.overlay.neighbors(u).collect();
+            for v in nbrs {
+                self.resources[u].reset_edge(v);
+            }
+            msgs.extend(self.resources[u].nudge());
+            touched.push(u);
+        }
+        self.schedule(msgs);
+        for u in touched {
+            self.mark_touch(u);
+        }
+    }
+
+    /// Rejoin-healing body (tick phase 3c): healing resources and their
+    /// neighbors exchange resends until the backlog check clears — one
+    /// schedule batch for the whole pass.
+    fn healing_pass(&mut self) {
+        let mut msgs = Vec::new();
+        let mut touched = Vec::new();
+        for u in 0..self.resources.len() {
+            if !self.healing[u] || self.departed[u] {
+                continue;
+            }
+            if self.resources[u].candidate_count() > 0
+                && self.resources[u].accountant().total_backlog() == 0
+            {
+                self.healing[u] = false;
+                continue;
+            }
+            let nbrs: Vec<usize> = self.overlay.neighbors(u).collect();
+            for &v in &nbrs {
+                self.resources[v].reset_edge(u);
+                msgs.extend(self.resources[v].nudge());
+                self.resources[u].reset_edge(v);
+                touched.push(v);
+            }
+            msgs.extend(self.resources[u].nudge());
+            touched.push(u);
+        }
+        self.schedule(msgs);
+        for u in touched {
+            self.mark_touch(u);
+        }
+    }
+
+    /// Checkpoint body (tick phase 3d): snapshot + journal truncation on
+    /// every armed, present resource.
+    fn checkpoint_pass(&mut self, t: u64) {
+        for u in 0..self.resources.len() {
+            if !self.departed[u] && self.resources[u].recovery_armed() {
+                self.resources[u].take_checkpoint(t);
+            }
+        }
+    }
+
+    /// Candidate-generation body for the event driver (tick phase 4,
+    /// restricted to resources whose state changed since their last
+    /// pass). When a recovery policy is armed, `generate_candidates`
+    /// appends an `OutputCached` journal entry per cached rule on *every*
+    /// call — skipping clean resources would shrink their journals and
+    /// change replay tallies after a restore — so journalled runs always
+    /// take the full-grid path, like the tick loop.
+    fn candidate_pass(&mut self) {
+        let n = self.resources.len();
+        let journaled = self.mode.policy().is_some();
+        let ids: Vec<usize> = if journaled {
+            self.dirty.clear();
+            (0..n).filter(|&u| !self.departed[u]).collect()
+        } else {
+            let mut set = std::mem::take(&mut self.dirty);
+            set.extend(self.always_dirty.iter().copied());
+            set.into_iter().filter(|&u| u < n && !self.departed[u]).collect()
+        };
+        if ids.is_empty() {
+            if !self.always_dirty.is_empty() {
+                self.ensure_candidates_next();
+            }
+            return;
+        }
+        let mut gathered: Vec<(usize, usize, usize, Vec<WireMsg<C>>)> = Vec::new();
+        if ids.len() * 4 >= n {
+            let wanted: BTreeSet<usize> = ids.iter().copied().collect();
+            let per: Vec<CandidateOutcome<C>> = self
+                .resources
+                .par_iter_mut()
+                .enumerate()
+                .map(|(u, r)| {
+                    if !wanted.contains(&u) {
+                        return None;
+                    }
+                    let before = r.candidate_count();
+                    let out = r.generate_candidates();
+                    Some((before, r.candidate_count(), out))
+                })
+                .collect();
+            for (u, slot) in per.into_iter().enumerate() {
+                if let Some((before, after, out)) = slot {
+                    gathered.push((u, before, after, out));
+                }
+            }
+        } else {
+            for u in ids {
+                let before = self.resources[u].candidate_count();
+                let out = self.resources[u].generate_candidates();
+                gathered.push((u, before, self.resources[u].candidate_count(), out));
+            }
+        }
+        for (u, before, after, out) in gathered {
+            let touched = !out.is_empty()
+                || after != before
+                || self.resources[u].degraded().is_some()
+                || self.resources[u]
+                    .verdict()
+                    .is_some_and(|v| !self.verdicts.iter().any(|&(_, w)| w == v));
+            if touched {
+                self.mark_touch(u);
+            }
+            self.schedule(out);
+        }
+        if !self.always_dirty.is_empty() {
+            self.ensure_candidates_next();
+        }
+    }
+
+    /// Tick phase 5 restricted to `ids`: quarantine the self-degraded.
+    fn route_around_degraded_in(&mut self, ids: &BTreeSet<usize>) {
+        let stuck: Vec<(usize, DegradeReason)> = ids
+            .iter()
+            .copied()
+            .filter(|&u| u < self.resources.len() && !self.departed[u])
+            .filter_map(|u| self.resources[u].degraded().map(|reason| (u, reason)))
+            .collect();
+        for (u, reason) in stuck {
+            self.quarantine(u, reason);
+        }
+    }
+
+    /// Verdict collection restricted to `ids`, preserving the tick
+    /// loop's exact semantics — including its lack of within-pass
+    /// deduplication (two resources surfacing the same fresh verdict in
+    /// one pass both record it). A broadcast mutates every live
+    /// resource, so they are all marked for re-examination.
+    fn collect_new_verdicts_in(&mut self, ids: &BTreeSet<usize>) {
+        let mut fresh = Vec::new();
+        for &u in ids {
+            let Some(v) = self.resources.get(u).and_then(|r| r.verdict()) else { continue };
+            if !self.verdicts.iter().any(|&(_, w)| w == v) {
+                fresh.push(v);
+            }
+        }
+        let any = !fresh.is_empty();
+        for v in fresh {
+            self.verdicts.push((self.step_no, v));
+            if self.broadcast_verdicts {
+                for r in self.resources.iter_mut() {
+                    r.on_verdict_broadcast(v);
+                }
+            }
+        }
+        if any && self.broadcast_verdicts {
+            let live: Vec<usize> =
+                (0..self.resources.len()).filter(|&u| !self.departed[u]).collect();
+            for u in live {
+                self.note_effect(u);
+            }
+        }
+    }
+
+    /// Every resource's interim solution, in id order — the
+    /// `MiningOutcome::solutions` shape the threaded and net drivers
+    /// return.
+    pub fn solutions(&self) -> Vec<RuleSet> {
+        self.resources.iter().map(|r| r.interim()).collect()
+    }
+
+    /// Per-resource health, in id order — the `MiningOutcome::statuses`
+    /// shape the threaded and net drivers return.
+    pub fn statuses(&self) -> Vec<ResourceStatus> {
+        self.resources
+            .iter()
+            .map(|r| r.degraded().map_or(ResourceStatus::Ok, ResourceStatus::Degraded))
+            .collect()
     }
 
     /// Forces an `Output()` refresh everywhere (before sampling metrics).

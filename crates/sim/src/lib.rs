@@ -9,21 +9,32 @@
 //! * [`config`] — simulation parameters with the paper's defaults;
 //! * [`workload`] — partitioned databases, growth streams, and the
 //!   single-itemset significance workloads of Figure 3;
-//! * [`engine`] — the stepped simulation loop with delayed delivery;
+//! * [`engine`] — the event-driven simulation core (timer-wheel
+//!   scheduler, with the legacy tick loop kept as a differential oracle);
+//! * [`wheel`] — the deterministic hierarchical timer wheel;
 //! * [`metrics`] — global recall/precision sampling and time-to-recall;
-//! * [`runner`] — one-call experiment drivers used by the benches.
+//! * [`session`] — the [`SimSession`] builder, the simulator's analogue
+//!   of `MineSession`/`NetSession`;
+//! * [`runner`] — experiment drivers used by the benches (the
+//!   `run_convergence*` free functions are deprecated shims over
+//!   [`SimSession`]).
 
 pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod runner;
+pub mod session;
+pub mod wheel;
 pub mod workload;
 
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use metrics::{GlobalMetrics, ObsSummary, Sample};
+#[allow(deprecated)]
 pub use runner::{
     run_convergence, run_convergence_faulty, run_convergence_observed, single_itemset_steps,
     time_to_recall,
 };
+pub use session::SimSession;
+pub use wheel::TimerWheel;
 pub use workload::{significance_databases, split_growth, GrowthPlan};

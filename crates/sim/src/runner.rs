@@ -1,22 +1,25 @@
 //! One-call experiment drivers, used by the benches and examples.
-
-use std::sync::Arc;
+//!
+//! The `run_convergence*` free functions are deprecated shims over
+//! [`SimSession`] — the builder is the front door now, and these keep
+//! one release of source compatibility for external callers.
 
 use gridmine_arm::{correct_rules, Database, Item, Ratio, Rule, RuleSet};
-use gridmine_core::GridKeys;
-use gridmine_obs::{FanoutRecorder, Metrics, SharedRecorder};
+use gridmine_obs::SharedRecorder;
 use gridmine_paillier::MockCipher;
 use gridmine_topology::faults::FaultPlan;
 
 use crate::config::SimConfig;
 use crate::engine::Simulation;
-use crate::metrics::{GlobalMetrics, ObsSummary, Sample};
-use crate::workload::{significance_databases, split_growth, GrowthPlan};
+use crate::metrics::{GlobalMetrics, Sample};
+use crate::session::SimSession;
+use crate::workload::{significance_databases, GrowthPlan};
 
 /// Runs a full convergence experiment (the Figure 2 harness): partitions
 /// `global` across the grid with `growth_fraction` of each partition
 /// arriving during the run, samples recall/precision every `sample_every`
 /// steps against the *current* ground truth, and stops after `max_steps`.
+#[deprecated(since = "0.2.0", note = "use SimSession::with_global(...).convergence(...)")]
 pub fn run_convergence(
     cfg: SimConfig,
     global: &Database,
@@ -24,11 +27,18 @@ pub fn run_convergence(
     sample_every: u64,
     max_steps: u64,
 ) -> GlobalMetrics {
-    convergence_inner(cfg, global, growth_fraction, sample_every, max_steps, None, None)
+    SimSession::new(cfg)
+        .with_global(global, growth_fraction)
+        .with_steps(max_steps)
+        .convergence(sample_every)
 }
 
 /// [`run_convergence`] with deterministic fault injection armed: the
 /// returned metrics carry the run's [`gridmine_core::ChaosReport`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use SimSession::with_global(...).with_faults(...).convergence(...)"
+)]
 pub fn run_convergence_faulty(
     cfg: SimConfig,
     global: &Database,
@@ -37,12 +47,20 @@ pub fn run_convergence_faulty(
     max_steps: u64,
     plan: FaultPlan,
 ) -> GlobalMetrics {
-    convergence_inner(cfg, global, growth_fraction, sample_every, max_steps, Some(plan), None)
+    SimSession::new(cfg)
+        .with_global(global, growth_fraction)
+        .with_steps(max_steps)
+        .with_faults(plan)
+        .convergence(sample_every)
 }
 
 /// [`run_convergence_faulty`] with a structured-event recorder attached:
 /// the run's events stream to `rec` and the returned metrics carry an
-/// [`ObsSummary`] digest of the event tallies.
+/// [`crate::metrics::ObsSummary`] digest of the event tallies.
+#[deprecated(
+    since = "0.2.0",
+    note = "use SimSession::with_global(...).with_recorder(...).convergence(...)"
+)]
 pub fn run_convergence_observed(
     cfg: SimConfig,
     global: &Database,
@@ -52,74 +70,14 @@ pub fn run_convergence_observed(
     plan: Option<FaultPlan>,
     rec: SharedRecorder,
 ) -> GlobalMetrics {
-    convergence_inner(cfg, global, growth_fraction, sample_every, max_steps, plan, Some(rec))
-}
-
-#[allow(clippy::too_many_arguments)]
-fn convergence_inner(
-    cfg: SimConfig,
-    global: &Database,
-    growth_fraction: f64,
-    sample_every: u64,
-    max_steps: u64,
-    plan: Option<FaultPlan>,
-    rec: Option<SharedRecorder>,
-) -> GlobalMetrics {
-    let keys = GridKeys::mock(cfg.seed);
-    let plans = split_growth(global, cfg.n_resources, growth_fraction, cfg.seed ^ 0xF00D);
-    let items = global.item_domain();
-    let mut sim = Simulation::new(cfg, &keys, plans, &items);
+    let mut session = SimSession::new(cfg)
+        .with_global(global, growth_fraction)
+        .with_steps(max_steps)
+        .with_recorder(rec);
     if let Some(plan) = plan {
-        sim.inject_faults(plan);
+        session = session.with_faults(plan);
     }
-    // Arm a tally recorder next to the caller's sink so the run's event
-    // counts come back inside the metrics.
-    let tally = rec.as_ref().map(|user| {
-        let tally = Metrics::shared();
-        let fan: SharedRecorder = Arc::new(FanoutRecorder::new(vec![user.clone(), tally.clone()]));
-        sim.set_recorder(fan);
-        tally
-    });
-
-    let mut metrics = GlobalMetrics::default();
-    let mut truth_cache: Option<(usize, RuleSet)> = None;
-    let mut steps = 0;
-    while steps < max_steps {
-        let chunk = sample_every.min(max_steps - steps);
-        sim.run(chunk);
-        steps += chunk;
-        sim.refresh_outputs();
-        let db = sim.current_global_db();
-        // Ground truth is the dominant cost of sampling; recompute only
-        // when the database grew by more than 2% since the last Apriori
-        // run (the rule set moves slowly under uniform growth).
-        let truth = match &truth_cache {
-            Some((len, t)) if db.len() < len + len / 50 => t.clone(),
-            _ => {
-                let t = correct_rules(&db, &sim.apriori_cfg());
-                truth_cache = Some((db.len(), t.clone()));
-                t
-            }
-        };
-        let (recall, precision) = sim.global_recall_precision(&truth);
-        metrics.push(Sample {
-            step: sim.step_no(),
-            scans: sim.scans_completed(),
-            recall,
-            precision,
-            msgs: sim.total_msgs,
-        });
-    }
-    if sim.fault_plan().is_some() {
-        metrics.chaos = Some(sim.chaos_report());
-    }
-    if let Some(tally) = tally {
-        metrics.obs = Some(ObsSummary::from(&tally.snapshot()));
-    }
-    if let Some(user) = rec {
-        user.flush();
-    }
-    metrics
+    session.convergence(sample_every)
 }
 
 /// Steps until average recall reaches `target`, or `max_steps`. Returns
@@ -131,16 +89,13 @@ pub fn time_to_recall(
     sample_every: u64,
     max_steps: u64,
 ) -> (Option<u64>, GlobalMetrics) {
-    let keys = GridKeys::mock(cfg.seed);
-    let plans = split_growth(global, cfg.n_resources, 0.0, cfg.seed ^ 0xF00D);
-    let items = global.item_domain();
-    let mut sim = Simulation::new(cfg, &keys, plans, &items);
+    let mut sim = SimSession::new(cfg).with_global(global, 0.0).with_steps(max_steps).build();
 
     let truth = correct_rules(global, &sim.apriori_cfg());
     let mut metrics = GlobalMetrics::default();
     let mut steps = 0;
     while steps < max_steps {
-        sim.run(sample_every);
+        sim.run_event_driven(sample_every);
         steps += sample_every;
         sim.refresh_outputs();
         let (recall, precision) = sim.global_recall_precision(&truth);
@@ -171,21 +126,22 @@ pub fn single_itemset_steps(
     let lambda = cfg.min_freq;
     let dbs = significance_databases(cfg.n_resources, local_size, lambda, significance, cfg.seed);
     let plans: Vec<GrowthPlan> = dbs.into_iter().map(GrowthPlan::fixed).collect();
-    let keys = GridKeys::mock(cfg.seed);
     // Only item 0 is voted on ("these experiments were conducted for the
     // special case of a single itemset").
-    let mut sim = Simulation::new(cfg, &keys, plans, &[Item(0)]);
+    let mut sim = SimSession::new(cfg)
+        .with_workload(plans)
+        .with_items(&[Item(0)])
+        .with_steps(max_steps)
+        .build();
     let truth: RuleSet = [Rule::frequency(gridmine_arm::ItemSet::of(&[0]))].into_iter().collect();
 
     let mut steps = 0;
     while steps < max_steps {
-        sim.step();
-        steps += 1;
-        if steps % 2 == 0 {
-            sim.refresh_outputs();
-            if sim.coverage(&truth) >= 0.9 {
-                return Some(steps);
-            }
+        sim.run_event_driven(2.min(max_steps - steps));
+        steps = sim.step_no();
+        sim.refresh_outputs();
+        if sim.coverage(&truth) >= 0.9 {
+            return Some(steps);
         }
     }
     None
@@ -198,9 +154,7 @@ pub fn simulation_over(
     dbs: Vec<Database>,
     items: &[Item],
 ) -> Simulation<MockCipher> {
-    let keys = GridKeys::mock(cfg.seed);
-    let plans = dbs.into_iter().map(GrowthPlan::fixed).collect();
-    Simulation::new(cfg, &keys, plans, items)
+    SimSession::new(cfg).with_databases(dbs).with_items(items).build()
 }
 
 /// The significance definition of Figure 3 (for reporting):
@@ -229,6 +183,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn convergence_run_reaches_high_recall() {
         let mut cfg = SimConfig::small().with_resources(6).with_k(1);
         cfg.growth_per_step = 4;
@@ -237,6 +192,21 @@ mod tests {
         assert!(m.final_recall() > 0.95, "final recall {}", m.final_recall());
         assert!(m.final_precision() > 0.95, "final precision {}", m.final_precision());
         assert!(m.step_at_90_recall.is_some());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_session_builder() {
+        let mut cfg = SimConfig::small().with_resources(6).with_k(1);
+        cfg.growth_per_step = 4;
+        cfg.min_freq = Ratio::new(1, 2);
+        let shim = run_convergence(cfg, &tiny_global(), 0.3, 5, 40);
+        let session =
+            SimSession::new(cfg).with_global(&tiny_global(), 0.3).with_steps(40).convergence(5);
+        assert_eq!(
+            serde_json::to_string(&shim.samples).expect("serialize"),
+            serde_json::to_string(&session.samples).expect("serialize"),
+        );
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Deterministic hierarchical timer wheel.
+//!
+//! The simulator's event scheduler: a classic hashed-and-hierarchical
+//! timing wheel (four levels of 64 slots each, so the in-wheel horizon is
+//! `64^4 ≈ 16.7M` ticks) with a `BTreeMap` overflow for anything farther
+//! out. Entries are ordered by `(time, seq)` where `seq` is a monotonic
+//! counter assigned at schedule time, so same-time batches pop in exactly
+//! the order they were scheduled — the determinism-under-seed contract
+//! the chaos-replay suite pins. The wheel holds no wall clock and draws
+//! no entropy; simulated time only moves when `pop_next` is called.
+
+use std::collections::BTreeMap;
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64
+const LEVELS: usize = 4;
+/// First deadline distance that no longer fits in the wheel levels.
+const WHEEL_SPAN: u64 = 1 << (SLOT_BITS * LEVELS as u32); // 64^4
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+/// A deterministic timer wheel over an abstract `u64` clock.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    now: u64,
+    /// `levels[l][slot]` holds entries whose deadline lands in that slot
+    /// at granularity `64^l`. Slots are filtered by exact deadline on
+    /// pop, so laps (deadlines a full wheel-turn apart sharing a slot)
+    /// are harmless.
+    levels: Vec<Vec<Vec<Entry<T>>>>,
+    /// Deadlines at `now + WHEEL_SPAN` or beyond.
+    overflow: BTreeMap<u64, Vec<Entry<T>>>,
+    len: usize,
+    seq: u64,
+}
+
+impl<T> TimerWheel<T> {
+    /// A wheel whose clock starts at `now`; the first event must be
+    /// scheduled strictly after it.
+    pub fn new(now: u64) -> Self {
+        Self {
+            now,
+            levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
+            overflow: BTreeMap::new(),
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Current simulated time (the deadline of the last popped batch).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `item` at absolute time `at`. Deadlines at or before the
+    /// current time are clamped to `now + 1`: simulated time never runs
+    /// backwards, and a same-tick schedule still fires.
+    pub fn schedule(&mut self, at: u64, item: T) {
+        let at = at.max(self.now.saturating_add(1));
+        let seq = self.seq;
+        self.seq += 1;
+        let entry = Entry { at, seq, item };
+        let delta = at - self.now;
+        if delta >= WHEEL_SPAN {
+            self.overflow.entry(at).or_default().push(entry);
+        } else {
+            // Level l covers deltas in [64^l, 64^(l+1)); level 0 also
+            // covers delta < 64.
+            let mut level = 0usize;
+            while level + 1 < LEVELS && delta >= 1 << (SLOT_BITS * (level as u32 + 1)) {
+                level += 1;
+            }
+            let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            self.levels[level][slot].push(entry);
+        }
+        self.len += 1;
+    }
+
+    /// The deadline of the next pending batch, if any. Does not advance
+    /// the clock.
+    pub fn peek_next_time(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut note = |t: u64| {
+            best = Some(match best {
+                Some(b) => b.min(t),
+                None => t,
+            });
+        };
+        for level in &self.levels {
+            for slot in level {
+                for e in slot {
+                    note(e.at);
+                }
+            }
+        }
+        if let Some((&t, _)) = self.overflow.iter().next() {
+            note(t);
+        }
+        best
+    }
+
+    /// Pop the entire batch with the earliest deadline, advancing the
+    /// clock to that deadline. Items within the batch come back in
+    /// schedule order (ascending `seq`).
+    pub fn pop_next(&mut self) -> Option<(u64, Vec<T>)> {
+        let at = self.peek_next_time()?;
+        self.now = at;
+        let mut batch: Vec<Entry<T>> = Vec::new();
+        for level in 0..LEVELS {
+            let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            let bucket = &mut self.levels[level][slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].at == at {
+                    batch.push(bucket.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if let Some(ov) = self.overflow.remove(&at) {
+            batch.extend(ov);
+        }
+        self.len -= batch.len();
+        batch.sort_by_key(|e| e.seq);
+        Some((at, batch.into_iter().map(|e| e.item).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = TimerWheel::new(0);
+        w.schedule(5, "e5");
+        w.schedule(2, "e2");
+        w.schedule(9, "e9");
+        assert_eq!(w.peek_next_time(), Some(2));
+        assert_eq!(w.pop_next(), Some((2, vec!["e2"])));
+        assert_eq!(w.pop_next(), Some((5, vec!["e5"])));
+        assert_eq!(w.pop_next(), Some((9, vec!["e9"])));
+        assert_eq!(w.pop_next(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_time_batch_preserves_schedule_order() {
+        let mut w = TimerWheel::new(0);
+        for i in 0..10u32 {
+            w.schedule(7, i);
+        }
+        let (t, batch) = w.pop_next().expect("batch");
+        assert_eq!(t, 7);
+        assert_eq!(batch, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_deadlines_clamp_to_next_tick() {
+        let mut w = TimerWheel::new(10);
+        w.schedule(3, "late");
+        w.schedule(10, "now");
+        assert_eq!(w.pop_next(), Some((11, vec!["late", "now"])));
+    }
+
+    #[test]
+    fn crosses_level_boundaries() {
+        let mut w = TimerWheel::new(0);
+        // One entry per level, plus one in the overflow.
+        let times = [1u64, 63, 64, 4095, 4096, 262_143, 262_144, WHEEL_SPAN + 5];
+        for &t in &times {
+            w.schedule(t, t);
+        }
+        let mut seen = Vec::new();
+        while let Some((t, batch)) = w.pop_next() {
+            assert_eq!(batch, vec![t]);
+            seen.push(t);
+        }
+        assert_eq!(seen, times.to_vec());
+    }
+
+    #[test]
+    fn lapped_slots_do_not_collide() {
+        let mut w = TimerWheel::new(0);
+        // Same level-0 slot (5) one wheel-lap apart at level 0, but the
+        // larger deadline lives at a higher level until time advances.
+        w.schedule(5, "a");
+        w.schedule(5 + 64, "b");
+        assert_eq!(w.pop_next(), Some((5, vec!["a"])));
+        assert_eq!(w.pop_next(), Some((69, vec!["b"])));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_deterministic() {
+        let run = || {
+            let mut w = TimerWheel::new(0);
+            let mut order = Vec::new();
+            w.schedule(1, 100u64);
+            w.schedule(3, 101);
+            while let Some((t, batch)) = w.pop_next() {
+                for item in batch {
+                    order.push((t, item));
+                    if item < 110 {
+                        // Reschedule relative to the new now.
+                        w.schedule(t + 2, item + 10);
+                    }
+                }
+            }
+            order
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scale_smoke_many_idle_timers() {
+        let mut w = TimerWheel::new(0);
+        for i in 0..100_000u64 {
+            w.schedule(1 + (i % 977), i);
+        }
+        assert_eq!(w.len(), 100_000);
+        let mut popped = 0usize;
+        let mut last = 0u64;
+        while let Some((t, batch)) = w.pop_next() {
+            assert!(t > last || popped == 0);
+            last = t;
+            popped += batch.len();
+        }
+        assert_eq!(popped, 100_000);
+    }
+}

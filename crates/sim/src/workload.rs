@@ -30,6 +30,12 @@ impl GrowthPlan {
         let n = n.min(self.stream.len());
         self.stream.drain(..n).collect()
     }
+
+    /// Number of stream transactions not yet taken. The event scheduler
+    /// drops a resource from the growth pass once this hits zero.
+    pub fn remaining(&self) -> usize {
+        self.stream.len()
+    }
 }
 
 /// Partitions a global database across `n_resources` and reserves

@@ -23,10 +23,101 @@
 //! in `gridmine-core`'s threaded driver.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::graph::NodeId;
+
+/// Why a fault schedule was refused. Produced by the `try_with_*`
+/// event-time constructors and by [`FaultPlan::validate_within`]; the
+/// drivers map these onto their own session-error types so every driver
+/// rejects the same malformed plans with the same shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The schedule names a resource id the grid does not have.
+    ResourceOutOfRange {
+        /// The out-of-range resource id.
+        resource: NodeId,
+        /// Resources actually in the grid.
+        capacity: usize,
+    },
+    /// The outage's onset lies at or beyond the run horizon — it could
+    /// silently never fire, so it is refused instead of dropped.
+    OnsetBeyondHorizon {
+        /// The resource whose fault is mis-scheduled.
+        resource: NodeId,
+        /// The scheduled onset event time.
+        at: u64,
+        /// The run horizon (exclusive).
+        horizon: u64,
+    },
+    /// A crash's recovery event is not strictly after its onset.
+    RecoveryNotAfterOnset {
+        /// The resource whose crash is mis-scheduled.
+        resource: NodeId,
+        /// The scheduled onset event time.
+        at: u64,
+        /// The scheduled recovery event time.
+        recover: u64,
+    },
+    /// A per-link override names an endpoint outside the grid.
+    EdgeOutOfRange {
+        /// The offending (normalized) edge.
+        edge: (NodeId, NodeId),
+        /// Resources actually in the grid.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScheduleError::ResourceOutOfRange { resource, capacity } => write!(
+                f,
+                "fault plan targets resource {resource}, but the grid has {capacity} resources"
+            ),
+            ScheduleError::OnsetBeyondHorizon { resource, at, horizon } => write!(
+                f,
+                "fault on resource {resource} is scheduled at event time {at}, beyond the run \
+                 horizon {horizon}"
+            ),
+            ScheduleError::RecoveryNotAfterOnset { resource, at, recover } => write!(
+                f,
+                "resource {resource} crashes at {at} but recovers at {recover}; recovery must \
+                 follow the crash"
+            ),
+            ScheduleError::EdgeOutOfRange { edge: (u, v), capacity } => write!(
+                f,
+                "fault plan overrides edge {u}\u{2013}{v}, outside the grid's {capacity} resources"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// What a scheduled [`FaultEvent`] does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// The resource goes down (crash onset or departure).
+    Outage,
+    /// The resource comes back as a fresh leaf.
+    Recovery,
+}
+
+/// One resource outage or recovery as a first-class timer event, for
+/// event-driven drivers that schedule fault firings instead of polling
+/// [`FaultPlan::outages_at`] every tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Event time the fault fires at.
+    pub at: u64,
+    /// Outage or recovery.
+    pub kind: FaultEventKind,
+    /// The resource affected.
+    pub resource: NodeId,
+}
 
 /// Fault rates of one (undirected) link.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -173,18 +264,45 @@ impl FaultPlan {
 
     /// Schedules resource `u` to crash at tick `at`, recovering at
     /// `recover` if given.
-    pub fn with_crash(mut self, u: NodeId, at: u64, recover: Option<u64>) -> Self {
+    ///
+    /// Compatibility constructor for the tick-indexed schedule form; ticks
+    /// and event times share the same abstract clock, so this is
+    /// [`FaultPlan::try_with_crash`] with the misordered-recovery case as
+    /// a panic instead of a typed error.
+    pub fn with_crash(self, u: NodeId, at: u64, recover: Option<u64>) -> Self {
+        self.try_with_crash(u, at, recover).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Schedules resource `u` to crash at event time `at`, recovering at
+    /// `recover` if given; a recovery not strictly after the onset is a
+    /// typed [`ScheduleError`].
+    pub fn try_with_crash(
+        mut self,
+        u: NodeId,
+        at: u64,
+        recover: Option<u64>,
+    ) -> Result<Self, ScheduleError> {
         if let Some(r) = recover {
-            assert!(r > at, "recovery must follow the crash");
+            if r <= at {
+                return Err(ScheduleError::RecoveryNotAfterOnset { resource: u, at, recover: r });
+            }
         }
         self.resources.insert(u, ResourceFault::Crash { at, recover });
-        self
+        Ok(self)
     }
 
     /// Schedules resource `u` to depart permanently at tick `at`.
-    pub fn with_departure(mut self, u: NodeId, at: u64) -> Self {
+    ///
+    /// Compatibility constructor for the tick-indexed schedule form; see
+    /// [`FaultPlan::try_with_departure`].
+    pub fn with_departure(self, u: NodeId, at: u64) -> Self {
+        self.try_with_departure(u, at).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Schedules resource `u` to depart permanently at event time `at`.
+    pub fn try_with_departure(mut self, u: NodeId, at: u64) -> Result<Self, ScheduleError> {
         self.resources.insert(u, ResourceFault::Depart { at });
-        self
+        Ok(self)
     }
 
     /// Fault rates in effect on the link `u – v`.
@@ -220,6 +338,48 @@ impl FaultPlan {
     /// build-time plan validation in the drivers).
     pub fn resource_faults(&self) -> impl Iterator<Item = (NodeId, ResourceFault)> + '_ {
         self.resources.iter().map(|(&u, &f)| (u, f))
+    }
+
+    /// The whole resource schedule flattened into discrete
+    /// [`FaultEvent`]s, sorted by `(at, kind, resource)` — the event-time
+    /// form an event-driven driver feeds straight into its timer wheel
+    /// instead of polling every tick.
+    pub fn schedule_events(&self) -> Vec<FaultEvent> {
+        let mut events: Vec<FaultEvent> = Vec::new();
+        for (&u, f) in &self.resources {
+            events.push(FaultEvent { at: f.onset(), kind: FaultEventKind::Outage, resource: u });
+            if let ResourceFault::Crash { recover: Some(r), .. } = *f {
+                events.push(FaultEvent { at: r, kind: FaultEventKind::Recovery, resource: u });
+            }
+        }
+        events.sort_unstable();
+        events
+    }
+
+    /// Build-time schedule screen: every resource fault in range with an
+    /// onset inside the run horizon (events at or past `horizon` could
+    /// silently never fire), and every edge override naming endpoints the
+    /// grid actually has. Checks resources ascending by id, then edges —
+    /// so the first error reported is stable across drivers.
+    pub fn validate_within(&self, capacity: usize, horizon: u64) -> Result<(), ScheduleError> {
+        for (u, fault) in self.resource_faults() {
+            if u >= capacity {
+                return Err(ScheduleError::ResourceOutOfRange { resource: u, capacity });
+            }
+            if fault.onset() >= horizon {
+                return Err(ScheduleError::OnsetBeyondHorizon {
+                    resource: u,
+                    at: fault.onset(),
+                    horizon,
+                });
+            }
+        }
+        for ((u, v), _) in self.edge_overrides() {
+            if u >= capacity || v >= capacity {
+                return Err(ScheduleError::EdgeOutOfRange { edge: (u, v), capacity });
+            }
+        }
+        Ok(())
     }
 
     /// Every per-link override, ascending by (normalized) edge.
@@ -447,6 +607,50 @@ mod tests {
         assert_eq!(plan.onset(), Some(0));
         assert_eq!(FaultPlan::none().onset(), None);
         assert!(FaultPlan::none().is_quiet());
+    }
+
+    #[test]
+    fn schedule_events_flatten_sorted() {
+        let plan = FaultPlan::new(0)
+            .with_crash(3, 10, Some(20))
+            .with_departure(5, 15)
+            .with_crash(7, 10, None);
+        assert_eq!(
+            plan.schedule_events(),
+            vec![
+                FaultEvent { at: 10, kind: FaultEventKind::Outage, resource: 3 },
+                FaultEvent { at: 10, kind: FaultEventKind::Outage, resource: 7 },
+                FaultEvent { at: 15, kind: FaultEventKind::Outage, resource: 5 },
+                FaultEvent { at: 20, kind: FaultEventKind::Recovery, resource: 3 },
+            ]
+        );
+        assert!(FaultPlan::none().schedule_events().is_empty());
+    }
+
+    #[test]
+    fn event_time_constructors_reject_bad_schedules() {
+        let err = FaultPlan::new(0).try_with_crash(2, 10, Some(10)).unwrap_err();
+        assert_eq!(err, ScheduleError::RecoveryNotAfterOnset { resource: 2, at: 10, recover: 10 });
+        let plan = FaultPlan::new(0).try_with_crash(2, 10, Some(11)).unwrap();
+        assert_eq!(plan.fault_of(2), Some(ResourceFault::Crash { at: 10, recover: Some(11) }));
+    }
+
+    #[test]
+    fn validate_within_screens_range_and_horizon() {
+        let ok = FaultPlan::new(0).with_crash(1, 5, Some(9)).with_edge(0, 2, EdgeFaults::default());
+        assert_eq!(ok.validate_within(3, 60), Ok(()));
+        assert_eq!(
+            ok.validate_within(2, 60),
+            Err(ScheduleError::EdgeOutOfRange { edge: (0, 2), capacity: 2 })
+        );
+        assert_eq!(
+            FaultPlan::new(0).with_departure(9, 5).validate_within(3, 60),
+            Err(ScheduleError::ResourceOutOfRange { resource: 9, capacity: 3 })
+        );
+        assert_eq!(
+            FaultPlan::new(0).with_crash(1, 60, None).validate_within(3, 60),
+            Err(ScheduleError::OnsetBeyondHorizon { resource: 1, at: 60, horizon: 60 })
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ fn main() {
     println!("{:>6} {:>8} {:>8} {:>10} {:>12}", "step", "scans", "recall", "precision", "messages");
 
     // 30% of each clinic's data arrives while mining runs.
-    let metrics = run_convergence(cfg, &global, 0.3, 10, 120);
+    let metrics = SimSession::new(cfg).with_global(&global, 0.3).with_steps(120).convergence(10);
     for s in &metrics.samples {
         println!(
             "{:>6} {:>8.2} {:>8.3} {:>10.3} {:>12}",

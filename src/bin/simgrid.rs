@@ -1,0 +1,173 @@
+//! `simgrid` — run a questgen-generated workload through the grid
+//! simulator's [`SimSession`] builder.
+//!
+//! Completes the `questgen` pipeline: generate a database with
+//! `questgen --out db.json`, then mine it on a simulated grid:
+//!
+//! ```text
+//! simgrid --db db.json --resources 12 --k 4 --steps 110 --sample-every 10
+//! ```
+//!
+//! Without `--db`, a T5I2 workload is generated inline (same defaults as
+//! the walkthrough example). Prints a recall/precision convergence table
+//! and exits non-zero if the run never reaches 90 % recall.
+
+use std::process::ExitCode;
+
+use gridmine::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: simgrid [--db FILE] [--resources N] [--k N] [--steps N]\n\
+         \t[--sample-every N] [--growth-frac F] [--min-freq F] [--seed N]\n\
+         \n\
+         --db FILE    questgen JSON database ('-' reads stdin); generated if absent"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut db_path: Option<String> = None;
+    let mut resources = 12usize;
+    let mut k = 4i64;
+    let mut steps = 110u64;
+    let mut sample_every = 10u64;
+    let mut growth_frac = 0.2f64;
+    let mut min_freq = 0.05f64;
+    let mut seed = 7u64;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--db" => match take(&mut i) {
+                Some(v) => db_path = Some(v),
+                None => return usage(),
+            },
+            "--resources" => match take(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => resources = v,
+                None => return usage(),
+            },
+            "--k" => match take(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => k = v,
+                None => return usage(),
+            },
+            "--steps" => match take(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => steps = v,
+                None => return usage(),
+            },
+            "--sample-every" => match take(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => sample_every = v,
+                None => return usage(),
+            },
+            "--growth-frac" => match take(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => growth_frac = v,
+                None => return usage(),
+            },
+            "--min-freq" => match take(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => min_freq = v,
+                None => return usage(),
+            },
+            "--seed" => match take(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+
+    let global: Database = match db_path.as_deref() {
+        Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf) {
+                eprintln!("reading stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            match serde_json::from_str(&buf) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("parsing database: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Some(path) => {
+            let body = match std::fs::read_to_string(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("reading {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match serde_json::from_str(&body) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("parsing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            let params = QuestParams::t5i2()
+                .with_transactions(6_000)
+                .with_items(60)
+                .with_patterns(25)
+                .with_seed(seed);
+            eprintln!("no --db given; generating {} inline…", params.name());
+            gridmine::quest::generate(&params)
+        }
+    };
+
+    let mut cfg = SimConfig::small().with_resources(resources).with_k(k).with_seed(seed);
+    cfg.min_freq = Ratio::from_f64(min_freq);
+    cfg.min_conf = Ratio::from_f64(0.5);
+    cfg.scan_budget = 50;
+    cfg.growth_per_step = 2;
+    cfg.obfuscate = false;
+
+    eprintln!(
+        "simulating {} transactions on {resources} resources (k = {k}, {steps} steps)…",
+        global.len()
+    );
+    let metrics = match SimSession::new(cfg)
+        .with_global(&global, growth_frac)
+        .with_steps(steps)
+        .try_convergence(sample_every)
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("invalid session: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{:>6} {:>8} {:>8} {:>10} {:>12}", "step", "scans", "recall", "precision", "messages");
+    for s in &metrics.samples {
+        println!(
+            "{:>6} {:>8.2} {:>8.3} {:>10.3} {:>12}",
+            s.step, s.scans, s.recall, s.precision, s.msgs
+        );
+    }
+    match metrics.step_at_90_recall {
+        Some(step) => {
+            println!("\nreached 90% recall at step {step}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("\nnever reached 90% recall in {steps} steps");
+            ExitCode::FAILURE
+        }
+    }
+}

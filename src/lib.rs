@@ -53,7 +53,9 @@
 //! assert_eq!(outcome.metrics.msgs_sent(), outcome.messages);
 //! ```
 //!
-//! Simulation-scale experiments keep their own driver:
+//! Simulation-scale experiments go through the analogous
+//! [`sim::session::SimSession`] builder, which drives the event-driven
+//! timer-wheel engine:
 //!
 //! ```
 //! use gridmine::prelude::*;
@@ -65,7 +67,10 @@
 //! cfg.growth_per_step = 0;
 //! cfg.min_freq = Ratio::from_f64(0.08);
 //!
-//! let metrics = run_convergence(cfg, &global, 0.0, 15, 45);
+//! let metrics = SimSession::new(cfg)
+//!     .with_global(&global, 0.0)
+//!     .with_steps(45)
+//!     .convergence(15);
 //! assert!(metrics.final_recall() > 0.9);
 //! ```
 
@@ -102,8 +107,7 @@ pub mod prelude {
         RecoveryImage, RecoveryLog, RecoveryMode, RecoveryPolicy, RetryPolicy,
     };
     pub use gridmine_sim::{
-        run_convergence, run_convergence_faulty, run_convergence_observed, single_itemset_steps,
-        time_to_recall, ObsSummary, SimConfig, Simulation,
+        single_itemset_steps, time_to_recall, ObsSummary, SimConfig, SimSession, Simulation,
     };
     pub use gridmine_topology::faults::{EdgeFaults, FaultPlan, FaultStats, ResourceFault};
     pub use gridmine_topology::{DelayModel, Overlay, Tree};
