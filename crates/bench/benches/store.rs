@@ -1,0 +1,144 @@
+//! Durable-store micro-benchmarks: append throughput through the
+//! digest-chained WAL, recovery replay cost as a function of tail
+//! length (the claim behind snapshot compaction: restart is bounded by
+//! the WAL tail, not history), and the cost of the compaction that
+//! buys that bound. Results land in `BENCH_store.json` at the repo
+//! root for CI to archive next to the other substrate benches.
+
+use gridmine_bench::hr;
+use gridmine_store::{FsBackend, Store};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(serde::Serialize)]
+struct AppendRow {
+    value_bytes: usize,
+    records: usize,
+    /// put + flush per record (every record its own durability horizon).
+    flushed_per_sec: f64,
+    /// puts batched under one flush (one horizon per batch of 64).
+    batched_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct RecoveryRow {
+    wal_records: usize,
+    /// Cold open replaying the whole tail.
+    replay_ms: f64,
+    /// Open after compaction folded the tail into a snapshot.
+    snapshot_open_ms: f64,
+    /// Time compaction itself took to fold the tail.
+    compact_ms: f64,
+}
+
+#[derive(serde::Serialize)]
+struct StoreReport {
+    schema: &'static str,
+    append: Vec<AppendRow>,
+    recovery: Vec<RecoveryRow>,
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/bench-store"))
+        .join(format!("{tag}-{:08x}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch");
+    }
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn value(bytes: usize, i: usize) -> Vec<u8> {
+    (0..bytes).map(|j| (i.wrapping_mul(31).wrapping_add(j) & 0xff) as u8).collect()
+}
+
+fn bench_append(records: usize) -> Vec<AppendRow> {
+    hr("append throughput (fs backend)");
+    let mut rows = Vec::new();
+    for value_bytes in [64usize, 1024] {
+        let dir = scratch(&format!("append-{value_bytes}"));
+        let mut store = Store::open(FsBackend::open(&dir).expect("backend")).expect("open store");
+        let t = Instant::now();
+        for i in 0..records {
+            store.put("txs", &(i as u64).to_be_bytes(), &value(value_bytes, i)).expect("put");
+            store.flush().expect("flush");
+        }
+        let flushed = records as f64 / t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        for i in records..2 * records {
+            store.put("txs", &(i as u64).to_be_bytes(), &value(value_bytes, i)).expect("put");
+            if i % 64 == 63 {
+                store.flush().expect("flush");
+            }
+        }
+        store.flush().expect("final flush");
+        let batched = records as f64 / t.elapsed().as_secs_f64();
+
+        println!(
+            "{value_bytes:>5} B values: {flushed:>9.0} rec/s flushed, {batched:>9.0} rec/s \
+             batched (64/flush)"
+        );
+        rows.push(AppendRow {
+            value_bytes,
+            records,
+            flushed_per_sec: flushed,
+            batched_per_sec: batched,
+        });
+        drop(store);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+    rows
+}
+
+fn bench_recovery(sizes: &[usize]) -> Vec<RecoveryRow> {
+    hr("recovery replay vs WAL length");
+    let mut rows = Vec::new();
+    for &wal_records in sizes {
+        let dir = scratch(&format!("recover-{wal_records}"));
+        let mut store = Store::open(FsBackend::open(&dir).expect("backend")).expect("open store");
+        for i in 0..wal_records {
+            store.put("txs", &(i as u64).to_be_bytes(), &value(128, i)).expect("put");
+        }
+        store.flush().expect("flush");
+        drop(store);
+
+        // Cold open: the whole history is WAL tail.
+        let t = Instant::now();
+        let mut store = Store::open(FsBackend::open(&dir).expect("backend")).expect("replay open");
+        let replay_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(store.open_report().wal_replayed as usize, wal_records);
+
+        // Fold the tail, then open again: snapshot load, empty tail.
+        let t = Instant::now();
+        store.compact().expect("compact");
+        let compact_ms = t.elapsed().as_secs_f64() * 1e3;
+        drop(store);
+        let t = Instant::now();
+        let store = Store::open(FsBackend::open(&dir).expect("backend")).expect("snapshot open");
+        let snapshot_open_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(store.open_report().wal_replayed, 0);
+        assert_eq!(black_box(store.tree_len("txs")), wal_records);
+
+        println!(
+            "{wal_records:>6} records: replay {replay_ms:>8.2} ms  snapshot open \
+             {snapshot_open_ms:>8.2} ms  compact {compact_ms:>8.2} ms"
+        );
+        rows.push(RecoveryRow { wal_records, replay_ms, snapshot_open_ms, compact_ms });
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+    rows
+}
+
+fn main() {
+    let report = StoreReport {
+        schema: "gridmine-bench-store-v1",
+        append: bench_append(2_000),
+        recovery: bench_recovery(&[500, 2_000, 8_000]),
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    let body = serde_json::to_string_pretty(&report).expect("serialize store report");
+    std::fs::write(path, body + "\n").expect("write BENCH_store.json");
+    println!("\nwrote {path}");
+}

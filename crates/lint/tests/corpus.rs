@@ -32,7 +32,7 @@ fn run_fixture(name: &str, extra: &[&str]) -> (i32, String, String) {
 fn clean_fixture_exits_zero_with_one_suppressed_finding() {
     let (code, stdout, stderr) = run_fixture("clean", &[]);
     assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
-    assert!(stdout.contains("4 files scanned, 0 live finding(s), 1 suppressed"), "{stdout}");
+    assert!(stdout.contains("5 files scanned, 0 live finding(s), 1 suppressed"), "{stdout}");
     assert!(!stdout.contains("error[gridlint::"), "clean tree must not report errors: {stdout}");
 }
 
@@ -47,7 +47,7 @@ fn clean_fixture_json_reports_the_suppression_as_non_live() {
         ),
         "{stdout}"
     );
-    assert!(stdout.contains("{\"summary\":true,\"files\":4,\"live\":0,\"suppressed\":1}"));
+    assert!(stdout.contains("{\"summary\":true,\"files\":5,\"live\":0,\"suppressed\":1}"));
 }
 
 #[test]
@@ -90,6 +90,10 @@ const DIRTY_EXPECTED: &[(&str, &str, u32, &str)] = &[
         "key-blind module references secret item `decrypt_i64`",
     ),
     ("panic-freedom", "crates/core/src/broker.rs", 8, "slice indexing in a wire-decode module"),
+    // Store segments are disk-decode paths under the same contract as
+    // the wire: stale bytes must draw typed errors, not panics.
+    ("panic-freedom", "crates/store/src/wal.rs", 4, "slice indexing in a wire-decode module"),
+    ("panic-freedom", "crates/store/src/wal.rs", 8, "`expect` in a protocol module"),
     ("panic-freedom", "crates/core/src/broker.rs", 9, "`unwrap` in a protocol module"),
     (
         "determinism",
@@ -137,7 +141,7 @@ fn dirty_fixture_reports_every_expected_diagnostic_and_exits_one() {
         assert!(hit, "missing diagnostic {header}…{fragment}\n{stdout}");
     }
     assert!(
-        stdout.contains("7 files scanned, 15 live finding(s), 0 suppressed"),
+        stdout.contains("8 files scanned, 17 live finding(s), 0 suppressed"),
         "no unexpected extras allowed:\n{stdout}"
     );
 }
@@ -151,7 +155,7 @@ fn dirty_fixture_json_counts_match_the_table() {
         DIRTY_EXPECTED.len() + 1,
         "one object per finding: {stdout}"
     );
-    assert!(stdout.contains("{\"summary\":true,\"files\":7,\"live\":15,\"suppressed\":0}"));
+    assert!(stdout.contains("{\"summary\":true,\"files\":8,\"live\":17,\"suppressed\":0}"));
     assert!(stdout.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
 }
 

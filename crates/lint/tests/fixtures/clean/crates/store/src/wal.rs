@@ -1,0 +1,5 @@
+//! Digest-chained record decode: a torn tail is `None`, never a panic.
+
+pub fn le_u32(buf: &[u8], at: usize) -> Option<u32> {
+    buf.get(at..at + 4).and_then(|b| b.try_into().ok()).map(u32::from_le_bytes)
+}

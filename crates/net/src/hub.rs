@@ -90,6 +90,8 @@ pub struct NetSession<C: NetCipher> {
     binary: Option<PathBuf>,
     hostile: Vec<usize>,
     kills: Vec<(usize, u64, Option<u64>)>,
+    mid_kills: Vec<(usize, u64, Option<u64>)>,
+    state_dir: Option<PathBuf>,
     _cipher: PhantomData<C>,
 }
 
@@ -106,6 +108,8 @@ impl<C: NetCipher> NetSession<C> {
             binary: None,
             hostile: Vec::new(),
             kills: Vec::new(),
+            mid_kills: Vec::new(),
+            state_dir: None,
             _cipher: PhantomData,
         }
     }
@@ -156,12 +160,34 @@ impl<C: NetCipher> NetSession<C> {
         self
     }
 
+    /// Persists node state (`{u}.image` / `{u}.audits` / `{u}.tallies`)
+    /// under `dir` instead of the session's auto-removed scratch
+    /// directory. The directory outlives the session, so callers can
+    /// audit what a killed process actually left on disk — or hand the
+    /// same directory to a later session for a cross-session warm
+    /// restart.
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
     /// Schedules a **hard** kill: the hub SIGKILLs resource `u`'s
     /// process at tick `at` (no goodbye, no final persist beyond its
     /// last checkpoint) and, when `recover` is set, warm-restarts a
     /// successor at that tick.
     pub fn with_process_kill(mut self, u: usize, at: u64, recover: Option<u64>) -> Self {
         self.kills.push((u, at, recover));
+        self
+    }
+
+    /// Like [`NetSession::with_process_kill`], but the SIGKILL is fired
+    /// *inside* tick `at`'s Scan phase, right after the node received
+    /// its `PhaseStart` — racing whatever the node is doing at that
+    /// moment. Aimed at a checkpoint tick, the kill can land mid-way
+    /// through the node's state persist: the torn-write case the atomic
+    /// tmp + fsync + rename discipline must survive.
+    pub fn with_process_kill_mid_write(mut self, u: usize, at: u64, recover: Option<u64>) -> Self {
+        self.mid_kills.push((u, at, recover));
         self
     }
 
@@ -180,7 +206,7 @@ impl<C: NetCipher> NetSession<C> {
     /// resources and are reported in the outcome, like every driver.
     pub fn try_run(self) -> Result<MiningOutcome, NetError> {
         let mut plan = self.plan.clone();
-        for &(u, at, recover) in &self.kills {
+        for &(u, at, recover) in self.kills.iter().chain(&self.mid_kills) {
             plan = plan.with_crash(u, at, recover);
         }
         self.validate(&plan)?;
@@ -200,7 +226,11 @@ impl<C: NetCipher> NetSession<C> {
 
         let session = session_id(self.cfg.seed);
         let work_dir = std::env::temp_dir().join(format!("gridmine-net-{session:016x}"));
-        let state_dir = work_dir.join("state");
+        let state_dir = match &self.state_dir {
+            Some(dir) => dir.clone(),
+            None => work_dir.join("state"),
+        };
+        std::fs::create_dir_all(&work_dir)?;
         std::fs::create_dir_all(&state_dir)?;
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
@@ -208,7 +238,7 @@ impl<C: NetCipher> NetSession<C> {
 
         let specs: Vec<NodeSpec> = (0..n)
             .map(|u| {
-                let hard = self.kills.iter().any(|&(k, _, _)| k == u);
+                let hard = self.kills.iter().chain(&self.mid_kills).any(|&(k, _, _)| k == u);
                 let (crash_at, crash_recover, depart_at) = match plan.fault_of(u) {
                     Some(ResourceFault::Crash { at, recover }) if !hard => {
                         (Some(at), recover, None)
@@ -272,6 +302,7 @@ impl<C: NetCipher> NetSession<C> {
             degraded: vec![None; n],
             door_verdicts: vec![None; n],
             kills: self.kills.iter().map(|&(u, at, _)| (u, at)).collect(),
+            mid_kills: self.mid_kills.iter().map(|&(u, at, _)| (u, at)).collect(),
             tx,
             rx,
             _cipher: PhantomData,
@@ -411,6 +442,9 @@ struct HubRun<C: NetCipher> {
     door_verdicts: Vec<Option<Verdict>>,
     /// Hub-driven hard kills as `(resource, tick)`.
     kills: Vec<(usize, u64)>,
+    /// Hard kills fired inside the tick's Scan phase (racing the
+    /// victim's checkpoint persist) as `(resource, tick)`.
+    mid_kills: Vec<(usize, u64)>,
     tx: Sender<(usize, u64, PeerMsg<C>)>,
     rx: Receiver<(usize, u64, PeerMsg<C>)>,
     _cipher: PhantomData<C>,
@@ -737,6 +771,15 @@ impl<C: NetCipher> HubRun<C> {
     /// what neighbors had mailed it died with the old process), draining
     /// the share traffic to quiescence before the round's scan opens.
     fn respawn(&mut self, u: usize, tick: u64) -> Result<(), NetError> {
+        // The crash-tick barrier deliberately does not wait for the
+        // crasher: it gets its Scan trigger, persists its recovery
+        // state, and exits on its own time. Reap it here so that final
+        // persist is ordered before the successor's restore — `wait`
+        // is the happens-before edge; anything else is a race against
+        // the predecessor's fsyncs.
+        if let Some(child) = self.peers[u].child.as_mut() {
+            let _ = child.wait();
+        }
         self.spawn_child(u, Some(tick))?;
         let deadline = Instant::now() + ACCEPT_DEADLINE;
         let (hello, stream) = loop {
@@ -794,6 +837,24 @@ impl<C: NetCipher> HubRun<C> {
             }
             if up {
                 waiting.insert(v);
+            }
+        }
+        // Mid-write kills: the victim has its `PhaseStart` (and, on a
+        // checkpoint tick, is persisting state right now) when the
+        // SIGKILL lands — the hardest torn-write case the atomic
+        // persist discipline must survive.
+        if matches!(phase, Phase::Scan) {
+            let due: Vec<usize> =
+                self.mid_kills.iter().filter(|&&(_, at)| at == tick).map(|&(u, _)| u).collect();
+            for u in due {
+                if self.peers[u].alive && !self.peers[u].quarantined {
+                    emit(&self.rec, || Event::PeerDisconnected {
+                        resource: u as u64,
+                        reason: "killed mid-write".into(),
+                    });
+                    self.kill_peer(u);
+                    waiting.remove(&u);
+                }
             }
         }
         let wiring = matches!(phase, Phase::Wiring);

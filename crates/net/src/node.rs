@@ -108,18 +108,27 @@ fn total_tallies<C: HomCipher>(r: &SecureResource<C>, carried: &Tallies) -> Tall
 
 /// Persists everything a future incarnation of this resource needs:
 /// recovery image (warm mode only), controller audits, total tallies.
-/// Best-effort — a failed write degrades recovery fidelity, not the run.
-fn persist_state<C: HomCipher>(spec: &NodeSpec, r: &SecureResource<C>, carried: &Tallies) {
-    let _ = std::fs::create_dir_all(&spec.state_dir);
+/// Each file is published atomically (sibling tmp + fsync + rename —
+/// [`gridmine_store::atomic_write_file`]), so a kill mid-write leaves
+/// the previous checkpoint intact, never a torn file. The first failure
+/// is returned so the caller can surface it: a failed persist degrades
+/// recovery fidelity, not the run, but it must not be silent.
+fn persist_state<C: HomCipher>(
+    spec: &NodeSpec,
+    r: &SecureResource<C>,
+    carried: &Tallies,
+) -> std::io::Result<()> {
+    let bad =
+        |e: serde_json::Error| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string());
+    std::fs::create_dir_all(&spec.state_dir)?;
     if let Some(image) = r.encode_recovery_image() {
-        let _ = std::fs::write(state_path(spec, "image"), image);
+        gridmine_store::atomic_write_file(state_path(spec, "image"), &image)?;
     }
-    if let Ok(json) = serde_json::to_string(&r.export_controller_audits()) {
-        let _ = std::fs::write(state_path(spec, "audits"), json);
-    }
-    if let Ok(json) = serde_json::to_string(&total_tallies(r, carried)) {
-        let _ = std::fs::write(state_path(spec, "tallies"), json);
-    }
+    let audits = serde_json::to_string(&r.export_controller_audits()).map_err(bad)?;
+    gridmine_store::atomic_write_file(state_path(spec, "audits"), audits.as_bytes())?;
+    let tallies = serde_json::to_string(&total_tallies(r, carried)).map_err(bad)?;
+    gridmine_store::atomic_write_file(state_path(spec, "tallies"), tallies.as_bytes())?;
+    Ok(())
 }
 
 /// Runs `f`, converting a panic into a poisoned flag and a default
@@ -154,6 +163,18 @@ struct Node<'a, C: HomCipher> {
 }
 
 impl<C: NetCipher> Node<'_, C> {
+    /// Persists checkpoint state; a failure becomes a
+    /// [`Event::CheckpointPersistFailed`] on the buffered recorder (the
+    /// next `flush_obs` forwards it to the hub) instead of vanishing.
+    fn persist_or_report(&self) {
+        if let Err(e) = persist_state(self.spec, &self.resource, &self.carried) {
+            self.rec_buf.record(&Event::CheckpointPersistFailed {
+                resource: self.spec.resource as u64,
+                reason: e.to_string(),
+            });
+        }
+    }
+
     fn flush_obs(&self, w: &mut std::net::TcpStream) -> Result<(), NetError> {
         for line in self.rec_buf.drain() {
             transport::send_frame::<C, _>(w, &Frame::Obs { line })?;
@@ -371,7 +392,7 @@ fn try_run<C: NetCipher>(spec: &NodeSpec) -> Result<i32, NetError> {
                 // the recovery tick.
                 if node.mode.wipes() && spec.crash_at == Some(tick) {
                     node.resource.crash_wipe();
-                    persist_state(spec, &node.resource, &node.carried);
+                    node.persist_or_report();
                     node.flush_obs(&mut writer)?;
                     return Ok(EXIT_CRASHED);
                 }
@@ -417,7 +438,7 @@ fn try_run<C: NetCipher>(spec: &NodeSpec) -> Result<i32, NetError> {
                         node.resource.take_checkpoint(tick);
                         // Net addition: a checkpoint is only worth its
                         // name if it survives a process kill.
-                        persist_state(spec, &node.resource, &node.carried);
+                        node.persist_or_report();
                     }
                     let p = &mut node.poisoned;
                     outs.extend(guarded(p, || node.resource.step(usize::MAX)));

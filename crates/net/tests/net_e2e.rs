@@ -288,3 +288,66 @@ fn sessions_without_a_binary_or_with_bad_plans_are_refused() {
         .expect_err("fault target out of range");
     assert!(format!("{err}").contains("capacity"), "{err}");
 }
+
+#[test]
+fn sigkill_mid_checkpoint_write_never_tears_persisted_state() {
+    // Resource 1 is SIGKILLed *inside* tick 10's Scan phase — while it
+    // is persisting its second checkpoint (checkpoint_every = 5, so the
+    // tick-5 state is already on disk and the tick-10 persist is what
+    // the kill races). Whatever instant the signal lands, the atomic
+    // tmp + fsync + rename discipline must leave each state file whole:
+    // the successor warm-restarts from the tick-5 or the tick-10
+    // checkpoint, never from a torn one. The state dir is external so
+    // it survives the session for a byte-level audit.
+    let n = 4;
+    let state_dir =
+        std::env::temp_dir().join(format!("gridmine-midwrite-{:08x}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let truth = correct_rules(
+        &Database::union_of(dbs(n).iter()),
+        &AprioriConfig::new(Ratio::new(1, 2), Ratio::new(1, 2)),
+    );
+    let outcome = NetSession::<MockCipher>::new(cfg(16))
+        .with_topology(Tree::path(n))
+        .with_databases(dbs(n))
+        .with_recovery(RecoveryMode::Checkpoint(RecoveryPolicy::DEFAULT))
+        .with_process_kill_mid_write(1, 10, Some(12))
+        .with_state_dir(&state_dir)
+        .with_node_binary(NODE_BIN)
+        .try_run()
+        .expect("net session");
+    assert!(outcome.statuses.iter().all(ResourceStatus::is_ok), "{:?}", outcome.statuses);
+    assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);
+    assert_eq!(outcome.chaos.faults.crashes, 1);
+    assert_eq!(outcome.chaos.faults.recoveries, 1);
+    for (u, sol) in outcome.solutions.iter().enumerate() {
+        assert_eq!(sol, &truth, "resource {u} did not converge after the mid-write kill");
+    }
+
+    // Byte-level audit: every published state file must parse whole.
+    // (`.tmp` siblings are legal debris of an interrupted publish; the
+    // published names must never be torn.)
+    let mut audited = 0;
+    for entry in std::fs::read_dir(&state_dir).expect("state dir survives the session") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+        if name.ends_with(".tmp") {
+            continue;
+        }
+        let bytes = std::fs::read(&path).expect("state file");
+        let text = String::from_utf8_lossy(&bytes);
+        if name.ends_with(".image") {
+            gridmine_recovery::RecoveryImage::from_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("torn image {name}: {e}"));
+        } else if name.ends_with(".audits") {
+            serde_json::from_str::<Vec<gridmine_core::AuditImage>>(&text)
+                .unwrap_or_else(|e| panic!("torn audits {name}: {e}"));
+        } else if name.ends_with(".tallies") {
+            serde_json::from_str::<gridmine_net::Tallies>(&text)
+                .unwrap_or_else(|e| panic!("torn tallies {name}: {e}"));
+        }
+        audited += 1;
+    }
+    assert!(audited >= 3, "the killed node persisted its state files ({audited} found)");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}

@@ -165,6 +165,11 @@ pub enum Event {
     /// Transport: an inbound frame failed the wire codec's total decode
     /// (bad magic/version/checksum, truncation, hostile payload).
     FrameRejected { from: u64, reason: String },
+    /// Durability: a node failed to persist its checkpoint state
+    /// (recovery image / audits / tallies) to disk. The run continues,
+    /// but a process kill before the next successful persist replays
+    /// from the previous checkpoint.
+    CheckpointPersistFailed { resource: u64, reason: String },
 }
 
 /// Fieldless mirror of [`Event`], for counting and filtering.
@@ -197,11 +202,12 @@ pub enum EventKind {
     PeerDisconnected,
     PeerReconnected,
     FrameRejected,
+    CheckpointPersistFailed,
 }
 
 impl EventKind {
     /// Number of distinct kinds (array-index bound for tallies).
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 27;
 
     /// All kinds, in declaration order (index = `as usize`).
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -231,6 +237,7 @@ impl EventKind {
         EventKind::PeerDisconnected,
         EventKind::PeerReconnected,
         EventKind::FrameRejected,
+        EventKind::CheckpointPersistFailed,
     ];
 
     /// The `"type"` tag used on the wire.
@@ -261,6 +268,7 @@ impl EventKind {
             EventKind::PeerConnected => "PeerConnected",
             EventKind::PeerDisconnected => "PeerDisconnected",
             EventKind::PeerReconnected => "PeerReconnected",
+            EventKind::CheckpointPersistFailed => "CheckpointPersistFailed",
             EventKind::FrameRejected => "FrameRejected",
         }
     }
@@ -300,6 +308,7 @@ impl Event {
             Event::PeerDisconnected { .. } => EventKind::PeerDisconnected,
             Event::PeerReconnected { .. } => EventKind::PeerReconnected,
             Event::FrameRejected { .. } => EventKind::FrameRejected,
+            Event::CheckpointPersistFailed { .. } => EventKind::CheckpointPersistFailed,
         }
     }
 
@@ -388,6 +397,9 @@ impl Event {
             }
             Event::FrameRejected { from, reason } => {
                 w.u64("from", *from).str("reason", reason);
+            }
+            Event::CheckpointPersistFailed { resource, reason } => {
+                w.u64("resource", *resource).str("reason", reason);
             }
         }
         w.finish()
@@ -512,6 +524,9 @@ impl Event {
             }
             EventKind::FrameRejected => {
                 Event::FrameRejected { from: u("from")?, reason: s("reason")? }
+            }
+            EventKind::CheckpointPersistFailed => {
+                Event::CheckpointPersistFailed { resource: u("resource")?, reason: s("reason")? }
             }
         })
     }
@@ -723,6 +738,7 @@ mod tests {
             Event::PeerDisconnected { resource: 2, reason: "heartbeat deadline".into() },
             Event::PeerReconnected { resource: 2, attempts: 3 },
             Event::FrameRejected { from: 4, reason: "checksum mismatch".into() },
+            Event::CheckpointPersistFailed { resource: 3, reason: "disk full".into() },
         ]
     }
 

@@ -281,12 +281,15 @@ impl RecoveryImage {
         serde_json::from_str(text).map_err(|e| JournalError::Codec(e.to_string()))
     }
 
-    /// Spill to a file (pretty-stable JSON; used for the CI artifact).
-    pub fn write_to<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
-        if let Some(dir) = path.as_ref().parent() {
-            std::fs::create_dir_all(dir)?;
-        }
-        std::fs::write(path, self.to_bytes())
+    /// Spill to a file (pretty-stable JSON; used for the CI artifact
+    /// and for warm-restart state). Published atomically — sibling tmp,
+    /// fsync, rename — so a crash mid-write leaves the previous image
+    /// or the new one, never a torn file. Returns the path written.
+    pub fn write_to<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+    ) -> std::io::Result<std::path::PathBuf> {
+        gridmine_store::atomic_write_file(path, &self.to_bytes())
     }
 
     pub fn read_from<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Self> {

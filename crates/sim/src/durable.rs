@@ -1,0 +1,202 @@
+//! Durable dynamic databases: each resource's §3 transaction stream is
+//! persisted into a resource-local [`gridmine_store::Store`] as it
+//! arrives, so a warm restart mid-stream resumes from the last snapshot
+//! plus the WAL tail instead of replaying (or losing) the full history.
+//!
+//! The layer is deliberately thin: transactions live in one tree keyed
+//! by big-endian id (so a scan yields arrival order for monotonically
+//! assigned ids), values are the serde wire form already used by the
+//! checkpoint path. Appends flush before returning — an acknowledged
+//! transaction is on disk — and the WAL is folded into a fresh snapshot
+//! whenever it grows past a threshold, which is what keeps restart
+//! replay proportional to the tail, not the stream.
+
+use std::collections::VecDeque;
+
+use gridmine_arm::{Database, Transaction};
+use gridmine_store::{Backend, MemBackend, OpenReport, Store, StoreError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::workload::GrowthPlan;
+
+/// Tree holding the streamed transactions.
+const TX_TREE: &str = "tx";
+
+/// Default WAL size (bytes) that triggers folding the log into a fresh
+/// snapshot. Small enough that tests exercise compaction; large enough
+/// that a burst of appends amortises the snapshot rewrite.
+pub const DEFAULT_COMPACT_BYTES: u64 = 16 * 1024;
+
+/// A resource-local durable transaction stream over any [`Backend`].
+pub struct DurableStream<B: Backend> {
+    store: Store<B>,
+    compact_bytes: u64,
+}
+
+impl DurableStream<MemBackend> {
+    /// An empty in-memory stream (tests, crash harnesses).
+    pub fn in_memory() -> Result<Self, StoreError> {
+        Self::open(MemBackend::new())
+    }
+}
+
+impl<B: Backend> DurableStream<B> {
+    /// Opens (or creates) the stream over `backend`, replaying the
+    /// snapshot and WAL tail left by the previous incarnation.
+    pub fn open(backend: B) -> Result<Self, StoreError> {
+        let store = Store::open(backend)?;
+        Ok(DurableStream { store, compact_bytes: DEFAULT_COMPACT_BYTES })
+    }
+
+    /// Overrides the WAL size that triggers snapshot compaction.
+    pub fn with_compact_bytes(mut self, bytes: u64) -> Self {
+        self.compact_bytes = bytes.max(1);
+        self
+    }
+
+    /// Receipts from the open that produced this stream: how much came
+    /// from the snapshot vs. the replayed WAL tail.
+    pub fn open_report(&self) -> OpenReport {
+        self.store.open_report()
+    }
+
+    /// Persists one arriving transaction. On return the transaction is
+    /// flushed to the backend; a crash after this point replays it.
+    pub fn append(&mut self, tx: &Transaction) -> Result<(), StoreError> {
+        self.store.put(TX_TREE, &tx.id.to_be_bytes(), tx_bytes(tx).as_bytes())?;
+        self.seal()
+    }
+
+    /// Persists a batch with a single flush (one durability horizon for
+    /// the whole step, matching the engine's per-step growth pass).
+    pub fn append_all(&mut self, txs: &[Transaction]) -> Result<(), StoreError> {
+        if txs.is_empty() {
+            return Ok(());
+        }
+        for tx in txs {
+            self.store.put(TX_TREE, &tx.id.to_be_bytes(), tx_bytes(tx).as_bytes())?;
+        }
+        self.seal()
+    }
+
+    /// Flushes, then folds the WAL into a snapshot if it outgrew the
+    /// threshold — the invariant that keeps restarts tail-bounded.
+    fn seal(&mut self) -> Result<(), StoreError> {
+        self.store.flush()?;
+        if self.store.wal_bytes() >= self.compact_bytes {
+            self.store.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Number of transactions persisted.
+    pub fn len(&self) -> usize {
+        self.store.tree_len(TX_TREE)
+    }
+
+    /// True when nothing has been persisted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reconstructs the streamed transactions as a [`Database`], in id
+    /// order. Fails with a typed error if a stored value does not decode
+    /// — durable bytes that parse as garbage are corruption, not data.
+    pub fn database(&self) -> Result<Database, StoreError> {
+        let mut txs = Vec::with_capacity(self.len());
+        for (key, value) in self.store.scan_tree(TX_TREE) {
+            let text = std::str::from_utf8(value)
+                .map_err(|e| StoreError::Io(format!("transaction {key:?}: {e}")))?;
+            let tx: Transaction = serde_json::from_str(text)
+                .map_err(|e| StoreError::Io(format!("transaction {key:?}: {e}")))?;
+            txs.push(tx);
+        }
+        Ok(Database::from_transactions(txs))
+    }
+
+    /// Borrows the underlying store (inspection, manual compaction).
+    pub fn store(&self) -> &Store<B> {
+        &self.store
+    }
+
+    /// Tears the stream down to its backend, as a crash or shutdown
+    /// would leave it — reopen with [`DurableStream::open`].
+    pub fn into_backend(self) -> B {
+        self.store.into_backend()
+    }
+}
+
+fn tx_bytes(tx: &Transaction) -> String {
+    serde_json::to_string(tx).unwrap_or_else(|e| panic!("transaction {} serializes: {e}", tx.id))
+}
+
+/// A seeded §3 churn feed over `pool`: `fresh` new transactions (items
+/// cloned from random pool members, ids from `id_from`) followed by
+/// `negations` cancelling randomly chosen positive transactions — both
+/// earlier stream entries and original pool members, so the stream can
+/// retract initial database content too.
+pub fn churn_stream(
+    pool: &[Transaction],
+    fresh: usize,
+    negations: usize,
+    id_from: u64,
+    seed: u64,
+) -> Vec<Transaction> {
+    assert!(!pool.is_empty(), "churn needs a donor pool");
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x5EED_C1124);
+    let mut next_id = id_from;
+    let mut out: Vec<Transaction> = Vec::with_capacity(fresh + negations);
+    for _ in 0..fresh {
+        let donor = &pool[rng.gen_range(0..pool.len())];
+        out.push(Transaction::new(next_id, donor.items().to_vec()));
+        next_id += 1;
+    }
+    // Each target is retracted at most once so net supports never go
+    // negative — a stream of valid §3 updates, not an underflow attack.
+    let mut negated = std::collections::HashSet::new();
+    for _ in 0..negations {
+        let candidates: Vec<&Transaction> = pool
+            .iter()
+            .chain(out.iter())
+            .filter(|t| t.polarity() == 1 && !negated.contains(&t.id))
+            .collect();
+        let Some(target) = candidates.get(rng.gen_range(0..candidates.len().max(1))) else {
+            break;
+        };
+        negated.insert(target.id);
+        let neg = target.negation_of(next_id);
+        next_id += 1;
+        out.push(neg);
+    }
+    out
+}
+
+/// Wraps per-resource churn into [`GrowthPlan`]s: resource `u` keeps its
+/// initial database and streams `churn_stream` of its own partition,
+/// with globally unique ids carved from disjoint ranges.
+pub fn churn_plans(
+    initials: Vec<Database>,
+    fresh: usize,
+    negations: usize,
+    seed: u64,
+) -> Vec<GrowthPlan> {
+    let id_base =
+        1 + initials.iter().flat_map(|db| db.transactions()).map(|t| t.id).max().unwrap_or(0);
+    let span = (fresh + negations) as u64;
+    initials
+        .into_iter()
+        .enumerate()
+        .map(|(u, db)| {
+            let stream: VecDeque<Transaction> = churn_stream(
+                db.transactions(),
+                fresh,
+                negations,
+                id_base + span * u as u64,
+                seed ^ u as u64,
+            )
+            .into();
+            GrowthPlan { initial: db, stream }
+        })
+        .collect()
+}

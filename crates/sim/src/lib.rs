@@ -20,6 +20,7 @@
 //!   [`SimSession`]).
 
 pub mod config;
+pub mod durable;
 pub mod engine;
 pub mod metrics;
 pub mod runner;
@@ -28,6 +29,7 @@ pub mod wheel;
 pub mod workload;
 
 pub use config::SimConfig;
+pub use durable::{churn_plans, churn_stream, DurableStream};
 pub use engine::Simulation;
 pub use metrics::{GlobalMetrics, ObsSummary, Sample};
 #[allow(deprecated)]

@@ -1,0 +1,192 @@
+//! Crash-point injection: kill any backend operation at any byte.
+//!
+//! A [`CrashPlan`] names one operation (by global index) and, for
+//! appends, a byte offset within it. The wrapped backend applies a
+//! strict prefix of that operation and then dies — every later call
+//! returns [`StoreError::Crashed`] — modeling a process or machine
+//! kill mid-write under POSIX append semantics.
+//!
+//! The sweep protocol (see `tests/crash_points.rs`):
+//! 1. Run the workload once over a pass-through [`CrashBackend`]
+//!    (no kill) and read back [`CrashBackend::op_log`] — the complete
+//!    list of crash points.
+//! 2. For each point (and for appends, each byte boundary), re-run the
+//!    workload with that kill armed, then restart from
+//!    [`MemBackend::crashed`] — both with and without the unsynced
+//!    bytes — and require the reopened store to hold a prefix of the
+//!    committed writes: pre- or post-write state, never a torn one.
+
+use crate::backend::{Backend, MemBackend};
+use crate::error::StoreError;
+
+/// One operation observed (and killable) at the backend boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// An append of this many bytes — killable at every byte offset
+    /// `0..=len` (a cut at `len` models dying right after the write).
+    Append(usize),
+    /// Sync, truncate, rename or remove — killable as a unit (the
+    /// operation either happened or did not; a crash "during" rename
+    /// is one of those two states on a POSIX filesystem).
+    Meta,
+}
+
+/// Where to kill the backend. `op` indexes into the op log of the
+/// workload; `byte` bounds the prefix applied when that op is an
+/// append (ignored for meta ops, which simply do not happen).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Zero-based index of the operation to kill.
+    pub op: u64,
+    /// Bytes of the append actually applied before death.
+    pub byte: usize,
+}
+
+/// A [`MemBackend`] wrapper that executes a [`CrashPlan`].
+///
+/// Without a plan it is a transparent recorder: the workload runs to
+/// completion and [`CrashBackend::op_log`] enumerates every kill point
+/// for the sweep to iterate.
+pub struct CrashBackend {
+    inner: MemBackend,
+    plan: Option<CrashPlan>,
+    ops: u64,
+    dead: bool,
+    log: Vec<OpKind>,
+}
+
+impl CrashBackend {
+    /// Pass-through recorder over `inner` (no kill).
+    pub fn recording(inner: MemBackend) -> Self {
+        CrashBackend { inner, plan: None, ops: 0, dead: false, log: Vec::new() }
+    }
+
+    /// Arms `plan` over `inner`.
+    pub fn armed(inner: MemBackend, plan: CrashPlan) -> Self {
+        CrashBackend { inner, plan: Some(plan), ops: 0, dead: false, log: Vec::new() }
+    }
+
+    /// Every operation the workload issued, in order.
+    pub fn op_log(&self) -> &[OpKind] {
+        &self.log
+    }
+
+    /// True once the armed kill point fired.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// The wrapped backend, for post-mortem inspection: combine with
+    /// [`MemBackend::crashed`] to materialize what a restart sees.
+    pub fn into_inner(self) -> MemBackend {
+        self.inner
+    }
+
+    /// Counts the op; returns `true` when this op is the kill point.
+    fn tick(&mut self, kind: OpKind) -> Result<bool, StoreError> {
+        if self.dead {
+            return Err(StoreError::Crashed);
+        }
+        self.log.push(kind);
+        let hit = self.plan.is_some_and(|p| p.op == self.ops);
+        self.ops += 1;
+        if hit {
+            self.dead = true;
+        }
+        Ok(hit)
+    }
+}
+
+impl Backend for CrashBackend {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        if self.dead {
+            return Err(StoreError::Crashed);
+        }
+        self.inner.read(name)
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        if self.tick(OpKind::Append(bytes.len()))? {
+            let cut = self.plan.map(|p| p.byte.min(bytes.len())).unwrap_or(0);
+            let prefix = bytes.get(..cut).unwrap_or(bytes);
+            self.inner.append(name, prefix)?;
+            return Err(StoreError::Crashed);
+        }
+        self.inner.append(name, bytes)
+    }
+
+    fn sync(&mut self, name: &str) -> Result<(), StoreError> {
+        if self.tick(OpKind::Meta)? {
+            return Err(StoreError::Crashed);
+        }
+        self.inner.sync(name)
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<(), StoreError> {
+        if self.tick(OpKind::Meta)? {
+            return Err(StoreError::Crashed);
+        }
+        self.inner.truncate(name, len)
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
+        if self.tick(OpKind::Meta)? {
+            return Err(StoreError::Crashed);
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        if self.tick(OpKind::Meta)? {
+            return Err(StoreError::Crashed);
+        }
+        self.inner.remove(name)
+    }
+
+    fn list(&mut self) -> Result<Vec<String>, StoreError> {
+        if self.dead {
+            return Err(StoreError::Crashed);
+        }
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_logs_without_interfering() {
+        let mut b = CrashBackend::recording(MemBackend::new());
+        b.append("f", b"abc").expect("append");
+        b.sync("f").expect("sync");
+        b.rename("f", "g").expect("rename");
+        assert_eq!(b.op_log(), &[OpKind::Append(3), OpKind::Meta, OpKind::Meta]);
+        assert!(!b.is_dead());
+        assert_eq!(b.into_inner().bytes("g"), Some(&b"abc"[..]));
+    }
+
+    #[test]
+    fn armed_kill_applies_a_prefix_then_poisons_everything() {
+        let mut b = CrashBackend::armed(MemBackend::new(), CrashPlan { op: 1, byte: 2 });
+        b.append("f", b"abc").expect("op 0 unaffected");
+        assert_eq!(b.append("f", b"defgh"), Err(StoreError::Crashed));
+        assert!(b.is_dead());
+        assert_eq!(b.sync("f"), Err(StoreError::Crashed));
+        assert_eq!(b.read("f"), Err(StoreError::Crashed));
+        let dead = b.into_inner();
+        assert_eq!(dead.bytes("f"), Some(&b"abcde"[..]), "two bytes of op 1 landed");
+        assert_eq!(dead.crashed(true).bytes("f"), Some(&b""[..]), "nothing was synced");
+    }
+
+    #[test]
+    fn meta_kill_point_simply_does_not_happen() {
+        let mut b = CrashBackend::armed(MemBackend::new(), CrashPlan { op: 2, byte: 0 });
+        b.append("f", b"abc").expect("append");
+        b.sync("f").expect("sync");
+        assert_eq!(b.rename("f", "g"), Err(StoreError::Crashed));
+        let dead = b.into_inner();
+        assert_eq!(dead.bytes("f"), Some(&b"abc"[..]), "rename never fired");
+        assert_eq!(dead.bytes("g"), None);
+    }
+}

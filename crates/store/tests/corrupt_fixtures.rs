@@ -1,0 +1,185 @@
+//! Checked-in corpus of corrupt store segments, each pinned to the
+//! exact typed error it must decode to.
+//!
+//! The clean segments are byte-pinned too (the hex constants below are
+//! the canonical on-disk encoding of the baseline store): a format
+//! drift shows up here as a hex mismatch before it can silently orphan
+//! persisted state in the field. The corrupt variants are derived from
+//! the clean bytes by the same byte surgery a torn disk or a malicious
+//! host would perform — bit flips, truncations, field patches, and a
+//! forged record whose digest chain is *valid* (the keyless chain is
+//! tamper evidence, not authentication; shape screens still catch it).
+
+use gridmine_store::{CorruptKind, MemBackend, Store, StoreError};
+
+const SNAP: &str = "snap-0000000000000001.seg";
+const WAL: &str = "wal-0000000000000001.log";
+
+/// `snap-…0001.seg` of the baseline store: two chained `Put` records
+/// (`t/k1=v1`, `t/k2=v2`) folded by the compaction at generation 1.
+#[rustfmt::skip]
+const SNAP_HEX: &str = "100000000000000000000000b61c310abf5393a301010074020000006b31020000007631100000000100000000000000b2a8cf552397e2f101010074020000006b32020000007632";
+
+/// `wal-…0001.log` of the baseline store: the anchor binding to the
+/// snapshot head, then one tail `Put` (`t/k3=v3`).
+#[rustfmt::skip]
+const WAL_HEX: &str = "1100000000000000000000006f9cf6ea639e1d5200b2a8cf552397e2f10100000000000000100000000100000000000000479778bec90d969401010074020000006b33020000007633";
+
+/// A record with a correctly-computed chain digest over a payload that
+/// is not a valid op (tag byte 7) — the adversary who recomputes the
+/// keyless digests. Appends cleanly after `WAL_HEX`.
+const FORGED_BADOP_HEX: &str = "010000000200000000000000884832d3f459ef7507";
+
+fn unhex(s: &str) -> Vec<u8> {
+    let compact: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    compact
+        .as_bytes()
+        .chunks(2)
+        .map(|p| u8::from_str_radix(std::str::from_utf8(p).expect("ascii"), 16).expect("hex"))
+        .collect()
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The baseline store the corpus was cut from.
+fn baseline() -> MemBackend {
+    let mut s = Store::in_memory().expect("open");
+    s.put("t", b"k1", b"v1").expect("put");
+    s.put("t", b"k2", b"v2").expect("put");
+    s.flush().expect("flush");
+    s.compact().expect("compact");
+    s.put("t", b"k3", b"v3").expect("put");
+    s.flush().expect("flush");
+    s.into_backend()
+}
+
+/// A backend holding exactly the checked-in corpus bytes.
+fn corpus_backend() -> MemBackend {
+    let mut b = MemBackend::new();
+    b.bytes_mut(SNAP).extend_from_slice(&unhex(SNAP_HEX));
+    b.bytes_mut(WAL).extend_from_slice(&unhex(WAL_HEX));
+    b
+}
+
+fn corrupt(segment: &str, offset: u64, kind: CorruptKind) -> StoreError {
+    StoreError::Corrupt { segment: segment.to_string(), offset, kind }
+}
+
+#[test]
+fn canonical_segments_are_byte_pinned() {
+    let b = baseline();
+    assert_eq!(hex(b.bytes(SNAP).expect("snap")), hex(&unhex(SNAP_HEX)), "snapshot format drift");
+    assert_eq!(hex(b.bytes(WAL).expect("wal")), hex(&unhex(WAL_HEX)), "WAL format drift");
+}
+
+#[test]
+fn clean_corpus_opens_to_the_baseline_state() {
+    let s = Store::open(corpus_backend()).expect("clean corpus opens");
+    let r = s.open_report();
+    assert_eq!(r.generation, 1);
+    assert_eq!(r.snapshot_records, 2);
+    assert_eq!(r.wal_replayed, 1);
+    assert_eq!(r.truncated_bytes, 0);
+    assert!(!r.recreated_wal);
+    assert_eq!(s.get("t", b"k1"), Some(&b"v1"[..]));
+    assert_eq!(s.get("t", b"k2"), Some(&b"v2"[..]));
+    assert_eq!(s.get("t", b"k3"), Some(&b"v3"[..]));
+}
+
+#[test]
+fn bit_flip_in_snapshot_payload_is_digest_mismatch() {
+    let mut b = corpus_backend();
+    b.bytes_mut(SNAP)[25] ^= 0x01;
+    let err = Store::open(b).expect_err("must refuse");
+    assert_eq!(err, corrupt(SNAP, 0, CorruptKind::DigestMismatch));
+}
+
+#[test]
+fn truncated_snapshot_is_torn_snapshot_not_silent_repair() {
+    // A snapshot is published atomically, so a short one cannot be a
+    // crash artifact: no truncate-and-continue, typed refusal instead.
+    let mut b = corpus_backend();
+    b.bytes_mut(SNAP).truncate(40);
+    let err = Store::open(b).expect_err("must refuse");
+    assert_eq!(err, corrupt(SNAP, 36, CorruptKind::TornSnapshot));
+}
+
+#[test]
+fn bit_flip_in_wal_record_is_digest_mismatch_at_that_record() {
+    let mut b = corpus_backend();
+    let n = b.bytes_mut(WAL).len();
+    b.bytes_mut(WAL)[n - 1] ^= 0x80;
+    let err = Store::open(b).expect_err("must refuse");
+    assert_eq!(err, corrupt(WAL, 37, CorruptKind::DigestMismatch));
+}
+
+#[test]
+fn over_cap_length_field_is_bad_length() {
+    let mut b = corpus_backend();
+    // Patch the second record's length field past MAX_PAYLOAD: caught
+    // before any allocation or payload read.
+    b.bytes_mut(WAL)[37..41].copy_from_slice(&0x0200_0000u32.to_le_bytes());
+    let err = Store::open(b).expect_err("must refuse");
+    assert_eq!(err, corrupt(WAL, 37, CorruptKind::BadLength));
+}
+
+#[test]
+fn spliced_sequence_number_is_sequence_skew() {
+    let mut b = corpus_backend();
+    b.bytes_mut(WAL)[41] = 9;
+    let err = Store::open(b).expect_err("must refuse");
+    assert_eq!(err, corrupt(WAL, 37, CorruptKind::SequenceSkew));
+}
+
+#[test]
+fn forged_record_with_valid_digest_is_bad_op() {
+    let mut b = corpus_backend();
+    b.bytes_mut(WAL).extend_from_slice(&unhex(FORGED_BADOP_HEX));
+    let err = Store::open(b).expect_err("must refuse");
+    assert_eq!(err, corrupt(WAL, 73, CorruptKind::BadOp));
+}
+
+#[test]
+fn wal_transplanted_across_generations_is_digest_mismatch() {
+    // A gen-0 WAL renamed into the gen-1 slot fails on the per-(kind,
+    // generation) seed before its (bogus) anchor is even looked at.
+    let fresh = Store::in_memory().expect("open").into_backend();
+    let gen0_wal = fresh.bytes("wal-0000000000000000.log").expect("gen0 wal").to_vec();
+    let mut b = corpus_backend();
+    b.bytes_mut(WAL).clear();
+    b.bytes_mut(WAL).extend_from_slice(&gen0_wal);
+    let err = Store::open(b).expect_err("must refuse");
+    assert_eq!(err, corrupt(WAL, 0, CorruptKind::DigestMismatch));
+}
+
+#[test]
+fn snapshot_transplanted_into_wal_slot_is_digest_mismatch() {
+    // Same generation, wrong segment kind: the kind-tagged seed refuses
+    // the splice even though every record is internally consistent.
+    let mut b = corpus_backend();
+    let snap = b.bytes(SNAP).expect("snap").to_vec();
+    b.bytes_mut(WAL).clear();
+    b.bytes_mut(WAL).extend_from_slice(&snap);
+    let err = Store::open(b).expect_err("must refuse");
+    assert_eq!(err, corrupt(WAL, 0, CorruptKind::DigestMismatch));
+}
+
+#[test]
+fn corrupt_kind_names_are_stable() {
+    // These tags reach logs and obs events; renaming one is a breaking
+    // change and must be deliberate.
+    let pinned = [
+        (CorruptKind::BadLength, "bad-length"),
+        (CorruptKind::DigestMismatch, "digest-mismatch"),
+        (CorruptKind::SequenceSkew, "sequence-skew"),
+        (CorruptKind::BadOp, "bad-op"),
+        (CorruptKind::AnchorMismatch, "anchor-mismatch"),
+        (CorruptKind::TornSnapshot, "torn-snapshot"),
+        (CorruptKind::MissingSnapshot, "missing-snapshot"),
+    ];
+    for (kind, name) in pinned {
+        assert_eq!(kind.name(), name);
+    }
+}

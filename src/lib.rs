@@ -19,6 +19,7 @@
 //! | [`sim`] | `gridmine-sim` | the §6 grid simulator and experiment drivers |
 //! | [`obs`] | `gridmine-obs` | structured protocol events, recorders, metrics |
 //! | [`recovery`] | `gridmine-recovery` | checkpoint + journal recovery state, retry policies |
+//! | [`store`] | `gridmine-store` | embedded log-structured store: digest-chained WAL, crash-point injection |
 //! | [`net`] | `gridmine-net` | versioned wire codec, supervised TCP transport, multi-process driver |
 //!
 //! ## Quickstart
@@ -83,6 +84,7 @@ pub use gridmine_paillier as crypto;
 pub use gridmine_quest as quest;
 pub use gridmine_recovery as recovery;
 pub use gridmine_sim as sim;
+pub use gridmine_store as store;
 pub use gridmine_topology as topology;
 
 /// The most common imports in one place.
