@@ -1,0 +1,97 @@
+//! gridlint wall-time budget: linting the whole workspace must stay a
+//! pre-commit-friendly sub-second affair even as the tree grows, and
+//! the per-family split shows where that budget goes (the symbol
+//! table + call graph build is shared, then each rule family pays its
+//! own scan). Results land in `BENCH_lint.json` at the repo root for
+//! CI to archive next to the other substrate benches.
+
+use gridmine_bench::hr;
+use gridmine_lint::config::Config;
+use gridmine_lint::workspace::Workspace;
+use gridmine_lint::{lint_root, rules};
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+#[derive(serde::Serialize)]
+struct FamilyRow {
+    /// `symbols` (the shared table + call-graph build) or a rule family.
+    pass: String,
+    micros_best: u64,
+}
+
+#[derive(serde::Serialize)]
+struct LintReport {
+    schema: &'static str,
+    files_scanned: usize,
+    findings_total: usize,
+    findings_live: usize,
+    /// Full run from a cold workspace walk: read + lex + all families +
+    /// suppression matching — what `gridlint --root .` actually costs.
+    cold_wall_ms: f64,
+    cold_runs: usize,
+    /// Best-of-N per-pass split over an already-loaded workspace.
+    passes: Vec<FamilyRow>,
+}
+
+fn main() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let cfg_text = std::fs::read_to_string(root.join("gridlint.toml")).expect("read gridlint.toml");
+    let cfg = Config::parse(&cfg_text).expect("parse gridlint.toml");
+
+    hr("full workspace, cold (walk + lex + all families)");
+    const COLD_RUNS: usize = 5;
+    let mut cold_best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..COLD_RUNS {
+        let t = Instant::now();
+        let r = lint_root(root, &cfg).expect("lint workspace");
+        cold_best = cold_best.min(t.elapsed().as_secs_f64() * 1e3);
+        result = Some(r);
+    }
+    let result = result.expect("at least one run");
+    let live = result.live().count();
+    println!(
+        "{} files, {} finding(s) ({} live): {:.1} ms cold (best of {COLD_RUNS})",
+        result.files_scanned,
+        result.diagnostics.len(),
+        live,
+        cold_best
+    );
+    // The whole point of a pre-commit linter: it must not be felt.
+    assert!(cold_best < 5_000.0, "gridlint cold run exceeded 5 s: {cold_best:.0} ms");
+
+    hr("per-pass split (warm workspace, best of 5)");
+    let ws = Workspace::load(root, &cfg.exclude).expect("load workspace");
+    let mut best: Vec<(String, u64)> = Vec::new();
+    for _ in 0..5 {
+        let (diags, timings) = rules::run_timed(&ws, &cfg);
+        black_box(diags);
+        if best.is_empty() {
+            best = timings.iter().map(|(n, us)| (n.to_string(), *us as u64)).collect();
+        } else {
+            for (b, (_, us)) in best.iter_mut().zip(&timings) {
+                b.1 = b.1.min(*us as u64);
+            }
+        }
+    }
+    let mut passes = Vec::new();
+    for (pass, micros_best) in best {
+        println!("{pass:>14}: {micros_best:>7} µs");
+        passes.push(FamilyRow { pass, micros_best });
+    }
+
+    let report = LintReport {
+        schema: "gridmine-bench-lint-v1",
+        files_scanned: result.files_scanned,
+        findings_total: result.diagnostics.len(),
+        findings_live: live,
+        cold_wall_ms: cold_best,
+        cold_runs: COLD_RUNS,
+        passes,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json");
+    let body = serde_json::to_string_pretty(&report).expect("serialize lint report");
+    std::fs::write(path, body + "\n").expect("write BENCH_lint.json");
+    println!("\nwrote {path}");
+}

@@ -161,6 +161,7 @@ impl SessionCipher for MockCipher {
 
 impl SessionCipher for PaillierCtx {
     fn session_keys(seed: u64) -> GridKeys<Self> {
+        // gridlint: allow(taint-flow) -- the session builder is the key provisioner: it generates GridKeys once, hands them to the resources it constructs, and never opens a ciphertext itself
         GridKeys::paillier(DEFAULT_PAILLIER_BITS, seed)
     }
 }

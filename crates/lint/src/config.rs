@@ -67,6 +67,30 @@ pub struct Config {
     pub pair_scope: Scope,
     pub pairs: BTreeMap<String, String>,
     pub pair_window: u32,
+
+    /// taint-flow: path prefixes whose fns seed the interprocedural
+    /// taint (the decryption producers), and the seed name patterns.
+    pub flow_seed_scope: Vec<String>,
+    pub flow_seed_names: Vec<String>,
+    pub flow_seed_prefixes: Vec<String>,
+    /// Types whose return taints a fn regardless of scope, plus every
+    /// struct/enum transitively containing one.
+    pub flow_value_types: Vec<String>,
+    /// Reviewed consumers (controller/SFE gate): call-propagation stops
+    /// at these path prefixes.
+    pub flow_declassify: Vec<String>,
+    /// Return-type idents that declassify a fn's output (one-bit SFE
+    /// verdicts, error enums, plain sizes).
+    pub flow_clear_returns: Vec<String>,
+    /// Wire-encoder call names: a tainted call among their arguments is
+    /// a sink.
+    pub flow_sink_calls: Vec<String>,
+
+    /// lock-order: files whose functions contribute lock acquisitions.
+    pub lock_order_scope: Scope,
+
+    /// crash-safety: protocol crates that must persist atomically.
+    pub crash_scope: Scope,
 }
 
 /// A scalar or array value in the TOML subset.
@@ -190,6 +214,18 @@ impl Config {
             },
             pairs,
             pair_window: int("obs-parity", "window", 4) as u32,
+            flow_seed_scope: arr("taint-flow", "seed_scope"),
+            flow_seed_names: arr("taint-flow", "seed_names"),
+            flow_seed_prefixes: arr("taint-flow", "seed_prefixes"),
+            flow_value_types: arr("taint-flow", "value_types"),
+            flow_declassify: arr("taint-flow", "declassify"),
+            flow_clear_returns: arr("taint-flow", "clear_returns"),
+            flow_sink_calls: arr("taint-flow", "sink_calls"),
+            lock_order_scope: Scope {
+                deny: arr("lock-order", "scan"),
+                allow: arr("lock-order", "allow"),
+            },
+            crash_scope: scope("crash-safety"),
         })
     }
 }

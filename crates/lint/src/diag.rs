@@ -4,10 +4,18 @@
 
 use gridmine_obs::Table;
 
-/// The four enforced rule families plus the meta-rule about suppressions
-/// themselves.
-pub const RULES: [&str; 5] =
-    ["privacy-taint", "panic-freedom", "determinism", "obs-parity", "suppression"];
+/// The seven enforced rule families plus the meta-rule about
+/// suppressions themselves.
+pub const RULES: [&str; 8] = [
+    "privacy-taint",
+    "taint-flow",
+    "panic-freedom",
+    "lock-order",
+    "crash-safety",
+    "determinism",
+    "obs-parity",
+    "suppression",
+];
 
 /// One finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -119,6 +127,46 @@ pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
         "{{\"summary\":true,\"files\":{files_scanned},\"live\":{live},\"suppressed\":{}}}\n",
         diags.len() - live
     ));
+    out
+}
+
+/// SARIF 2.1.0 (the minimal subset code-scanning UIs consume): one run,
+/// one result per finding, waivers carried as `suppressions` entries.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"gridlint\",\"rules\":[",
+    );
+    for (i, rule) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"id\":\"{rule}\"}}"));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"ruleId\":\"");
+        out.push_str(d.rule);
+        out.push_str("\",\"level\":\"error\",\"message\":{\"text\":\"");
+        json_escape_into(&mut out, &d.message);
+        out.push_str("\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"");
+        json_escape_into(&mut out, &d.file);
+        out.push_str("\"},\"region\":{\"startLine\":");
+        out.push_str(&d.line.to_string());
+        out.push_str("}}}]");
+        if let Some(j) = &d.suppressed {
+            out.push_str(",\"suppressions\":[{\"kind\":\"inSource\",\"justification\":\"");
+            json_escape_into(&mut out, j);
+            out.push_str("\"}]");
+        }
+        out.push('}');
+    }
+    out.push_str("]}]}\n");
     out
 }
 

@@ -50,6 +50,13 @@ pub struct Suppression {
     /// True when the comment shares its line with code (suppresses that
     /// line); false when it stands alone (suppresses the next line).
     pub trailing: bool,
+    /// True when the comment sits inside a `#[cfg(test)]`/`#[test]`
+    /// region. Tests are exempt from every rule, so such a waiver can
+    /// never suppress anything — it is reported as inert rather than
+    /// silently matched against production lines (the old behavior let a
+    /// waiver on the last line of a test module swallow a finding on the
+    /// production line after it).
+    pub in_test: bool,
 }
 
 /// Full lex result for one file.
@@ -70,6 +77,19 @@ pub fn lex(src: &str) -> Lexed {
     };
     lx.run();
     mark_test_regions(&mut lx.out.toks);
+    // A suppression is in a test region only when its source neighbors on
+    // *both* sides are (conservative AND: a waiver straddling the
+    // region's closing brace still counts as inside it).
+    for s in &mut lx.out.suppressions {
+        let before = lx.out.toks.iter().rev().find(|t| t.line <= s.line).map(|t| t.in_test);
+        let after = lx.out.toks.iter().find(|t| t.line > s.line).map(|t| t.in_test);
+        s.in_test = match (before, after) {
+            (Some(a), Some(b)) => a && b,
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => false,
+        };
+    }
     lx.out
 }
 
@@ -332,7 +352,7 @@ fn parse_suppression(comment: &str, line: u32, trailing: bool) -> Option<Suppres
         rest[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
     let after = rest[close + 1..].trim();
     let justification = after.strip_prefix("--").map(|j| j.trim().to_string()).unwrap_or_default();
-    Some(Suppression { rules, justification, line, trailing })
+    Some(Suppression { rules, justification, line, trailing, in_test: false })
 }
 
 /// Marks tokens inside `#[cfg(test)]` / `#[test]` item bodies.
@@ -343,6 +363,9 @@ fn parse_suppression(comment: &str, line: u32, trailing: bool) -> Option<Suppres
 fn mark_test_regions(toks: &mut [Tok]) {
     let mut i = 0;
     let mut depth: i32 = 0;
+    // Paren/bracket nesting, so a `;` inside `[u8; 32]` or a default
+    // argument never reads as an item-ending semicolon.
+    let mut pdepth: i32 = 0;
     // (depth at which the flagged block closes) for active test regions.
     let mut test_until: Vec<i32> = Vec::new();
     let mut pending_test = false;
@@ -391,8 +414,11 @@ fn mark_test_regions(toks: &mut [Tok]) {
                 }
                 depth -= 1;
             }
-            (TokKind::Punct, ";") if pending_test && depth == 0 => {
-                // `#[cfg(test)] mod tests;` — out-of-line test module.
+            (TokKind::Punct, "(" | "[") => pdepth += 1,
+            (TokKind::Punct, ")" | "]") => pdepth -= 1,
+            (TokKind::Punct, ";") if pending_test && pdepth == 0 => {
+                // `#[cfg(test)] mod tests;` / `#[cfg(test)] use x;` — a
+                // braceless test-gated item at any brace depth ends here.
                 pending_test = false;
             }
             _ => {}

@@ -13,21 +13,37 @@
 //! * **privacy-taint** — key-blind modules must not name decryption or
 //!   plaintext-bearing items; secret types must not be formattable;
 //!   secrets must not flow into `obs` events.
+//! * **taint-flow** — the interprocedural form of the same contract: a
+//!   workspace symbol table and call graph propagate taint from the
+//!   decryption seeds through calls, returns and struct fields, and any
+//!   path into a key-blind module, an `Event` construction, a
+//!   `Debug`/`Display` impl, or a wire encoder is reported with its full
+//!   call chain.
 //! * **panic-freedom** — no `unwrap`/`expect`/`panic!`/slice-indexing in
 //!   protocol and wire-decode modules.
+//! * **lock-order** — every `Mutex`/`RwLock` acquisition site feeds a
+//!   may-hold-while-acquiring graph; cycles (potential deadlocks) are
+//!   diagnostics and the acyclic order is pinned as a fixture.
+//! * **crash-safety** — protocol crates must not persist through
+//!   `std::fs::write`/`File::create`; durable state routes through
+//!   `atomic_write_file` or a `Store` tree.
 //! * **determinism** — no wall clocks or OS entropy anywhere reachable
 //!   from the deterministic-replay drivers.
 //! * **obs-parity** — every tally increment pairs with an adjacent
 //!   `Event` emission and every `Event` variant is emitted somewhere.
 //!
 //! Scoping lives in the checked-in `gridlint.toml`; individual sites are
-//! waived with `// gridlint: allow(<rule>) -- <justification>`, and a
-//! justification-free waiver is itself a diagnostic.
+//! waived with `// gridlint: allow(<rule>, …) -- <justification>`, and a
+//! justification-free, stale, or test-region waiver is itself a
+//! diagnostic.
 
+pub mod callgraph;
 pub mod config;
 pub mod diag;
+pub mod flow;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
 pub mod workspace;
 
 use std::path::Path;
@@ -64,12 +80,39 @@ pub fn lint_root(root: &Path, cfg: &Config) -> Result<LintResult, String> {
     Ok(LintResult { files_scanned: ws.files.len(), diagnostics: diags })
 }
 
+/// Renders the workspace's may-hold-while-acquiring lock graph (the
+/// `--lock-graph` CLI mode; `crates/lint/tests/lock_order.expected` pins
+/// the output for the real tree).
+pub fn lock_graph(root: &Path, cfg: &Config) -> Result<String, String> {
+    let ws = Workspace::load(root, &cfg.exclude)?;
+    let syms = symbols::SymbolTable::build(&ws);
+    let graph = callgraph::CallGraph::build(&ws, &syms);
+    let mut sink = Vec::new();
+    Ok(flow::lock_order(&ws, cfg, &syms, &graph, &mut sink).render())
+}
+
 /// Marks diagnostics covered by justified inline suppressions and emits
 /// `suppression` diagnostics for malformed waivers.
 fn apply_suppressions(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
     let mut meta = Vec::new();
     for file in &ws.files {
         for s in &file.lexed.suppressions {
+            // Tests are exempt from every rule, so a waiver inside a
+            // test region has nothing to suppress — and must never match
+            // a production line adjacent to the region's boundary.
+            if s.in_test {
+                meta.push(Diagnostic::new(
+                    "suppression",
+                    &file.rel,
+                    s.line,
+                    format!(
+                        "`gridlint: allow({})` inside a #[cfg(test)] region is inert; \
+                         tests are exempt from every rule — delete the waiver",
+                        s.rules.join(", ")
+                    ),
+                ));
+                continue;
+            }
             // The line a suppression covers: its own when trailing code,
             // the next one when it stands alone.
             let covered = if s.trailing { s.line } else { s.line + 1 };

@@ -1,7 +1,8 @@
 //! `gridlint` — the CLI.
 //!
 //! ```text
-//! gridlint [--root <dir>] [--config <file>] [--format table|json] [--quiet]
+//! gridlint [--root <dir>] [--config <file>] [--format table|json|sarif]
+//!          [--lock-graph] [--quiet]
 //! ```
 //!
 //! Exit codes: 0 clean (suppressed findings allowed), 1 live findings,
@@ -10,17 +11,31 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use gridmine_lint::{config::Config, diag, lint_root};
+use gridmine_lint::{config::Config, diag, lint_root, lock_graph};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Table,
+    Json,
+    Sarif,
+}
 
 struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
-    json: bool,
+    format: Format,
+    lock_graph: bool,
     quiet: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { root: PathBuf::from("."), config: None, json: false, quiet: false };
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        format: Format::Table,
+        lock_graph: false,
+        quiet: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -31,16 +46,19 @@ fn parse_args() -> Result<Args, String> {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config needs a path")?));
             }
             "--format" => match it.next().as_deref() {
-                Some("json") => args.json = true,
-                Some("table") => args.json = false,
-                other => return Err(format!("--format expects table|json, got {other:?}")),
+                Some("json") => args.format = Format::Json,
+                Some("table") => args.format = Format::Table,
+                Some("sarif") => args.format = Format::Sarif,
+                other => return Err(format!("--format expects table|json|sarif, got {other:?}")),
             },
+            "--lock-graph" => args.lock_graph = true,
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
                     "gridlint — static analysis for gridmine's privacy, panic-freedom,\n\
-                     determinism and obs-parity invariants\n\n\
-                     usage: gridlint [--root <dir>] [--config <file>] [--format table|json] [-q]"
+                     lock-order, crash-safety, determinism and obs-parity invariants\n\n\
+                     usage: gridlint [--root <dir>] [--config <file>]\n\
+                     \x20               [--format table|json|sarif] [--lock-graph] [-q]"
                 );
                 std::process::exit(0);
             }
@@ -56,11 +74,18 @@ fn run() -> Result<i32, String> {
     let cfg_text = std::fs::read_to_string(&cfg_path)
         .map_err(|e| format!("cannot read config {}: {e}", cfg_path.display()))?;
     let cfg = Config::parse(&cfg_text).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    if args.lock_graph {
+        print!("{}", lock_graph(&args.root, &cfg)?);
+        return Ok(0);
+    }
     let result = lint_root(&args.root, &cfg)?;
-    if args.json {
-        print!("{}", diag::render_json(&result.diagnostics, result.files_scanned));
-    } else if !args.quiet {
-        print!("{}", diag::render_report(&result.diagnostics, result.files_scanned));
+    match args.format {
+        Format::Json => print!("{}", diag::render_json(&result.diagnostics, result.files_scanned)),
+        Format::Sarif => print!("{}", diag::render_sarif(&result.diagnostics)),
+        Format::Table if !args.quiet => {
+            print!("{}", diag::render_report(&result.diagnostics, result.files_scanned));
+        }
+        Format::Table => {}
     }
     Ok(result.exit_code())
 }

@@ -1,25 +1,57 @@
-//! The four rule families.
+//! The seven rule families.
 //!
-//! Each rule is a pass over the token streams of the in-scope files;
-//! tokens inside `#[cfg(test)]`/`#[test]` regions are exempt everywhere
-//! (tests are the trusted observer — they hold every key on purpose).
+//! Each rule is a pass over the token streams of the in-scope files —
+//! the flow families additionally consult the workspace symbol table and
+//! call graph ([`crate::symbols`], [`crate::callgraph`],
+//! [`crate::flow`]). Tokens inside `#[cfg(test)]`/`#[test]` regions are
+//! exempt everywhere (tests are the trusted observer — they hold every
+//! key on purpose).
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::diag::Diagnostic;
 use crate::lexer::{Tok, TokKind};
+use crate::symbols::SymbolTable;
 use crate::workspace::{SourceFile, Workspace};
 
 /// Runs every rule family, returning raw (unsuppressed) diagnostics.
 pub fn run_all(ws: &Workspace, cfg: &Config) -> Vec<Diagnostic> {
+    run_timed(ws, cfg).0
+}
+
+/// [`run_all`] with per-family wall time in microseconds, for the
+/// benchmark harness ("symbols" covers building the symbol table and
+/// call graph the flow families share).
+pub fn run_timed(ws: &Workspace, cfg: &Config) -> (Vec<Diagnostic>, Vec<(&'static str, u128)>) {
     let mut out = Vec::new();
+    let mut times = Vec::new();
+    let mut lap = Instant::now();
+    let mut mark = |name: &'static str, lap: &mut Instant| {
+        times.push((name, lap.elapsed().as_micros()));
+        *lap = Instant::now();
+    };
+    let syms = SymbolTable::build(ws);
+    let graph = CallGraph::build(ws, &syms);
+    mark("symbols", &mut lap);
     privacy_taint(ws, cfg, &mut out);
+    mark("privacy-taint", &mut lap);
+    crate::flow::taint_flow(ws, cfg, &syms, &graph, &mut out);
+    mark("taint-flow", &mut lap);
     panic_freedom(ws, cfg, &mut out);
+    mark("panic-freedom", &mut lap);
+    crate::flow::lock_order(ws, cfg, &syms, &graph, &mut out);
+    mark("lock-order", &mut lap);
+    crate::flow::crash_safety(ws, cfg, &mut out);
+    mark("crash-safety", &mut lap);
     determinism(ws, cfg, &mut out);
+    mark("determinism", &mut lap);
     obs_parity(ws, cfg, &mut out);
+    mark("obs-parity", &mut lap);
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    out
+    (out, times)
 }
 
 /// Tokens of a file with test regions dropped.
@@ -90,14 +122,22 @@ fn privacy_taint(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
                 }
             }
         }
-        derive_and_impl_screen(file, cfg, out);
+        format_impl_screen(file, &cfg.secret_types, "privacy-taint", "secret type", out);
     }
 }
 
-/// Flags `#[derive(Debug, …)]` on secret types and
-/// `impl Debug/Display for <SecretType>` anywhere in the workspace
-/// (tests included: a test-only leak impl is still a leak vector).
-fn derive_and_impl_screen(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+/// Flags `#[derive(Debug, …)]` on the named types and
+/// `impl Debug/Display for <Type>` anywhere in the workspace (tests
+/// included: a test-only leak impl is still a leak vector). Shared by
+/// privacy-taint (configured secret types) and taint-flow (types the
+/// engine derives as secret-bearing).
+pub(crate) fn format_impl_screen(
+    file: &SourceFile,
+    types: &[String],
+    rule: &'static str,
+    desc: &str,
+    out: &mut Vec<Diagnostic>,
+) {
     let toks = &file.lexed.toks;
     let mut i = 0;
     while i < toks.len() {
@@ -143,13 +183,13 @@ fn derive_and_impl_screen(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnos
                 if matches!(toks.get(k).map(|t| t.text.as_str()), Some("struct" | "enum" | "union"))
                 {
                     if let Some(name) = toks.get(k + 1) {
-                        if cfg.secret_types.iter().any(|s| s == &name.text) {
+                        if types.iter().any(|s| s == &name.text) {
                             out.push(Diagnostic::new(
-                                "privacy-taint",
+                                rule,
                                 &file.rel,
                                 name.line,
                                 format!(
-                                    "secret type `{}` derives Debug/Display; key material \
+                                    "{desc} `{}` derives Debug/Display; key material \
                                      must not be formattable",
                                     name.text
                                 ),
@@ -181,13 +221,13 @@ fn derive_and_impl_screen(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnos
                         k += 1;
                     }
                     if let Some(name) = name {
-                        if cfg.secret_types.iter().any(|s| s == &name.text) {
+                        if types.iter().any(|s| s == &name.text) {
                             out.push(Diagnostic::new(
-                                "privacy-taint",
+                                rule,
                                 &file.rel,
                                 name.line,
                                 format!(
-                                    "secret type `{}` implements Debug/Display; key material \
+                                    "{desc} `{}` implements Debug/Display; key material \
                                      must not be formattable",
                                     name.text
                                 ),

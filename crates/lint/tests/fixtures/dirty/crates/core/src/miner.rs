@@ -9,3 +9,16 @@ pub fn unjustified() {
     // gridlint: allow(panic-freedom)
     let _ = 0;
 }
+
+pub fn snapshot(tally: u64) {
+    let _ = std::fs::write("tally.json", tally.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mine_is_positive() {
+        assert!(super::mine() > 0);
+    }
+    // gridlint: allow(crash-safety) -- a test-region waiver is inert and must never cover production lines
+}

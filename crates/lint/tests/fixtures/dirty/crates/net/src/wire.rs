@@ -4,3 +4,9 @@ pub fn decode_counter(bytes: &[u8], dec: &C) -> i64 {
     let ct = ct_decode(bytes);
     dec.decrypt_i64(&ct)
 }
+
+/// Interprocedural leak: the value two hops from `decrypt_share` lands
+/// in this key-blind module via a name that trips no token rule.
+pub fn route(ct: u64) -> i64 {
+    relay(ct).0
+}

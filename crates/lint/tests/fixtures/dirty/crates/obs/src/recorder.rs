@@ -1,0 +1,22 @@
+//! Recorder with an intentional lock-order inversion: `log` takes
+//! events before out, `flush` takes out before events.
+
+pub struct Recorder {
+    events: Mutex<Vec<u64>>,
+    out: Mutex<Vec<u8>>,
+}
+
+impl Recorder {
+    pub fn log(&self, id: u64) {
+        let mut e = self.events.lock().unwrap();
+        let mut o = self.out.lock().unwrap();
+        e.push(id);
+        o.push(id as u8);
+    }
+
+    pub fn flush(&self) {
+        let mut o = self.out.lock().unwrap();
+        let e = self.events.lock().unwrap();
+        o.push(e.len() as u8);
+    }
+}

@@ -1,0 +1,20 @@
+//! Decryption helpers: a taint seed plus two forwarding hops, so the
+//! dirty corpus witnesses an interprocedural chain (seed -> fetch_plain
+//! -> relay -> key-blind wire module).
+
+pub struct PlainShare(pub i64);
+
+/// Seed: `decrypt` prefix inside the seed scope, non-clearing return.
+pub fn decrypt_share(ct: u64) -> PlainShare {
+    PlainShare(ct as i64)
+}
+
+/// Intermediate hop #1: launders the name, keeps the value.
+pub fn fetch_plain(ct: u64) -> PlainShare {
+    decrypt_share(ct)
+}
+
+/// Intermediate hop #2: one more call away from the seed.
+pub fn relay(ct: u64) -> PlainShare {
+    fetch_plain(ct)
+}

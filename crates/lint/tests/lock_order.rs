@@ -1,0 +1,45 @@
+//! Pins the workspace lock graph.
+//!
+//! The checked-in fixture `tests/lock_order.expected` is the canonical
+//! may-hold-while-acquiring graph for the whole repository: every lock
+//! site, every ordered pair, and the `acyclic` verdict. Any change to
+//! locking — a new Mutex, a new nesting, a moved acquisition — shows up
+//! as a diff here and must be reviewed (and the fixture regenerated with
+//! `gridlint --lock-graph`) rather than slipping in silently.
+
+use std::path::Path;
+
+use gridmine_lint::{config::Config, lock_graph};
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_lock_graph_matches_pinned_fixture() {
+    let root = workspace_root();
+    let cfg_text = std::fs::read_to_string(root.join("gridlint.toml")).unwrap();
+    let cfg = Config::parse(&cfg_text).unwrap();
+    let rendered = lock_graph(root, &cfg).unwrap();
+    let expected = include_str!("lock_order.expected");
+    assert_eq!(
+        rendered, expected,
+        "workspace lock graph drifted from tests/lock_order.expected; \
+         if the new ordering is intentional, regenerate the fixture with \
+         `gridlint --lock-graph`"
+    );
+}
+
+#[test]
+fn workspace_lock_graph_is_acyclic() {
+    // Independent of the textual pin: the graph must never contain a
+    // cycle, even mid-refactor when the fixture is being regenerated.
+    let root = workspace_root();
+    let cfg_text = std::fs::read_to_string(root.join("gridlint.toml")).unwrap();
+    let cfg = Config::parse(&cfg_text).unwrap();
+    let rendered = lock_graph(root, &cfg).unwrap();
+    assert!(
+        rendered.ends_with("lock graph: acyclic\n"),
+        "workspace lock graph has a cycle:\n{rendered}"
+    );
+}

@@ -680,7 +680,9 @@ impl<C: NetCipher> HubRun<C> {
         };
         let json = serde_json::to_string(&spec)
             .map_err(|e| NetError::Session(format!("spec encode: {e}")))?;
-        std::fs::write(&path, json)?;
+        // Atomic spec drop: the child must never parse a torn file if the
+        // hub crashes (or is killed by chaos) mid-write.
+        gridmine_store::atomic_write_file(&path, json.as_bytes())?;
         let child = Command::new(&self.binary)
             .arg(&path)
             .stdin(Stdio::null())

@@ -117,6 +117,7 @@ impl JsonlRecorder {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        // gridlint: allow(crash-safety) -- trace sink, not protocol state: obs cannot depend on the store crate (store depends on obs), and every JSONL reader tolerates a torn trailing line
         let file = File::create(path)?;
         Ok(JsonlRecorder { out: Mutex::new(BufWriter::new(file)) })
     }
